@@ -1,0 +1,91 @@
+"""Ablation: what each fusion stage of the generator buys (DESIGN.md §5).
+
+Naive -> AB ablates packing-fused operand sums; AB -> ABC ablates the
+kernel-fused multi-destination C update.  Measured as modeled DRAM traffic
+per classical flop and as wall-clock of the blocked engine at reduced
+scale, in the regime each fusion targets (rank-k updates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blis.simulator import simulate_fmm
+from repro.core.executor import BlockedEngine, resolve_levels
+from repro.model.machines import ivy_bridge_e5_2680_v2
+
+MACH = ivy_bridge_e5_2680_v2(1)
+
+
+def traffic_per_flop(variant: str, m=14400, k=1024, n=14400) -> float:
+    ml = resolve_levels("strassen", 1)
+    c = simulate_fmm(m, k, n, ml, variant, MACH.blocking)
+    return c.dram_elements(MACH.lam) / (2.0 * m * k * n)
+
+
+def test_fusion_reduces_traffic_rank_k(benchmark):
+    """Each fusion strictly reduces DRAM traffic in the rank-k regime."""
+    vals = benchmark.pedantic(
+        lambda: {v: traffic_per_flop(v) for v in ("naive", "ab", "abc")},
+        rounds=1, iterations=1,
+    )
+    print("\nDRAM elements per classical flop (k=1024 rank-k):", vals)
+    assert vals["ab"] < vals["naive"]
+    assert vals["abc"] < vals["ab"]
+
+
+def test_fusion_tradeoff_large_square(benchmark):
+    """For large square problems ABC's extra C streams cost more than the
+    M_r buffer it avoids — the §4.3 crossover, as an ablation."""
+    vals = benchmark.pedantic(
+        lambda: {
+            v: traffic_per_flop(v, m=12000, k=12000, n=12000)
+            for v in ("ab", "abc")
+        },
+        rounds=1, iterations=1,
+    )
+    assert vals["ab"] < vals["abc"]
+
+
+@pytest.mark.parametrize("variant", ["naive", "ab", "abc"])
+def test_wallclock_variants(benchmark, variant):
+    """Blocked-engine wall-clock of the three variants, rank-k shape."""
+    rng = np.random.default_rng(3)
+    m, k, n = 720, 256, 720
+    A = rng.standard_normal((m, k))
+    B = rng.standard_normal((k, n))
+    ml = resolve_levels("strassen", 1)
+
+    def run():
+        C = np.zeros((m, n))
+        BlockedEngine(variant=variant).multiply(A, B, C, ml)
+        return C
+
+    C = benchmark(run)
+    assert np.abs(C - A @ B).max() < 1e-9
+
+
+def test_slab_vs_micro_overhead(benchmark):
+    """Ablate macro-kernel granularity: the slab mode trades loop fidelity
+    for Python-overhead reduction; both move identical traffic."""
+    from repro.blis.counters import OpCounters
+    from repro.blis.gemm import packed_gemm
+    from repro.blis.params import BlockingParams
+
+    rng = np.random.default_rng(4)
+    A = rng.standard_normal((192, 192))
+    B = rng.standard_normal((192, 192))
+    params = BlockingParams(mc=48, kc=48, nc=96, mr=8, nr=4)
+
+    def run():
+        out = {}
+        for mode in ("slab", "micro"):
+            C = np.zeros((192, 192))
+            cnt = OpCounters()
+            packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C)], params, cnt, mode=mode)
+            out[mode] = cnt
+        return out
+
+    counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counters["slab"].as_dict() == counters["micro"].as_dict()

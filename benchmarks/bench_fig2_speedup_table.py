@@ -1,0 +1,101 @@
+"""Fig. 2 reproduction: theoretical + practical speedups for all 23 shapes.
+
+Regenerates the paper's table: per algorithm, the theoretical speedup
+(m~k~n~/R per step) and the one-level practical speedup over GEMM at
+Practical #1 (m=n=14400, k=480, rank-k update) and Practical #2
+(m=n=14400, k=12000, near-square), on the modeled 1-core Ivy Bridge.
+Practical speedups use the best variant per shape, as the paper reports
+the best generated implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.catalog import fig2_family
+from repro.bench.paper_data import FIG2_ROWS, PRACTICAL1_SHAPE, PRACTICAL2_SHAPE
+from repro.bench.reporting import format_table, results_dir
+from repro.blis.simulator import simulate_time
+from repro.core.kronecker import MultiLevelFMM
+
+VARIANTS = ("naive", "ab", "abc")
+
+
+def best_speedup_pct(shape, machine, entry) -> tuple[float, str]:
+    """Best simulated speedup (%) over GEMM across variants, one level."""
+    m, k, n = shape
+    t_gemm = simulate_time(m, k, n, None, "abc", machine)
+    ml = MultiLevelFMM([entry.algorithm])
+    best = -1e9
+    best_var = "?"
+    for var in VARIANTS:
+        t = simulate_time(m, k, n, ml, var, machine)
+        s = (t_gemm / t - 1.0) * 100.0
+        if s > best:
+            best, best_var = s, var
+    return best, best_var
+
+
+def build_rows(machine):
+    rows = []
+    paper = {r.dims: r for r in FIG2_ROWS}
+    for entry in fig2_family():
+        p = paper[entry.dims]
+        th = (entry.algorithm.classical_multiplies / entry.achieved_rank - 1) * 100
+        s1, v1 = best_speedup_pct(PRACTICAL1_SHAPE, machine, entry)
+        s2, v2 = best_speedup_pct(PRACTICAL2_SHAPE, machine, entry)
+        rows.append(
+            [
+                "<%d,%d,%d>" % entry.dims,
+                str(p.rank),
+                str(entry.achieved_rank),
+                f"{p.theory_pct:5.1f}",
+                f"{th:5.1f}",
+                f"{p.ours_p1_pct:6.1f}",
+                f"{s1:6.1f}/{v1}",
+                f"{p.ours_p2_pct:6.1f}",
+                f"{s2:6.1f}/{v2}",
+            ]
+        )
+    return rows
+
+
+def test_fig2_table(paper_machine, benchmark):
+    rows = benchmark.pedantic(build_rows, args=(paper_machine,), rounds=1, iterations=1)
+    table = format_table(
+        [
+            "shape", "R(paper)", "R(ours)", "theory%(paper)", "theory%(ours)",
+            "p1%(paper)", "p1%(ours)", "p2%(paper)", "p2%(ours)",
+        ],
+        rows,
+        title="Fig. 2: speedup over GEMM, one level, 1 core",
+    )
+    print()
+    print(table)
+    (results_dir() / "fig2_table.txt").write_text(table + "\n")
+
+    # Shape assertions: near-square speedups must be positive for every
+    # exact-rank entry (the paper's p2 column is positive everywhere).
+    paper = {r.dims: r for r in FIG2_ROWS}
+    for entry, row in zip(fig2_family(), rows):
+        ours_p2 = float(row[8].split("/")[0])
+        if entry.status == "exact":
+            assert ours_p2 > 0, entry.dims
+        # Large-R shapes lose at rank-k updates in the paper too; don't
+        # assert sign there, but near-square should track the paper within
+        # a loose band for exact entries.
+        if entry.status == "exact":
+            assert abs(ours_p2 - paper[entry.dims].ours_p2_pct) < 12.0, entry.dims
+
+
+@pytest.mark.parametrize("dims", [(2, 2, 2), (3, 2, 3), (4, 2, 2)])
+def test_fig2_rank_k_regime_sign(paper_machine, benchmark, dims):
+    # Low-rank shapes with modest nnz gain even at k=480 in the paper.
+    entry = {e.dims: e for e in fig2_family()}[dims]
+    s1, _ = benchmark.pedantic(
+        best_speedup_pct,
+        args=(PRACTICAL1_SHAPE, paper_machine, entry),
+        rounds=1,
+        iterations=1,
+    )
+    assert s1 > 0

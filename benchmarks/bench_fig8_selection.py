@@ -1,0 +1,74 @@
+"""Fig. 8 reproduction: model-guided selection across the three sweeps.
+
+The paper plots BLIS, MKL, the exhaustive best FMM, and the model-selected
+FMM; the claim is that the selected implementation tracks the best closely,
+avoiding exhaustive search.  We regenerate the three curves (GEMM baseline,
+exhaustive-best over the candidate set, model-guided top-2 selection) with
+the simulator as ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_and_save
+from repro.bench.runner import Series, SeriesPoint
+from repro.bench.workloads import (
+    fig7_fixed_k_sweep,
+    fig7_rank_k_sweep,
+    fig7_square_sweep,
+)
+from repro.blis.simulator import simulate_time
+from repro.core.selection import enumerate_candidates, rank_candidates, select
+from repro.model.perfmodel import effective_gflops
+
+SWEEPS = {
+    "square": fig7_square_sweep,
+    "rank_k": fig7_rank_k_sweep,
+    "fixed_k": fig7_fixed_k_sweep,
+}
+
+
+def _simulated(c, m, k, n, machine) -> float:
+    return simulate_time(m, k, n, c.multilevel(), c.variant, machine)
+
+
+def build_curves(machine, sweep, probe_top: int = 8):
+    gemm = Series(label="BLIS", tier="sim")
+    best = Series(label="Best FMM", tier="sim")
+    selected = Series(label="Selected FMM", tier="sim")
+    regret = []
+    for (m, k, n) in sweep:
+        t_gemm = simulate_time(m, k, n, None, "abc", machine)
+        gemm.points.append(SeriesPoint((m, k, n), effective_gflops(m, k, n, t_gemm), t_gemm))
+
+        ranked = rank_candidates(enumerate_candidates(m, k, n, machine, max_levels=2))
+        # "Best FMM": exhaustive simulation over the model's top slice —
+        # the candidate pool itself (hundreds) is too slow to simulate at
+        # every sweep point, so probe deep enough to contain the winner.
+        probe = ranked[:probe_top]
+        t_best = min(_simulated(c, m, k, n, machine) for c in probe)
+        best.points.append(SeriesPoint((m, k, n), effective_gflops(m, k, n, t_best), t_best))
+
+        winner, _ = select(m, k, n, machine, top=2)
+        t_sel = _simulated(winner, m, k, n, machine)
+        selected.points.append(SeriesPoint((m, k, n), effective_gflops(m, k, n, t_sel), t_sel))
+        regret.append(t_sel / t_best - 1.0)
+    return gemm, best, selected, regret
+
+
+@pytest.mark.parametrize("regime", list(SWEEPS))
+def test_fig8_selection_tracks_best(paper_machine, benchmark, regime):
+    sweep = SWEEPS[regime]()[::2]  # every other point keeps runtime modest
+    gemm, best, selected, regret = benchmark.pedantic(
+        build_curves, args=(paper_machine, sweep), rounds=1, iterations=1
+    )
+    print_and_save(f"fig8_{regime}", [gemm, best, selected])
+    print(f"selection regret vs best ({regime}):",
+          " ".join(f"{r * 100:.1f}%" for r in regret))
+
+    # The paper's headline: top-2 selection is within a few percent of the
+    # exhaustive best everywhere (model is accurate in *relative* terms).
+    assert max(regret) < 0.06
+    # And the selected FMM beats plain GEMM at large sizes in every regime.
+    assert selected.gflops()[-1] > gemm.gflops()[-1]

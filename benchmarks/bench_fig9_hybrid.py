@@ -1,0 +1,86 @@
+"""Fig. 9 reproduction: hybrid partitions beat homogeneous ones at k = 1200.
+
+k = 1200 ~ 2 x 3 x k_C on the paper's machine, so two-level hybrids that
+split k as 2 x 3 (<2,2,2>+<2,3,2>, <2,2,2>+<3,3,3>) fit the packing
+granularity better than <2,2,2>^2 (k split 4) or <3,3,3>^2 (k split 9).
+ABC variant throughout (rank-k regime), 1 core and 10 cores.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_and_save
+from repro.bench.runner import run_series
+from repro.bench.workloads import fig9_sweep
+
+CONFIGS = [
+    ("<2,2,2> 1L", "strassen", 1),
+    ("<2,3,2> 1L", (2, 3, 2), 1),
+    ("<3,3,3> 1L", (3, 3, 3), 1),
+    ("<2,2,2>^2", "strassen", 2),
+    ("<2,3,2>^2", (2, 3, 2), 2),
+    ("<3,3,3>^2", (3, 3, 3), 2),
+    ("<2,2,2>+<2,3,2>", ["strassen", "<2,3,2>"], 1),
+    ("<2,2,2>+<3,3,3>", ["strassen", "<3,3,3>"], 1),
+]
+
+
+def build(machine):
+    sweep = fig9_sweep()
+    series = [run_series(sweep, None, 1, "abc", machine, tier="sim", label="BLIS")]
+    for label, spec, levels in CONFIGS:
+        series.append(
+            run_series(sweep, spec, levels, "abc", machine, tier="sim", label=label)
+        )
+    return series
+
+
+@pytest.mark.parametrize("cores", [1, 10])
+def test_fig9_hybrid_beats_homogeneous(benchmark, cores):
+    from repro.model.machines import ivy_bridge_e5_2680_v2
+
+    machine = ivy_bridge_e5_2680_v2(cores)
+    series = benchmark.pedantic(build, args=(machine,), rounds=1, iterations=1)
+    print_and_save(f"fig9_{cores}core", series)
+
+    by_label = {s.label: s for s in series}
+    big = -1  # largest m = n point
+    hybrid232 = by_label["<2,2,2>+<2,3,2>"].gflops()[big]
+    hybrid333 = by_label["<2,2,2>+<3,3,3>"].gflops()[big]
+    homo2 = by_label["<2,2,2>^2"].gflops()[big]
+    homo3 = by_label["<3,3,3>^2"].gflops()[big]
+    gemm = by_label["BLIS"].gflops()[big]
+
+    # The paper's claim: hybrids win over two-level homogeneous partitions
+    # at k = 1200, and everything fast beats GEMM at large m = n.
+    assert max(hybrid232, hybrid333) > max(homo2, homo3)
+    assert max(hybrid232, hybrid333) > gemm
+
+    if cores == 10:
+        # Bandwidth contention compresses the spread (paper §5.2) but the
+        # hybrid advantage survives.
+        one_core = {s.label: s for s in build(ivy_bridge_e5_2680_v2(1))}
+        spread_1 = one_core["<2,2,2>+<2,3,2>"].gflops()[big] / one_core["BLIS"].gflops()[big]
+        spread_10 = hybrid232 / gemm
+        assert spread_10 < spread_1
+
+
+def test_fig9_k_granularity_effect(paper_machine, benchmark):
+    """The hybrid advantage is specifically a k-granularity effect.
+
+    With k = 1200 and k_C = 256, a 2x3 split of k gives sub-k = 200 per
+    packing pass... the key comparison the paper draws is against the 4-way
+    k split of <2,2,2>^2 (sub-k = 300 -> two ragged k_C passes).
+    """
+
+    def measure():
+        from repro.bench.runner import run_series
+
+        sweep = [(14400, 1200, 14400)]
+        hy = run_series(sweep, ["strassen", "<2,3,2>"], 1, "abc", paper_machine, tier="sim")
+        ho = run_series(sweep, "strassen", 2, "abc", paper_machine, tier="sim")
+        return hy.gflops()[0], ho.gflops()[0]
+
+    hy, ho = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert hy > ho

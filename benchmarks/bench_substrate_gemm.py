@@ -1,0 +1,83 @@
+"""Substrate sanity benchmarks: the simulated-BLIS GEMM itself.
+
+Wall-clock pytest-benchmark of the packed five-loop engine against plain
+``numpy.matmul``, plus counter-vs-model consistency at paper blocking.
+These quantify the Python-substrate overhead documented in DESIGN.md
+substitution #2 (we preserve structure and traffic accounting, not
+absolute speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.blis.gemm import packed_gemm
+from repro.blis.params import IVY_BRIDGE_BLOCKING, BlockingParams
+from repro.blis.simulator import simulate_gemm
+from repro.model.machines import ivy_bridge_e5_2680_v2
+from repro.model.terms import gemm_term_table
+
+N = 768
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(7)
+    return rng.standard_normal((N, N)), rng.standard_normal((N, N))
+
+
+def test_numpy_matmul_baseline(benchmark, operands):
+    A, B = operands
+    C = benchmark(lambda: A @ B)
+    assert C.shape == (N, N)
+
+
+def test_packed_gemm_slab(benchmark, operands):
+    A, B = operands
+
+    def run():
+        C = np.zeros((N, N))
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C)], IVY_BRIDGE_BLOCKING)
+        return C
+
+    C = benchmark(run)
+    assert np.abs(C - A @ B).max() < 1e-9
+
+
+def test_packed_gemm_micro_small(benchmark, operands):
+    # Micro-tile loop is the faithful-but-slow mode: bench at 1/4 the size.
+    A = operands[0][:192, :192]
+    B = operands[1][:192, :192]
+    params = BlockingParams(mc=96, kc=96, nc=192, mr=8, nr=4)
+
+    def run():
+        C = np.zeros((192, 192))
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C)], params, mode="micro")
+        return C
+
+    C = benchmark(run)
+    assert np.abs(C - A @ B).max() < 1e-9
+
+
+def test_simulator_matches_model_on_divisible_sizes(benchmark):
+    """Closed-form model and loop simulator agree when nothing is ragged."""
+    mach = ivy_bridge_e5_2680_v2(1)
+
+    def both():
+        out = []
+        for (m, k, n) in [(4096, 4096, 4096), (8192, 1024, 8192)]:
+            sim = simulate_gemm(m, k, n, mach.blocking)
+            tab = gemm_term_table(m, k, n, mach)
+            t_sim_mem = sim.dram_elements(mach.lam) * mach.tau_b
+            t_sim_arith = sim.total_flops * mach.tau_a
+            out.append((t_sim_arith, t_sim_mem, tab))
+        return out
+
+    for t_sim_arith, t_sim_mem, tab in benchmark.pedantic(both, rounds=1, iterations=1):
+        # Memory traffic is identical term by term.
+        assert t_sim_mem == pytest.approx(tab.memory_time, rel=1e-12)
+        # Arithmetic differs only by the engine's explicit C accumulation
+        # per k_C pass (BLIS hides it in register accumulation): < 1%.
+        assert t_sim_arith == pytest.approx(tab.arithmetic_time, rel=0.01)
+        assert t_sim_arith >= tab.arithmetic_time

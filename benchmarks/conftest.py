@@ -1,0 +1,46 @@
+"""Shared helpers for the figure-reproduction benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper at the
+``model`` (closed-form) and ``sim`` (fringe-aware loop simulator) fidelity
+tiers priced with the paper's machine constants, writes the series to
+``benchmarks/results/*.csv``, and wall-clock-benchmarks a reduced-scale
+real execution so pytest-benchmark tracks engine performance over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_machine():
+    from repro.model.machines import ivy_bridge_e5_2680_v2
+
+    return ivy_bridge_e5_2680_v2(1)
+
+
+@pytest.fixture(scope="session")
+def paper_machine_10core():
+    from repro.model.machines import ivy_bridge_e5_2680_v2
+
+    return ivy_bridge_e5_2680_v2(10)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2017)
+
+
+def print_and_save(name: str, series_list, xlabel: str = "shape") -> None:
+    """Render a series table + ASCII chart to stdout; persist as CSV."""
+    from repro.bench.plotting import ascii_chart
+    from repro.bench.reporting import results_dir, series_table, write_csv
+
+    print()
+    print(f"=== {name} ===")
+    print(series_table(series_list, xlabel=xlabel))
+    # Chart only a readable handful of curves (baseline + first few).
+    print(ascii_chart(series_list[:6], title=name))
+    out = write_csv(results_dir() / f"{name}.csv", series_list)
+    print(f"[saved {out}]")

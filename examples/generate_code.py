@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""The code generator's visible output: emit and run a specialized source.
+
+The paper's framework generates C; this reproduction emits standalone
+NumPy Python with the operand linear combinations fully unrolled.  The
+emitted function is shape-generic (dynamic peeling built in) and depends
+on nothing but the interpreter.
+
+Run:  python examples/generate_code.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.codegen import compile_plan
+from repro.core.plan import build_plan
+
+# Generate one-level Strassen, ABC flavor.
+ml = repro.resolve_levels("strassen", 1)
+plan = build_plan(1024, 1024, 1024, ml, "abc")
+fn, src = compile_plan(plan)
+
+print("=" * 72)
+print(src)
+print("=" * 72)
+
+rng = np.random.default_rng(1)
+A = rng.standard_normal((513, 740))
+B = rng.standard_normal((740, 299))
+C = fn(A, B, np.zeros((513, 299)))
+print("generated fn max |C - AB| =", np.abs(C - A @ B).max())
+
+# A hybrid two-level plan: <2,2,2> outer, <3,2,3> inner -> <6,4,6> overall.
+ml2 = repro.resolve_levels(["strassen", "<3,2,3>"])
+plan2 = build_plan(600, 400, 600, ml2, "ab")
+fn2, src2 = compile_plan(plan2, "fmm_hybrid_626")
+print(f"\nhybrid plan: {plan2.rank_total} products, "
+      f"{plan2.operation_counts()}")
+C2 = fn2(A, B, np.zeros((513, 299)))
+print("hybrid fn max |C - AB|    =", np.abs(C2 - A @ B).max())
+print(f"(emitted {len(src2.splitlines())} lines of Python)")

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Blocked LU factorization powered by FMM trailing updates.
+
+The rank-k update inside blocked LU is exactly the matrix shape the paper
+optimizes for (m, n large; k = panel width).  This example factors a
+matrix with the classical update and with one-/two-level Strassen updates,
+compares backward error and solve accuracy, and reports what the paper's
+performance model predicts for the trailing updates at LAPACK-like scale.
+
+Run:  python examples/lu_factorization.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps.lu import backward_error, lu_factor, lu_solve
+
+rng = np.random.default_rng(7)
+n, block = 384, 96
+A = rng.standard_normal((n, n)) + n * np.eye(n)
+x_true = rng.standard_normal(n)
+b = A @ x_true
+
+print(f"factoring {n}x{n}, panel width {block}:")
+for label, kwargs in [
+    ("classical update", dict(use_fmm=False)),
+    ("strassen 1-level", dict(algorithm="strassen", levels=1)),
+    ("strassen 2-level", dict(algorithm="strassen", levels=2)),
+    ("<4,2,4> 1-level", dict(algorithm=(4, 2, 4), levels=1)),
+]:
+    res = lu_factor(A, block=block, **kwargs)
+    x = lu_solve(res, b)
+    print(f"  {label:<18} backward err {backward_error(A, res):.2e}   "
+          f"solve err {np.abs(x - x_true).max():.2e}   "
+          f"({res.updates} trailing updates)")
+
+# What the model says about the trailing updates at production scale.
+mach = repro.ivy_bridge_e5_2680_v2(1)
+m_trail, k_panel = 14400, 256
+gemm = repro.predict_gemm(m_trail, k_panel, m_trail, mach)
+fmm = repro.predict_fmm(
+    m_trail, k_panel, m_trail, repro.resolve_levels("strassen", 1), "abc", mach
+)
+print(f"\nmodeled trailing update ({m_trail}x{k_panel} rank-{k_panel}) on "
+      f"{mach.name}:")
+print(f"  BLIS gemm     {gemm.effective_gflops:6.2f} GFLOPS")
+print(f"  strassen/abc  {fmm.effective_gflops:6.2f} GFLOPS "
+      f"({(gemm.time / fmm.time - 1) * 100:+.1f}%)")

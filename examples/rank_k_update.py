@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Rank-k updates: the shape where this paper beats prior FMM work.
+
+Rank-k updates (m, n large; k small) dominate blocked dense factorizations
+(LU, QR, Cholesky) — the workloads the paper's introduction motivates.
+Prior FMM implementations lose to GEMM there; the generator's ABC variant
+wins because the operand sums ride along with packing and no M_r buffer
+exists.  This example sweeps k at fixed m = n, reporting the performance
+model's Effective GFLOPS on the paper's testbed and measuring real wall
+clock at reduced scale on this machine.
+
+Run:  python examples/rank_k_update.py
+"""
+
+import numpy as np
+
+import repro
+from repro.bench.runner import measure_wall, run_series
+
+mach = repro.ivy_bridge_e5_2680_v2(1)
+m = n = 14400
+
+print(f"Modeled Effective GFLOPS on {mach.name} (m=n={m}):")
+print(f"{'k':>6}  {'GEMM':>7}  {'ABC':>7}  {'AB':>7}  {'Naive':>7}  winner")
+for k in (256, 512, 1024, 2048, 4096, 8192, 12000):
+    sweep = [(m, k, n)]
+    g = run_series(sweep, None, 1, "abc", mach, tier="model").gflops()[0]
+    rows = {}
+    for var in ("abc", "ab", "naive"):
+        rows[var] = run_series(sweep, "strassen", 1, var, mach, tier="model").gflops()[0]
+    best = max(rows, key=rows.get)
+    print(f"{k:>6}  {g:7.2f}  {rows['abc']:7.2f}  {rows['ab']:7.2f}"
+          f"  {rows['naive']:7.2f}  {best}")
+
+print("\nReal wall-clock on this machine (reduced scale, m=n=1440):")
+ml = repro.resolve_levels("strassen", 1)
+for k in (128, 480, 1024):
+    t_np = measure_wall(1440, k, 1440, None, "abc", repeats=3)
+    t_fmm = measure_wall(1440, k, 1440, ml, "abc", repeats=3)
+    print(f"  k={k:5d}: numpy {t_np * 1e3:7.2f} ms   strassen-direct "
+          f"{t_fmm * 1e3:7.2f} ms   ratio {t_np / t_fmm:.2f}x")
+
+print("\n(The pure-Python engine cannot beat native BLAS wall-clock; the "
+      "modeled numbers show what the generated C implementations achieve.)")

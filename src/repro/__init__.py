@@ -1,0 +1,81 @@
+"""repro — reproduction of *Generating Families of Practical Fast Matrix
+Multiplication Algorithms* (Huang, Rice, Matthews, van de Geijn, IPPS 2017).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import multiply
+>>> A, B = np.random.rand(128, 96), np.random.rand(96, 160)
+>>> C = multiply(A, B, algorithm="strassen", levels=2)
+>>> np.allclose(C, A @ B)
+True
+
+Public surface
+--------------
+* :func:`multiply` — one-call FMM (any catalog algorithm, levels, hybrid).
+* :func:`get_algorithm` / :func:`fig2_family` — the generated family.
+* :class:`FMMAlgorithm` / :class:`MultiLevelFMM` — the ``[[U,V,W]]`` algebra.
+* :class:`DirectEngine` / :class:`BlockedEngine` — execution engines.
+* :func:`predict_fmm` / :func:`predict_gemm` — the Fig.-5 performance model.
+* :func:`select` — model-guided poly-algorithm selection (Fig. 8).
+* :func:`build_plan` / :func:`generate_source` — the code generator.
+"""
+
+from repro.algorithms.catalog import (
+    FIG2_SHAPES,
+    CatalogEntry,
+    catalog_summary,
+    fig2_family,
+    get_algorithm,
+    get_entry,
+)
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen, winograd
+from repro.blis.params import BlockingParams
+from repro.core.codegen import compile_plan, generate_source
+from repro.core.executor import BlockedEngine, DirectEngine, multiply, resolve_levels
+from repro.core.fmm import FMMAlgorithm
+from repro.core.kronecker import MultiLevelFMM
+from repro.core.plan import build_plan
+from repro.core.selection import Candidate, select
+from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
+from repro.model.perfmodel import (
+    calibrate_lambda,
+    effective_gflops,
+    predict_fmm,
+    predict_gemm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "multiply",
+    "get_algorithm",
+    "get_entry",
+    "fig2_family",
+    "catalog_summary",
+    "FIG2_SHAPES",
+    "CatalogEntry",
+    "classical",
+    "strassen",
+    "winograd",
+    "FMMAlgorithm",
+    "MultiLevelFMM",
+    "DirectEngine",
+    "BlockedEngine",
+    "BlockingParams",
+    "resolve_levels",
+    "MachineParams",
+    "ivy_bridge_e5_2680_v2",
+    "generic_laptop",
+    "predict_fmm",
+    "predict_gemm",
+    "effective_gflops",
+    "calibrate_lambda",
+    "select",
+    "Candidate",
+    "build_plan",
+    "generate_source",
+    "compile_plan",
+    "__version__",
+]

@@ -1,0 +1,269 @@
+"""The Fig.-2 family: a registry of practical FMM algorithms.
+
+The paper evaluates 23 ``<m~,k~,n~>`` algorithms (2 <= dims <= 6, no APA).
+This catalog reconstructs the family from scratch:
+
+* the ``<2,2,2>:7`` triple printed in the paper (eq. 4);
+* exact rank-preserving transforms (rotations, transpose-duals, direct
+  sums, Kronecker composition) that propagate each base case to every
+  orientation in the table;
+* base cases recovered by our own ALS + gauge-sparsification search,
+  shipped as JSON under ``repro/algorithms/data/``;
+* documented composition *fallbacks* of slightly higher rank for any base
+  case the search did not certify — so the catalog is always complete.
+
+Use :func:`get_algorithm` for lookups and :func:`fig2_family` for the full
+table in the paper's row order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.algorithms.classical import classical
+from repro.algorithms.loader import data_dir, load_json
+from repro.algorithms.strassen import strassen, winograd
+from repro.core.fmm import FMMAlgorithm
+from repro.core.transforms import (
+    all_orientations,
+    direct_sum_k,
+    direct_sum_m,
+    direct_sum_n,
+    kron_compose,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "FIG2_SHAPES",
+    "get_algorithm",
+    "get_entry",
+    "fig2_family",
+    "base_case",
+    "catalog_summary",
+]
+
+#: The 23 shapes of Fig. 2 with the paper's best-known rank for each.
+FIG2_SHAPES: dict[tuple[int, int, int], int] = {
+    (2, 2, 2): 7,
+    (2, 3, 2): 11,
+    (2, 3, 4): 20,
+    (2, 4, 3): 20,
+    (2, 5, 2): 18,
+    (3, 2, 2): 11,
+    (3, 2, 3): 15,
+    (3, 2, 4): 20,
+    (3, 3, 2): 15,
+    (3, 3, 3): 23,
+    (3, 3, 6): 40,
+    (3, 4, 2): 20,
+    (3, 4, 3): 29,
+    (3, 5, 3): 36,
+    (3, 6, 3): 40,
+    (4, 2, 2): 14,
+    (4, 2, 3): 20,
+    (4, 2, 4): 26,
+    (4, 3, 2): 20,
+    (4, 3, 3): 29,
+    (4, 4, 2): 26,
+    (5, 2, 2): 18,
+    (6, 3, 3): 40,
+}
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One catalog row: the algorithm plus provenance metadata."""
+
+    dims: tuple[int, int, int]
+    algorithm: FMMAlgorithm
+    paper_rank: int
+    #: "exact" when achieved rank equals the paper's; "fallback" otherwise.
+    status: str
+
+    @property
+    def achieved_rank(self) -> int:
+        return self.algorithm.rank
+
+    @property
+    def rank_gap(self) -> int:
+        return self.achieved_rank - self.paper_rank
+
+
+def _load_searched(m: int, k: int, n: int, rank: int) -> FMMAlgorithm | None:
+    """Load a search-discovered base case from the data directory, if present."""
+    d = data_dir()
+    exact = d / f"{m}_{k}_{n}_{rank}.json"
+    if exact.exists():
+        return load_json(exact)
+    flt = d / f"{m}_{k}_{n}_{rank}.float.json"
+    if flt.exists():
+        return load_json(flt)
+    return None
+
+
+@lru_cache(maxsize=None)
+def base_case(m: int, k: int, n: int) -> FMMAlgorithm:
+    """The base algorithm for a canonical shape (see DESIGN.md §3).
+
+    Constructed exactly where possible, loaded from search data otherwise,
+    with a composition fallback of documented higher rank as last resort.
+    """
+    key = (m, k, n)
+    if key == (2, 2, 2):
+        return strassen()
+    if key == (2, 2, 3):
+        return direct_sum_n(strassen(), classical(2, 2, 1))  # rank 11
+    if key == (2, 2, 5):
+        return direct_sum_n(strassen(), base_case(2, 2, 3))  # rank 18
+    if key == (2, 2, 4):
+        return kron_compose(strassen(), classical(1, 1, 2))  # rank 14
+
+    searched_rank = {
+        (2, 3, 3): 15,
+        (3, 3, 3): 23,
+        (2, 3, 4): 20,
+        (3, 4, 3): 29,
+        (4, 2, 4): 26,
+        (3, 5, 3): 36,
+        (3, 3, 6): 40,
+    }.get(key)
+    if searched_rank is not None:
+        found = _load_searched(m, k, n, searched_rank)
+        if found is not None:
+            return found
+        return _fallback(m, k, n)
+    raise KeyError(f"no base case defined for <{m},{k},{n}>")
+
+
+def _fallback(m: int, k: int, n: int) -> FMMAlgorithm:
+    """Composition fallback for a missing searched base case."""
+    key = (m, k, n)
+    if key == (2, 3, 3):
+        # <2,1,3>:6 (+)_k <2,2,3>:11 = <2,3,3>:17
+        return direct_sum_k(classical(2, 1, 3), base_case(2, 2, 3))
+    if key == (3, 3, 3):
+        # <1,3,3>:9 (+)_m <2,3,3> = rank 9 + rank(2,3,3)
+        return direct_sum_m(classical(1, 3, 3), base_case(2, 3, 3))
+    if key == (2, 3, 4):
+        # <2,3,1>:6 (+)_n <2,3,3>
+        return direct_sum_n(base_case(2, 3, 3), classical(2, 3, 1))
+    if key == (3, 4, 3):
+        # <3,3,3> (+)_k <3,1,3>:9
+        return direct_sum_k(base_case(3, 3, 3), classical(3, 1, 3))
+    if key == (4, 2, 4):
+        # <4,2,2>:14 (+)_n <4,2,2>:14 = 28
+        a422 = _oriented(4, 2, 2)
+        return direct_sum_n(a422, a422)
+    if key == (3, 5, 3):
+        # <3,2,3> (+)_k <3,3,3>
+        return direct_sum_k(_oriented(3, 2, 3), base_case(3, 3, 3))
+    if key == (3, 3, 6):
+        # <3,3,2> (x) <1,1,3>:3
+        return kron_compose(_oriented(3, 3, 2), classical(1, 1, 3))
+    raise KeyError(f"no fallback defined for <{m},{k},{n}>")
+
+
+#: Which base case each Fig.-2 shape is an orientation of.
+_ORIENTATION_SOURCE: dict[tuple[int, int, int], tuple[int, int, int]] = {
+    (2, 2, 2): (2, 2, 2),
+    (2, 3, 2): (2, 2, 3),
+    (3, 2, 2): (2, 2, 3),
+    (2, 5, 2): (2, 2, 5),
+    (5, 2, 2): (2, 2, 5),
+    (4, 2, 2): (2, 2, 4),
+    (3, 2, 3): (2, 3, 3),
+    (3, 3, 2): (2, 3, 3),
+    (3, 3, 3): (3, 3, 3),
+    (2, 3, 4): (2, 3, 4),
+    (2, 4, 3): (2, 3, 4),
+    (3, 2, 4): (2, 3, 4),
+    (3, 4, 2): (2, 3, 4),
+    (4, 2, 3): (2, 3, 4),
+    (4, 3, 2): (2, 3, 4),
+    (3, 4, 3): (3, 4, 3),
+    (4, 3, 3): (3, 4, 3),
+    (4, 2, 4): (4, 2, 4),
+    (4, 4, 2): (4, 2, 4),
+    (3, 5, 3): (3, 5, 3),
+    (3, 3, 6): (3, 3, 6),
+    (3, 6, 3): (3, 3, 6),
+    (6, 3, 3): (3, 3, 6),
+}
+
+
+@lru_cache(maxsize=None)
+def _oriented(m: int, k: int, n: int) -> FMMAlgorithm:
+    src = _ORIENTATION_SOURCE[(m, k, n)]
+    base = base_case(*src)
+    oriented = all_orientations(base)
+    algo = oriented.get((m, k, n))
+    if algo is None:  # pragma: no cover - orientation closure is total
+        raise KeyError(f"<{m},{k},{n}> not reachable from base {src}")
+    return algo
+
+
+@lru_cache(maxsize=None)
+def get_entry(m: int, k: int, n: int) -> CatalogEntry:
+    """Catalog entry (algorithm + provenance) for a Fig.-2 shape."""
+    key = (m, k, n)
+    if key not in FIG2_SHAPES:
+        raise KeyError(
+            f"<{m},{k},{n}> is not in the Fig.-2 family; "
+            f"use repro.algorithms.classical or the transform API directly"
+        )
+    algo = _oriented(m, k, n)
+    paper_rank = FIG2_SHAPES[key]
+    base_source = base_case(*_ORIENTATION_SOURCE[key]).source
+    if algo.rank != paper_rank:
+        status = "fallback"
+    elif "float" in algo.source or "float" in base_source:
+        # Paper-rank decomposition whose coefficients are still generic
+        # floats (dense nnz): correct, but the performance model penalizes
+        # its additions until gauge refinement lands a discrete triple.
+        status = "float"
+    else:
+        status = "exact"
+    return CatalogEntry(dims=key, algorithm=algo, paper_rank=paper_rank, status=status)
+
+
+def get_algorithm(spec) -> FMMAlgorithm:
+    """Flexible lookup: name, ``(m, k, n)`` tuple, or "<m,k,n>" string.
+
+    Accepted names: ``"strassen"``, ``"winograd"``, ``"classical"`` (the
+    ``<1,1,1>`` trivial triple), or any Fig.-2 shape such as ``"<4,2,4>"``
+    / ``(4, 2, 4)``.  Passing an :class:`FMMAlgorithm` returns it unchanged.
+    """
+    if isinstance(spec, FMMAlgorithm):
+        return spec
+    if isinstance(spec, str):
+        low = spec.strip().lower()
+        if low == "strassen":
+            return strassen()
+        if low == "winograd":
+            return winograd()
+        if low == "classical":
+            return classical(1, 1, 1)
+        low = low.strip("<>")
+        parts = tuple(int(x) for x in low.replace(" ", "").split(","))
+        return get_entry(*parts).algorithm
+    if isinstance(spec, (tuple, list)) and len(spec) == 3:
+        return get_entry(*(int(x) for x in spec)).algorithm
+    raise TypeError(f"cannot interpret algorithm spec {spec!r}")
+
+
+def fig2_family() -> list[CatalogEntry]:
+    """All 23 entries in the paper's row order."""
+    return [get_entry(*dims) for dims in FIG2_SHAPES]
+
+
+def catalog_summary() -> str:
+    """Human-readable table of achieved vs. paper ranks."""
+    lines = ["shape      paper-R  ours-R  status    source"]
+    for e in fig2_family():
+        m, k, n = e.dims
+        lines.append(
+            f"<{m},{k},{n}>   {e.paper_rank:6d}  {e.achieved_rank:6d}  "
+            f"{e.status:8s}  {e.algorithm.source}"
+        )
+    return "\n".join(lines)

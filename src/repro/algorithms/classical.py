@@ -1,0 +1,41 @@
+"""The classical ``<m,k,n>`` algorithm with rank ``m*k*n``.
+
+Not "fast", but an essential building block: direct sums of classical and
+fast triples realize several Fig.-2 family members (e.g. ``<2,2,3>:11`` =
+Strassen (+)_n ``<2,2,1>:4``), and classical triples are the identity
+elements of Kronecker composition (e.g. ``<4,2,2>:14`` = Strassen (x)
+``<2,1,1>:2``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fmm import FMMAlgorithm
+
+__all__ = ["classical"]
+
+
+def classical(m: int, k: int, n: int) -> FMMAlgorithm:
+    """The classical ``<m,k,n>`` triple: one rank-1 term per scalar product.
+
+    Term ``r = (i1, i2, j2)`` (row-major over ``m x k x n``) multiplies
+    ``A_{i1,i2}`` by ``B_{i2,j2}`` and accumulates into ``C_{i1,j2}``.
+    """
+    R = m * k * n
+    U = np.zeros((m * k, R))
+    V = np.zeros((k * n, R))
+    W = np.zeros((m * n, R))
+    r = 0
+    for i1 in range(m):
+        for i2 in range(k):
+            for j2 in range(n):
+                U[i1 * k + i2, r] = 1
+                V[i2 * n + j2, r] = 1
+                W[i1 * n + j2, r] = 1
+                r += 1
+    return FMMAlgorithm(
+        m=m, k=k, n=n, U=U, V=V, W=W,
+        name=f"classical<{m},{k},{n}>",
+        source="classical",
+    ).validate()

@@ -1,0 +1,68 @@
+"""JSON (de)serialization for coefficient triples.
+
+Discovered algorithms are committed as data files under
+``repro/algorithms/data/`` so the catalog does not depend on re-running the
+(ALS) search.  Every load re-validates the Brent equations.
+"""
+
+from __future__ import annotations
+
+import json
+from importlib import resources
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.fmm import FMMAlgorithm
+
+__all__ = ["algorithm_to_dict", "algorithm_from_dict", "save_json", "load_json", "data_dir"]
+
+
+def algorithm_to_dict(algo: FMMAlgorithm) -> dict:
+    """Plain-JSON representation of an algorithm."""
+    return {
+        "m": algo.m,
+        "k": algo.k,
+        "n": algo.n,
+        "rank": algo.rank,
+        "name": algo.name,
+        "source": algo.source,
+        "U": algo.U.tolist(),
+        "V": algo.V.tolist(),
+        "W": algo.W.tolist(),
+    }
+
+
+def algorithm_from_dict(d: dict) -> FMMAlgorithm:
+    """Rebuild and re-validate an algorithm from its JSON dict."""
+    algo = FMMAlgorithm(
+        m=int(d["m"]),
+        k=int(d["k"]),
+        n=int(d["n"]),
+        U=np.array(d["U"], dtype=np.float64),
+        V=np.array(d["V"], dtype=np.float64),
+        W=np.array(d["W"], dtype=np.float64),
+        name=str(d.get("name", "")),
+        source=str(d.get("source", "json")),
+    )
+    if algo.rank != int(d["rank"]):
+        raise ValueError(
+            f"{algo.name}: rank field {d['rank']} != matrix width {algo.rank}"
+        )
+    return algo.validate()
+
+
+def save_json(algo: FMMAlgorithm, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(algorithm_to_dict(algo), indent=1))
+    return path
+
+
+def load_json(path: str | Path) -> FMMAlgorithm:
+    return algorithm_from_dict(json.loads(Path(path).read_text()))
+
+
+def data_dir() -> Path:
+    """Directory holding the shipped coefficient data files."""
+    return Path(str(resources.files("repro.algorithms") / "data"))

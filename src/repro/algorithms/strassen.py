@@ -1,0 +1,107 @@
+"""Strassen's ``<2,2,2>:7`` algorithm.
+
+``strassen()`` is the exact coefficient triple printed in eq. (4) of the
+paper (the classical Strassen 1969 products, eq. (2)).  ``winograd()`` is
+the Strassen–Winograd variant: with common-subexpression reuse it needs
+only 15 additions, but the flat ``[[U,V,W]]`` representation cannot express
+that reuse, so as a coefficient triple it has *more* nonzeros than eq. (4)
+(28 vs 22 additions).  It is kept as a distinct catalog member precisely to
+ablate that effect in the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fmm import FMMAlgorithm
+
+__all__ = ["strassen", "winograd"]
+
+
+def strassen() -> FMMAlgorithm:
+    """The paper's eq.-(4) triple for one-level Strassen.
+
+    Row order: A-blocks A0..A3, B-blocks B0..B3, C-blocks C0..C3 in
+    row-major quadrant order (eq. (1)); columns are the products M0..M6 of
+    eq. (2).
+    """
+    U = np.array(
+        [
+            [1, 0, 1, 0, 1, -1, 0],
+            [0, 0, 0, 0, 1, 0, 1],
+            [0, 1, 0, 0, 0, 1, 0],
+            [1, 1, 0, 1, 0, 0, -1],
+        ],
+        dtype=np.float64,
+    )
+    V = np.array(
+        [
+            [1, 1, 0, -1, 0, 1, 0],
+            [0, 0, 1, 0, 0, 1, 0],
+            [0, 0, 0, 1, 0, 0, 1],
+            [1, 0, -1, 0, 1, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    W = np.array(
+        [
+            [1, 0, 0, 1, -1, 0, 1],
+            [0, 0, 1, 0, 1, 0, 0],
+            [0, 1, 0, 1, 0, 0, 0],
+            [1, -1, 1, 0, 0, 1, 0],
+        ],
+        dtype=np.float64,
+    )
+    return FMMAlgorithm(
+        m=2, k=2, n=2, U=U, V=V, W=W,
+        name="strassen", source="paper eq.(4)",
+    ).validate()
+
+
+def winograd() -> FMMAlgorithm:
+    """Strassen–Winograd ``<2,2,2>:7`` with 15 additions.
+
+    Products (blocks A = [[a0,a1],[a2,a3]], B likewise, C likewise):
+
+        m0 = a0 b0                m4 = (a2 + a3)(b1 - b0)
+        m1 = a1 b2                m5 = (a0 + a1 - a2 - a3) b3
+        m2 = a3 (b0 - b1 - b2 + b3)
+        m3 = (a2 + a3 - a0) (b0 - b1 + b3)
+        m6 = (a0 - a2) (b3 - b1)
+
+        c0 = m0 + m1
+        c1 = m0 + m3 + m4 + m5
+        c2 = m0 - m2 + m3 + m6
+        c3 = m0 + m3 + m4 + m6
+    """
+    U = np.array(
+        [
+            [1, 0, 0, -1, 0, 1, 1],
+            [0, 1, 0, 0, 0, 1, 0],
+            [0, 0, 0, 1, 1, -1, -1],
+            [0, 0, 1, 1, 1, -1, 0],
+        ],
+        dtype=np.float64,
+    )
+    V = np.array(
+        [
+            [1, 0, 1, 1, -1, 0, 0],
+            [0, 0, -1, -1, 1, 0, -1],
+            [0, 1, -1, 0, 0, 0, 0],
+            [0, 0, 1, 1, 0, 1, 1],
+        ],
+        dtype=np.float64,
+    )
+    W = np.array(
+        [
+            [1, 1, 0, 0, 0, 0, 0],
+            [1, 0, 0, 1, 1, 1, 0],
+            [1, 0, -1, 1, 0, 0, 1],
+            [1, 0, 0, 1, 1, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    return FMMAlgorithm(
+        m=2, k=2, n=2, U=U, V=V, W=W,
+        name="winograd", source="Strassen-Winograd variant",
+    ).validate()

@@ -1,0 +1,63 @@
+"""Reference numbers transcribed from the paper, for comparison in benches.
+
+Fig. 2 reports, per algorithm: the number of classical multiplies, the FMM
+rank, the theoretical per-step speedup, and measured one-level speedups (%)
+over GEMM in two regimes on one core — Practical #1 is the rank-k update
+(m = n = 14400, k = 480), Practical #2 near-square (m = n = 14400,
+k = 12000).  "ours" columns are the paper's generated implementations;
+"ref" columns are Benson–Ballard [1] linked with MKL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Fig2Row", "FIG2_ROWS", "PRACTICAL1_SHAPE", "PRACTICAL2_SHAPE", "PEAK_1CORE", "PEAK_10CORE"]
+
+#: (m, k, n) of the two practical regimes in Fig. 2.
+PRACTICAL1_SHAPE = (14400, 480, 14400)
+PRACTICAL2_SHAPE = (14400, 12000, 14400)
+
+#: GFLOPS peaks marked in the paper's plots.
+PEAK_1CORE = 28.32
+PEAK_10CORE = 248.0
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    dims: tuple[int, int, int]
+    ref: str                  # literature source cited in the paper
+    classical_muls: int       # m~ * k~ * n~
+    rank: int                 # R
+    theory_pct: float         # theoretical speedup per recursive step, %
+    ours_p1_pct: float        # paper's speedup, practical #1 (rank-480)
+    bb_p1_pct: float          # [1]'s speedup, practical #1
+    ours_p2_pct: float        # paper's speedup, practical #2 (near-square)
+    bb_p2_pct: float          # [1]'s speedup, practical #2
+
+
+FIG2_ROWS: tuple[Fig2Row, ...] = (
+    Fig2Row((2, 2, 2), "[11]", 8, 7, 14.3, 11.9, -3.0, 13.1, 13.1),
+    Fig2Row((2, 3, 2), "[1]", 12, 11, 9.1, 5.5, -13.1, 7.7, 7.7),
+    Fig2Row((2, 3, 4), "[1]", 24, 20, 20.0, 11.9, -8.0, 16.3, 17.0),
+    Fig2Row((2, 4, 3), "[10]", 24, 20, 20.0, 4.8, -15.3, 14.9, 16.6),
+    Fig2Row((2, 5, 2), "[10]", 20, 18, 11.1, 1.5, -23.1, 8.6, 8.3),
+    Fig2Row((3, 2, 2), "[10]", 12, 11, 9.1, 7.1, -6.6, 7.2, 7.5),
+    Fig2Row((3, 2, 3), "[10]", 18, 15, 20.0, 14.1, -0.7, 17.2, 16.8),
+    Fig2Row((3, 2, 4), "[10]", 24, 20, 20.0, 11.9, -1.8, 16.1, 17.0),
+    Fig2Row((3, 3, 2), "[10]", 18, 15, 20.0, 11.4, -8.1, 17.3, 16.5),
+    Fig2Row((3, 3, 3), "[12]", 27, 23, 17.4, 8.6, -9.3, 14.4, 14.7),
+    Fig2Row((3, 3, 6), "[12]", 54, 40, 35.0, -34.0, -41.6, 24.2, 20.1),
+    Fig2Row((3, 4, 2), "[1]", 24, 20, 20.0, 4.9, -15.7, 16.0, 16.8),
+    Fig2Row((3, 4, 3), "[12]", 36, 29, 24.1, 8.4, -12.6, 18.1, 20.1),
+    Fig2Row((3, 5, 3), "[12]", 45, 36, 25.0, 5.2, -20.6, 19.1, 18.9),
+    Fig2Row((3, 6, 3), "[12]", 54, 40, 35.0, -21.6, -64.5, 19.5, 17.8),
+    Fig2Row((4, 2, 2), "[10]", 16, 14, 14.3, 9.4, -4.7, 11.9, 12.2),
+    Fig2Row((4, 2, 3), "[1]", 24, 20, 20.0, 12.1, -2.3, 15.9, 17.3),
+    Fig2Row((4, 2, 4), "[10]", 32, 26, 23.1, 10.4, -2.7, 18.4, 19.1),
+    Fig2Row((4, 3, 2), "[10]", 24, 20, 20.0, 11.3, -7.8, 16.8, 15.7),
+    Fig2Row((4, 3, 3), "[10]", 36, 29, 24.1, 8.1, -8.4, 19.8, 20.0),
+    Fig2Row((4, 4, 2), "[10]", 32, 26, 23.1, -4.2, -18.4, 17.1, 18.5),
+    Fig2Row((5, 2, 2), "[10]", 20, 18, 11.1, 7.0, -6.7, 8.2, 8.5),
+    Fig2Row((6, 3, 3), "[12]", 54, 40, 35.0, -33.4, -42.2, 24.0, 20.2),
+)

@@ -1,0 +1,64 @@
+"""ASCII rendering of benchmark series — figure-shaped terminal output.
+
+The paper's figures are GFLOPS-vs-size line plots.  With no display (and
+no matplotlib in the offline environment), this renders the same panels as
+Unicode/ASCII charts so `pytest benchmarks/ -s` output visually resembles
+the figures being reproduced.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import Series
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&=~^"
+
+
+def ascii_chart(
+    series_list: list[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_index: int = 1,
+) -> str:
+    """Render series as an ASCII line chart.
+
+    ``x_index`` selects which of (m, k, n) drives the x axis (default k).
+    Values are linearly binned; later series overwrite earlier ones where
+    they collide, and a legend maps marks to labels.
+    """
+    if not series_list:
+        return "(no series)"
+    xs = [s[x_index] for s in series_list[0].shapes()]
+    if len(xs) < 2:
+        width = max(width, 8)
+    ys_all = [g for s in series_list for g in s.gflops()]
+    lo, hi = min(ys_all), max(ys_all)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    x0, x1 = min(xs), max(xs)
+    xspan = max(x1 - x0, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series_list):
+        mark = _MARKS[si % len(_MARKS)]
+        for (shape, g) in zip(s.shapes(), s.gflops()):
+            x = shape[x_index]
+            col = int((x - x0) / xspan * (width - 1))
+            row = int((g - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        yval = hi - (hi - lo) * i / (height - 1)
+        lines.append(f"{yval:8.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x0:<12d}" + " " * max(width - 24, 0) + f"{x1:>12d}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.label}" for i, s in enumerate(series_list)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

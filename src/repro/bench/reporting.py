@@ -1,0 +1,74 @@
+"""Rendering of benchmark series and tables, plus result-file dumps.
+
+The harness prints the same rows/series the paper reports (Effective
+GFLOPS per sweep point), renders compact markdown for EXPERIMENTS.md, and
+writes CSVs under ``benchmarks/results/`` so runs are diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.bench.runner import Series
+
+__all__ = ["format_table", "series_table", "write_csv", "results_dir"]
+
+
+def results_dir() -> Path:
+    """benchmarks/results/ relative to the repository root (created lazily)."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            d = parent / "benchmarks" / "results"
+            d.mkdir(parents=True, exist_ok=True)
+            return d
+    d = Path.cwd() / "benchmark-results"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Plain-text aligned table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(series_list: list[Series], xlabel: str = "shape") -> str:
+    """Render several series as one table keyed by sweep point."""
+    if not series_list:
+        return "(no series)"
+    shapes = series_list[0].shapes()
+    headers = [xlabel] + [f"{s.label} [{s.tier}]" for s in series_list]
+    rows = []
+    for i, shape in enumerate(shapes):
+        row = ["x".join(str(d) for d in shape)]
+        for s in series_list:
+            row.append(f"{s.points[i].gflops:7.2f}")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def write_csv(path: str | Path, series_list: list[Series]) -> Path:
+    """Dump series to CSV: one row per sweep point, one column per series."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    shapes = series_list[0].shapes() if series_list else []
+    with path.open("w", newline="") as fh:
+        w = csv.writer(fh)
+        w.writerow(["m", "k", "n"] + [f"{s.label}|{s.tier}" for s in series_list])
+        for i, (m, k, n) in enumerate(shapes):
+            w.writerow(
+                [m, k, n] + [f"{s.points[i].gflops:.4f}" for s in series_list]
+            )
+    return path

@@ -1,0 +1,119 @@
+"""Three-tier experiment runner: model / simulated-actual / measured.
+
+Performance fidelity note (DESIGN.md substitution #2): pure Python cannot
+reproduce the paper's absolute GFLOPS, so each experiment is evaluated at
+up to three fidelity tiers:
+
+* ``model``   — the paper's closed-form performance model (its "modeled"
+  panels);
+* ``sim``     — the fringe-aware loop-walking simulator priced with the
+  paper's machine constants (analog of its "actual" panels);
+* ``wall``    — real wall-clock of the NumPy engines at reduced scale
+  (sanity tier: are the crossovers real on this machine?).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blis.simulator import simulate_time
+from repro.core.executor import BlockedEngine, DirectEngine, resolve_levels
+from repro.core.kronecker import MultiLevelFMM
+from repro.model.machines import MachineParams
+from repro.model.perfmodel import effective_gflops, predict_fmm, predict_gemm
+
+__all__ = ["SeriesPoint", "Series", "run_series", "measure_wall"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    shape: tuple[int, int, int]
+    gflops: float
+    time: float
+
+
+@dataclass
+class Series:
+    """One labeled curve of Effective GFLOPS over a sweep."""
+
+    label: str
+    tier: str  # model | sim | wall
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def gflops(self) -> list[float]:
+        return [p.gflops for p in self.points]
+
+    def shapes(self) -> list[tuple[int, int, int]]:
+        return [p.shape for p in self.points]
+
+
+def run_series(
+    sweep: list[tuple[int, int, int]],
+    algorithm,
+    levels: int,
+    variant: str,
+    machine: MachineParams,
+    tier: str = "model",
+    label: str | None = None,
+) -> Series:
+    """Evaluate one implementation across a sweep at the given tier.
+
+    ``algorithm=None`` evaluates the GEMM baseline.
+    """
+    ml: MultiLevelFMM | None = None
+    if algorithm is not None:
+        ml = resolve_levels(algorithm, levels)
+    if label is None:
+        label = "gemm" if ml is None else f"{ml.name}/{variant}"
+    series = Series(label=label, tier=tier)
+    for (m, k, n) in sweep:
+        if tier == "model":
+            if ml is None:
+                t = predict_gemm(m, k, n, machine).time
+            else:
+                t = predict_fmm(m, k, n, ml, variant, machine).time
+        elif tier == "sim":
+            t = simulate_time(m, k, n, ml, variant, machine)
+        elif tier == "wall":
+            t = measure_wall(m, k, n, ml, variant)
+        else:
+            raise ValueError(f"unknown tier {tier!r}")
+        series.points.append(
+            SeriesPoint(shape=(m, k, n), gflops=effective_gflops(m, k, n, t), time=t)
+        )
+    return series
+
+
+def measure_wall(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM | None,
+    variant: str,
+    engine: str = "direct",
+    threads: int = 1,
+    repeats: int = 3,
+    seed: int = 0,
+) -> float:
+    """Best-of-N wall-clock for one multiply on this machine."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k))
+    B = rng.standard_normal((k, n))
+    best = np.inf
+    for _ in range(repeats):
+        C = np.zeros((m, n))
+        t0 = time.perf_counter()
+        if ml is None:
+            if engine == "blocked":
+                BlockedEngine(threads=threads).gemm(A, B, C)
+            else:
+                np.matmul(A, B, out=C)
+        elif engine == "blocked":
+            BlockedEngine(variant=variant, threads=threads).multiply(A, B, C, ml)
+        else:
+            DirectEngine().multiply(A, B, C, ml)
+        best = min(best, time.perf_counter() - t0)
+    return best

@@ -1,0 +1,59 @@
+"""Problem-size sweeps for every figure in the evaluation section.
+
+Each generator yields ``(m, k, n)`` triples exactly as the paper sweeps
+them, plus ``reduced``-scale versions (divided by an integer factor) so
+wall-clock measurements on the Python engine stay tractable while crossing
+the same cache-capacity boundaries relative to the blocking parameters.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "fig6_sweep",
+    "fig7_square_sweep",
+    "fig7_rank_k_sweep",
+    "fig7_fixed_k_sweep",
+    "fig9_sweep",
+    "reduced",
+]
+
+
+def _steps(lo: int, hi: int, step: int) -> list[int]:
+    return list(range(lo, hi + 1, step))
+
+
+def fig6_sweep() -> list[tuple[int, int, int]]:
+    """Fig. 6: m = n = 14400, k from 1024 to 12288 (step 1024), one level."""
+    return [(14400, k, 14400) for k in _steps(1024, 12288, 1024)]
+
+
+def fig7_square_sweep() -> list[tuple[int, int, int]]:
+    """Fig. 7 left: m = k = n from 1024 to 12288."""
+    return [(x, x, x) for x in _steps(1024, 12288, 1024)]
+
+
+def fig7_rank_k_sweep() -> list[tuple[int, int, int]]:
+    """Fig. 7 middle: m = n = 14400, k varies (same as Fig. 6)."""
+    return fig6_sweep()
+
+
+def fig7_fixed_k_sweep() -> list[tuple[int, int, int]]:
+    """Fig. 7 right: k = 1024, m = n from 1024 to 12288."""
+    return [(x, 1024, x) for x in _steps(1024, 12288, 1024)]
+
+
+def fig9_sweep() -> list[tuple[int, int, int]]:
+    """Fig. 9: k = 1200, m = n from 1200 to 15600."""
+    return [(x, 1200, x) for x in _steps(1200, 15600, 1200)]
+
+
+def reduced(
+    sweep: list[tuple[int, int, int]], factor: int = 10, minimum: int = 48
+) -> list[tuple[int, int, int]]:
+    """Scale a sweep down for wall-clock runs on the Python engine."""
+    out = []
+    for m, k, n in sweep:
+        out.append(
+            (max(m // factor, minimum), max(k // factor, minimum), max(n // factor, minimum))
+        )
+    return out

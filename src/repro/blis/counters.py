@@ -1,0 +1,80 @@
+"""Instrumentation counters for the simulated BLIS engine.
+
+The performance model (paper Fig. 5) prices a specific set of arithmetic
+and DRAM-traffic quantities.  The blocked engine and the loop-walking
+simulator increment exactly those categories, in units of double-precision
+*elements*, so model predictions can be validated against instrumented
+executions term by term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounters"]
+
+
+@dataclass
+class OpCounters:
+    """Arithmetic (flops) and memory traffic (elements) by model category."""
+
+    # arithmetic
+    mul_flops: float = 0.0      # 2mnk-style multiply-accumulate flops (T_a^x)
+    a_add_flops: float = 0.0    # submatrix additions on A operands (T_a^{A+})
+    b_add_flops: float = 0.0    # submatrix additions on B operands (T_a^{B+})
+    c_add_flops: float = 0.0    # C / temp-M accumulation flops (T_a^{C+})
+    # DRAM traffic, elements
+    a_read: float = 0.0         # reading A submatrices while packing (T_m^{Ax})
+    a_pack_write: float = 0.0   # writing A~ (hidden by caches; tracked anyway)
+    b_read: float = 0.0         # reading B submatrices while packing (T_m^{Bx})
+    b_pack_write: float = 0.0   # writing B~
+    c_traffic: float = 0.0      # reading+writing C in the micro-kernel (T_m^{Cx})
+    temp_a_traffic: float = 0.0  # Naive-FMM A-sum temporaries (T_m^{A+})
+    temp_b_traffic: float = 0.0  # Naive-FMM B-sum temporaries (T_m^{B+})
+    temp_c_traffic: float = 0.0  # AB/Naive M_r buffer traffic (T_m^{C+})
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0.0)
+
+    def __iadd__(self, other: "OpCounters") -> "OpCounters":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "OpCounters":
+        out = OpCounters()
+        out += self
+        return out
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_flops(self) -> float:
+        return self.mul_flops + self.a_add_flops + self.b_add_flops + self.c_add_flops
+
+    def dram_elements(self, lam: float = 1.0, count_pack_writes: bool = False) -> float:
+        """Total priced DRAM traffic in elements.
+
+        Following the model's assumptions, packed-buffer writes are hidden by
+        the caches (lazy write-back) unless ``count_pack_writes`` is set, and
+        micro-kernel C traffic is scaled by the prefetch-efficiency factor
+        ``lam`` (paper: lambda in [0.5, 1]).
+        """
+        total = (
+            self.a_read
+            + self.b_read
+            + lam * self.c_traffic
+            + self.temp_a_traffic
+            + self.temp_b_traffic
+            + self.temp_c_traffic
+        )
+        if count_pack_writes:
+            total += self.a_pack_write + self.b_pack_write
+        return total
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3g}" for k, v in self.as_dict().items() if v)
+        return f"OpCounters({parts})"

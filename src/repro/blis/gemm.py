@@ -1,0 +1,120 @@
+"""The five-loop GotoBLAS/BLIS GEMM over weighted operand lists.
+
+``packed_gemm`` computes
+
+    sum_p w_p C_p  +=  (sum_i u_i A_i) @ (sum_j v_j B_j)
+
+with the loop structure of Fig. 1: the 5th loop partitions n by ``n_C``,
+the 4th partitions k by ``k_C`` (packing the B~ panel), the 3rd partitions
+m by ``m_C`` (packing the A~ block), and the macro-kernel runs the two
+register loops.  Passing operand lists of length 1 with unit weights gives
+plain high-performance GEMM; longer lists give the fused-packing /
+fused-update primitives that make the FMM variants workspace-free.
+
+The 3rd loop can be parallelized over a thread pool, mirroring the paper's
+OpenMP data parallelism [20]: each worker packs its own A~ block and owns a
+disjoint row band of C, so no synchronization is needed beyond the barrier
+at the end of each 4th-loop iteration.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.blis.counters import OpCounters
+from repro.blis.microkernel import macro_kernel
+from repro.blis.packing import Operand, pack_weighted
+from repro.blis.params import BlockingParams
+
+__all__ = ["packed_gemm", "loop_bounds"]
+
+
+def loop_bounds(dim: int, step: int):
+    """Block starts and effective sizes for one blocked loop."""
+    for start in range(0, dim, step):
+        yield start, min(step, dim - start)
+
+
+def _operand_shapes(a_ops, b_ops, c_ops):
+    m, k = a_ops[0][1].shape
+    k2, n = b_ops[0][1].shape
+    if k != k2:
+        raise ValueError(f"inner dims disagree: A has k={k}, B has k={k2}")
+    for _, v in a_ops:
+        if v.shape != (m, k):
+            raise ValueError("all A operands must share one shape")
+    for _, v in b_ops:
+        if v.shape != (k, n):
+            raise ValueError("all B operands must share one shape")
+    for _, v in c_ops:
+        if v.shape != (m, n):
+            raise ValueError("all C destinations must share one shape")
+    return m, k, n
+
+
+def packed_gemm(
+    a_ops: list[Operand],
+    b_ops: list[Operand],
+    c_ops: list[Operand],
+    params: BlockingParams = BlockingParams(),
+    counters: OpCounters | None = None,
+    mode: str = "slab",
+    pool: ThreadPoolExecutor | None = None,
+) -> None:
+    """Blocked, packed computation of the weighted-operand GEMM.
+
+    Parameters
+    ----------
+    a_ops, b_ops:
+        Weighted source submatrices; their sums are formed *inside* packing.
+    c_ops:
+        Weighted destinations updated by the macro-kernel while the computed
+        block is cache-hot (one destination = standard GEMM / AB-variant
+        ``M_r`` buffer; several = the ABC variant's fused update).
+    pool:
+        Optional thread pool parallelizing the 3rd loop (row bands of C).
+    """
+    m, k, n = _operand_shapes(a_ops, b_ops, c_ops)
+    if 0 in (m, k, n):
+        return
+    b_buf = np.empty((min(params.kc, k), min(params.nc, n)))
+
+    for jc, nc_eff in loop_bounds(n, params.nc):  # 5th loop
+        jsl = slice(jc, jc + nc_eff)
+        for pc, kc_eff in loop_bounds(k, params.kc):  # 4th loop
+            psl = slice(pc, pc + kc_eff)
+            Bt = pack_weighted(b_ops, psl, jsl, counters, which="B", out=b_buf)
+
+            ic_blocks = list(loop_bounds(m, params.mc))  # 3rd loop
+            if counters is not None:
+                # Charge A-packing traffic deterministically up front so
+                # parallel workers need not touch the shared counters.
+                for _, mc_eff in ic_blocks:
+                    size = float(mc_eff * kc_eff)
+                    counters.a_read += len(a_ops) * size
+                    counters.a_pack_write += size
+                    counters.a_add_flops += 2.0 * (len(a_ops) - 1) * size
+
+            def run_band(ic: int, mc_eff: int) -> None:
+                isl = slice(ic, ic + mc_eff)
+                At = pack_weighted(a_ops, isl, psl, None, which="A")
+                macro_kernel(
+                    At, Bt, c_ops, ic, jc, params,
+                    counters=None, mode=mode,
+                )
+
+            if counters is not None:
+                for _, mc_eff in ic_blocks:
+                    counters.mul_flops += 2.0 * mc_eff * nc_eff * kc_eff
+                    counters.c_traffic += 2.0 * mc_eff * nc_eff * len(c_ops)
+                    counters.c_add_flops += 2.0 * mc_eff * nc_eff * len(c_ops)
+
+            if pool is None:
+                for ic, mc_eff in ic_blocks:
+                    run_band(ic, mc_eff)
+            else:
+                futures = [pool.submit(run_band, ic, mc_eff) for ic, mc_eff in ic_blocks]
+                for fut in futures:
+                    fut.result()

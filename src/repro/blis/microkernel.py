@@ -1,0 +1,82 @@
+"""Macro/micro-kernel of the simulated BLIS GEMM.
+
+The real BLIS micro-kernel is a hand-written assembly loop computing an
+``m_R x n_R`` tile of C in registers from packed panels.  Here the tile
+product is a NumPy matmul, and two granularities are offered:
+
+* ``"micro"`` — faithful tile loop: iterate the 1st/2nd loops around the
+  micro-kernel over ``m_R x n_R`` tiles.  Structurally identical to Fig. 1
+  but slow in Python; used by tests and small benchmarks.
+* ``"slab"`` — the macro-kernel computes the whole ``m_C x n_C`` block in
+  one matmul.  The counter accounting is identical (the same elements move
+  the same number of times); only the Python-loop overhead differs.  This
+  is the default execution mode.
+
+For FMM the kernel's *output* is a list of weighted destinations: the ABC
+variant's fused C update writes each computed tile to every destination
+submatrix with its W coefficient, never materializing an ``M_r`` buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blis.counters import OpCounters
+from repro.blis.packing import Operand, weighted_update
+from repro.blis.params import BlockingParams
+
+__all__ = ["macro_kernel"]
+
+
+def macro_kernel(
+    At: np.ndarray,
+    Bt: np.ndarray,
+    targets: list[Operand],
+    row_off: int,
+    col_off: int,
+    params: BlockingParams,
+    counters: OpCounters | None = None,
+    mode: str = "slab",
+    scratch: np.ndarray | None = None,
+) -> None:
+    """Compute ``targets += W-weighted (At @ Bt)`` at the given C offset.
+
+    ``At`` is the packed ``m_c' x k_c'`` block, ``Bt`` the packed
+    ``k_c' x n_c'`` panel; each target view is updated in its
+    ``[row_off : row_off + m_c', col_off : col_off + n_c']`` window.
+    """
+    mc_eff, kc_eff = At.shape
+    nc_eff = Bt.shape[1]
+    if counters is not None:
+        counters.mul_flops += 2.0 * mc_eff * nc_eff * kc_eff
+
+    if mode == "slab":
+        if scratch is not None and scratch.shape[0] >= mc_eff and scratch.shape[1] >= nc_eff:
+            tile = scratch[:mc_eff, :nc_eff]
+            np.matmul(At, Bt, out=tile)
+        else:
+            tile = At @ Bt
+        weighted_update(
+            targets, tile,
+            slice(row_off, row_off + mc_eff),
+            slice(col_off, col_off + nc_eff),
+            counters,
+        )
+        return
+
+    if mode != "micro":
+        raise ValueError(f"unknown macro-kernel mode {mode!r}")
+
+    mr, nr = params.mr, params.nr
+    for jr in range(0, nc_eff, nr):
+        j1 = min(jr + nr, nc_eff)
+        bpan = Bt[:, jr:j1]
+        for ir in range(0, mc_eff, mr):
+            i1 = min(ir + mr, mc_eff)
+            tile = At[ir:i1] @ bpan
+            weighted_update(
+                targets, tile,
+                slice(row_off + ir, row_off + i1),
+                slice(col_off + jr, col_off + j1),
+                counters,
+            )

@@ -1,0 +1,103 @@
+"""Packing routines with fused linear combinations (paper Fig. 1, right).
+
+The key implementation idea of [2] that this paper's generator builds on:
+the submatrix additions ``sum_i u_ir A_i`` / ``sum_j v_jr B_j`` of an FMM
+product are folded into the packing of the ``A~`` block and ``B~`` panel,
+so they cost no extra DRAM round-trip — each source submatrix is read once
+and the weighted sum materializes directly in the cache-resident packed
+buffer.
+
+In the real BLIS kernel the packed buffers are laid out in ``m_R x k_C`` /
+``k_C x n_R`` panels for stride-1 micro-kernel access; here they are plain
+row-major arrays (the panel layout is a physical-memory detail with no
+NumPy-level semantic effect) and the traffic is charged to the counters
+exactly as the performance model prices it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blis.counters import OpCounters
+
+__all__ = ["Operand", "pack_weighted", "weighted_update"]
+
+#: An operand term ``coeff * view``; all views in a list share one shape.
+Operand = tuple[float, np.ndarray]
+
+
+def pack_weighted(
+    operands: list[Operand],
+    rows: slice,
+    cols: slice,
+    counters: OpCounters | None = None,
+    which: str = "A",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pack ``sum_i coeff_i * view_i[rows, cols]`` into a contiguous buffer.
+
+    ``which`` selects the counter category ('A' or 'B').  ``out`` may be a
+    preallocated buffer of at least the packed shape (sliced to fit), which
+    mirrors BLIS reusing one ``A~``/``B~`` allocation for the whole GEMM.
+    """
+    if not operands:
+        raise ValueError("pack_weighted needs at least one operand")
+    first = operands[0][1][rows, cols]
+    shape = first.shape
+    if out is not None:
+        buf = out[: shape[0], : shape[1]]
+    else:
+        buf = np.empty(shape, dtype=first.dtype)
+
+    c0 = operands[0][0]
+    np.multiply(operands[0][1][rows, cols], c0, out=buf) if c0 != 1 else np.copyto(
+        buf, operands[0][1][rows, cols]
+    )
+    for coeff, view in operands[1:]:
+        src = view[rows, cols]
+        if coeff == 1:
+            buf += src
+        elif coeff == -1:
+            buf -= src
+        else:
+            buf += coeff * src
+
+    if counters is not None:
+        size = float(shape[0] * shape[1])
+        nops = len(operands)
+        if which == "A":
+            counters.a_read += nops * size
+            counters.a_pack_write += size
+            counters.a_add_flops += 2.0 * (nops - 1) * size
+        else:
+            counters.b_read += nops * size
+            counters.b_pack_write += size
+            counters.b_add_flops += 2.0 * (nops - 1) * size
+    return buf
+
+
+def weighted_update(
+    targets: list[Operand],
+    block: np.ndarray,
+    rows: slice,
+    cols: slice,
+    counters: OpCounters | None = None,
+) -> None:
+    """Scatter ``target += w * block`` into every destination submatrix.
+
+    This is the fused multi-destination C update of the ABC variant: the
+    freshly computed micro/macro-tile ``block`` is added (with the W
+    coefficients) to each destination while still cache-hot.
+    """
+    for w, view in targets:
+        dst = view[rows, cols]
+        if w == 1:
+            dst += block
+        elif w == -1:
+            dst -= block
+        else:
+            dst += w * block
+    if counters is not None:
+        size = float(block.shape[0] * block.shape[1])
+        counters.c_traffic += 2.0 * size * len(targets)
+        counters.c_add_flops += 2.0 * size * len(targets)

@@ -1,0 +1,53 @@
+"""Blocking parameters of the GotoBLAS/BLIS algorithm (paper §2.1, Fig. 1).
+
+``{m_C, k_C, n_C}`` size the cache blocks (A-block in L2, B-panel in L3,
+C traversal by n_C columns); ``{m_R, n_R}`` size the register micro-tile.
+The paper's testbed uses ``m_R=8, n_R=4, k_C=256, m_C=96, n_C=4096`` — the
+BLIS dgemm configuration for Intel Ivy Bridge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BlockingParams", "IVY_BRIDGE_BLOCKING"]
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """Cache/register blocking for the 5-loop GEMM."""
+
+    mc: int = 96
+    kc: int = 256
+    nc: int = 4096
+    mr: int = 8
+    nr: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("mc", "kc", "nc", "mr", "nr"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.mc % self.mr:
+            raise ValueError(f"mc={self.mc} must be a multiple of mr={self.mr}")
+        if self.nc % self.nr:
+            raise ValueError(f"nc={self.nc} must be a multiple of nr={self.nr}")
+
+    @property
+    def a_buffer_bytes(self) -> int:
+        """Size of the packed A~ block (doubles) — should fit L2."""
+        return self.mc * self.kc * 8
+
+    @property
+    def b_buffer_bytes(self) -> int:
+        """Size of the packed B~ panel (doubles) — should fit L3."""
+        return self.kc * self.nc * 8
+
+    def scaled(self, **kwargs) -> "BlockingParams":
+        """Copy with some fields replaced (for tests and ablations)."""
+        cur = {f: getattr(self, f) for f in ("mc", "kc", "nc", "mr", "nr")}
+        cur.update(kwargs)
+        return BlockingParams(**cur)
+
+
+#: Paper testbed blocking: A~ is 192 KB (L2 256 KB), B~ is 8 MB (L3 25.6 MB).
+IVY_BRIDGE_BLOCKING = BlockingParams(mc=96, kc=256, nc=4096, mr=8, nr=4)

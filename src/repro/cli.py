@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``   Print the Fig.-2 family with achieved vs. paper ranks.
+``multiply``  Multiply random matrices with a chosen algorithm and verify.
+``select``    Model-guided implementation selection for a problem size.
+``codegen``   Emit generated Python source for an algorithm/variant.
+``model``     Print modeled Effective GFLOPS for a configuration sweep.
+``discover``  Run the ALS search for a (m, k, n, rank) target.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_shape(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-m", type=int, default=1024)
+    p.add_argument("-k", type=int, default=1024)
+    p.add_argument("-n", type=int, default=1024)
+
+
+def _parse_algorithm(spec: str, levels: int):
+    from repro.core.executor import resolve_levels
+
+    if "+" in spec:
+        return resolve_levels([s.strip() for s in spec.split("+")])
+    return resolve_levels(spec, levels)
+
+
+def cmd_catalog(args) -> int:
+    from repro.algorithms.catalog import catalog_summary
+
+    print(catalog_summary())
+    return 0
+
+
+def cmd_multiply(args) -> int:
+    from repro.core.executor import BlockedEngine, DirectEngine
+
+    ml = _parse_algorithm(args.algorithm, args.levels)
+    rng = np.random.default_rng(args.seed)
+    A = rng.standard_normal((args.m, args.k))
+    B = rng.standard_normal((args.k, args.n))
+    C = np.zeros((args.m, args.n))
+    if args.engine == "blocked":
+        eng = BlockedEngine(variant=args.variant, threads=args.threads)
+        eng.multiply(A, B, C, ml)
+        print("counters:", eng.counters)
+    else:
+        DirectEngine().multiply(A, B, C, ml)
+    err = float(np.abs(C - A @ B).max())
+    print(f"{ml} on {args.m}x{args.k}x{args.n}: max |C - AB| = {err:.3e}")
+    return 0 if err < 1e-6 else 1
+
+
+def cmd_select(args) -> int:
+    from repro.core.selection import select
+    from repro.model.machines import ivy_bridge_e5_2680_v2
+
+    mach = ivy_bridge_e5_2680_v2(args.cores)
+    winner, ranked = select(args.m, args.k, args.n, mach, top=args.top)
+    print(f"problem {args.m}x{args.k}x{args.n} on {mach.name}")
+    print(f"selected: {winner.label} "
+          f"(predicted {winner.prediction.effective_gflops:.2f} GFLOPS)")
+    print("model top-5:")
+    for c in ranked[:5]:
+        print(f"  {c.label:<28} {c.prediction.effective_gflops:8.2f} GF")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    from repro.core.codegen import generate_source
+    from repro.core.plan import build_plan
+
+    ml = _parse_algorithm(args.algorithm, args.levels)
+    plan = build_plan(args.m, args.k, args.n, ml, args.variant)
+    sys.stdout.write(generate_source(plan))
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.core.executor import resolve_levels
+    from repro.model.machines import ivy_bridge_e5_2680_v2
+    from repro.model.perfmodel import predict_fmm, predict_gemm
+
+    mach = ivy_bridge_e5_2680_v2(args.cores)
+    ml = _parse_algorithm(args.algorithm, args.levels)
+    gemm = predict_gemm(args.m, args.k, args.n, mach)
+    print(f"machine: {mach.name}   problem: {args.m}x{args.k}x{args.n}")
+    print(f"{'impl':<28} {'GFLOPS':>8} {'T_a (s)':>10} {'T_m (s)':>10}")
+    print(f"{'gemm (BLIS model)':<28} {gemm.effective_gflops:8.2f} "
+          f"{gemm.arithmetic_time:10.4f} {gemm.memory_time:10.4f}")
+    for var in ("naive", "ab", "abc"):
+        p = predict_fmm(args.m, args.k, args.n, ml, var, mach)
+        print(f"{ml.name + '/' + var:<28} {p.effective_gflops:8.2f} "
+              f"{p.arithmetic_time:10.4f} {p.memory_time:10.4f}")
+    return 0
+
+
+def cmd_discover(args) -> int:
+    from repro.core.fmm import nnz
+    from repro.search.discovery import discover
+
+    algo, rep = discover(
+        args.m, args.k, args.n, args.rank,
+        max_restarts=args.restarts, time_budget=args.budget, seed=args.seed,
+    )
+    print(f"<{args.m},{args.k},{args.n}>:{args.rank} -> {rep.found} "
+          f"({rep.restarts} restarts, {rep.elapsed:.1f}s, "
+          f"best residual {rep.best_residual:.2e})")
+    if algo is not None:
+        print(f"nnz = {nnz(algo.U)}, {nnz(algo.V)}, {nnz(algo.W)}")
+        if args.out:
+            from repro.algorithms.loader import save_json
+
+            print("saved to", save_json(algo, args.out))
+    return 0 if algo is not None else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="print the algorithm family")
+
+    p = sub.add_parser("multiply", help="multiply random matrices and verify")
+    _add_shape(p)
+    p.add_argument("--algorithm", default="strassen",
+                   help='e.g. strassen, "<3,2,3>", "strassen+<3,3,3>"')
+    p.add_argument("--levels", type=int, default=1)
+    p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
+    p.add_argument("--engine", choices=("direct", "blocked"), default="direct")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("select", help="model-guided selection")
+    _add_shape(p)
+    p.add_argument("--cores", type=int, default=1)
+    p.add_argument("--top", type=int, default=2)
+
+    p = sub.add_parser("codegen", help="emit generated Python source")
+    _add_shape(p)
+    p.add_argument("--algorithm", default="strassen")
+    p.add_argument("--levels", type=int, default=1)
+    p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
+
+    p = sub.add_parser("model", help="performance-model table")
+    _add_shape(p)
+    p.add_argument("--algorithm", default="strassen")
+    p.add_argument("--levels", type=int, default=1)
+    p.add_argument("--cores", type=int, default=1)
+
+    p = sub.add_parser("discover", help="search for an algorithm")
+    p.add_argument("-m", type=int, required=True)
+    p.add_argument("-k", type=int, required=True)
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("--rank", type=int, required=True)
+    p.add_argument("--restarts", type=int, default=50)
+    p.add_argument("--budget", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None)
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "catalog": cmd_catalog,
+        "multiply": cmd_multiply,
+        "select": cmd_select,
+        "codegen": cmd_codegen,
+        "model": cmd_model,
+        "discover": cmd_discover,
+    }[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # e.g. `python -m repro catalog | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

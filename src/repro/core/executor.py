@@ -1,0 +1,264 @@
+"""Execution engines and the public ``multiply`` entry point.
+
+Two engines run any (multi-level, hybrid) FMM algorithm from the catalog:
+
+* :class:`DirectEngine` — vectorized NumPy execution of eq. (5): operand
+  sums, one ``matmul`` per product, W-weighted scatter.  Fast and simple;
+  the correctness oracle for everything else.
+* :class:`BlockedEngine` — the simulated-BLIS path: every product runs
+  through the packed five-loop GEMM with variant-specific fusion
+  (:mod:`repro.core.variants`), instrumented with the counters the
+  performance model prices.  Optionally thread-parallel over the 3rd loop.
+
+Both engines peel non-divisible sizes dynamically (paper §4.1) and accept a
+different algorithm per level (hybrid compositions, §5.2).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.blis.counters import OpCounters
+from repro.blis.gemm import packed_gemm
+from repro.blis.params import BlockingParams
+from repro.core.fmm import FMMAlgorithm
+from repro.core.kronecker import MultiLevelFMM
+from repro.core.morton import block_views
+from repro.core.peeling import peel
+from repro.core.variants import run_fmm_blocked
+
+__all__ = ["DirectEngine", "BlockedEngine", "multiply", "resolve_levels"]
+
+
+def resolve_levels(algorithm, levels: int = 1) -> MultiLevelFMM:
+    """Normalize an algorithm spec into a :class:`MultiLevelFMM`.
+
+    ``algorithm`` may be an :class:`FMMAlgorithm`, a catalog spec (name,
+    "<m,k,n>" string or tuple), a list of any of those (one per level,
+    hybrid allowed), or an existing :class:`MultiLevelFMM`.  ``levels``
+    replicates a single algorithm homogeneously.
+    """
+    from repro.algorithms.catalog import get_algorithm
+
+    if isinstance(algorithm, MultiLevelFMM):
+        return algorithm
+    if isinstance(algorithm, (list,)) or (
+        isinstance(algorithm, tuple) and algorithm and not isinstance(algorithm[0], int)
+    ):
+        return MultiLevelFMM([get_algorithm(a) for a in algorithm])
+    algo = get_algorithm(algorithm)
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    return MultiLevelFMM([algo] * levels)
+
+
+class DirectEngine:
+    """Vectorized NumPy reference engine."""
+
+    def __init__(self) -> None:
+        self.last_peel = None
+
+    def multiply(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        ml: MultiLevelFMM,
+    ) -> np.ndarray:
+        """``C += A @ B`` using the multi-level FMM ``ml``."""
+        m, k = A.shape
+        k2, n = B.shape
+        _check_mult_shapes(A, B, C)
+        Mt, Kt, Nt = ml.dims_total
+        plan = peel(m, k, n, Mt, Kt, Nt)
+        self.last_peel = plan
+
+        if plan.has_core:
+            mp, kp, np_ = plan.core
+            Av = block_views(A[:mp, :kp], ml.grids("A"))
+            Bv = block_views(B[:kp, :np_], ml.grids("B"))
+            Cv = block_views(C[:mp, :np_], ml.grids("C"))
+            sub_m = mp // Mt
+            sub_k = kp // Kt
+            sub_n = np_ // Nt
+            for ai, ac, bi, bc, ci, cc in ml.columns:
+                S = _vsum(ai, ac, Av, (sub_m, sub_k), A.dtype)
+                T = _vsum(bi, bc, Bv, (sub_k, sub_n), B.dtype)
+                M = S @ T
+                for i, w in zip(ci, cc):
+                    if w == 1:
+                        Cv[int(i)] += M
+                    elif w == -1:
+                        Cv[int(i)] -= M
+                    else:
+                        Cv[int(i)] += w * M
+        for f in plan.fringes:
+            if 0 in f.shape:
+                continue
+            C[f.c_rows, f.c_cols] += A[f.a_rows, f.a_cols] @ B[f.b_rows, f.b_cols]
+        return C
+
+
+class BlockedEngine:
+    """Simulated-BLIS engine with instrumentation and variants.
+
+    Parameters
+    ----------
+    params:
+        Cache/register blocking (defaults to the paper's Ivy Bridge config).
+    variant:
+        ``"naive"``, ``"ab"`` or ``"abc"`` (see :mod:`repro.core.variants`).
+    threads:
+        Worker count for the 3rd-loop data parallelism; 1 = sequential.
+    mode:
+        Macro-kernel granularity, ``"slab"`` (fast) or ``"micro"`` (faithful
+        register-tile loop).
+    """
+
+    def __init__(
+        self,
+        params: BlockingParams | None = None,
+        variant: str = "abc",
+        threads: int = 1,
+        mode: str = "slab",
+    ) -> None:
+        self.params = params or BlockingParams()
+        self.variant = variant
+        self.threads = int(threads)
+        self.mode = mode
+        self.counters = OpCounters()
+        self.last_peel = None
+
+    def multiply(
+        self,
+        A: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        ml: MultiLevelFMM,
+    ) -> np.ndarray:
+        """``C += A @ B`` through the packed five-loop substrate."""
+        _check_mult_shapes(A, B, C)
+        m, k = A.shape
+        n = B.shape[1]
+        Mt, Kt, Nt = ml.dims_total
+        plan = peel(m, k, n, Mt, Kt, Nt)
+        self.last_peel = plan
+
+        pool = ThreadPoolExecutor(self.threads) if self.threads > 1 else None
+        try:
+            if plan.has_core:
+                mp, kp, np_ = plan.core
+                Av = block_views(A[:mp, :kp], ml.grids("A"))
+                Bv = block_views(B[:kp, :np_], ml.grids("B"))
+                Cv = block_views(C[:mp, :np_], ml.grids("C"))
+                run_fmm_blocked(
+                    Av, Bv, Cv, ml,
+                    variant=self.variant,
+                    params=self.params,
+                    counters=self.counters,
+                    pool=pool,
+                    mode=self.mode,
+                )
+            for f in plan.fringes:
+                if 0 in f.shape:
+                    continue
+                packed_gemm(
+                    [(1.0, A[f.a_rows, f.a_cols])],
+                    [(1.0, B[f.b_rows, f.b_cols])],
+                    [(1.0, C[f.c_rows, f.c_cols])],
+                    self.params,
+                    self.counters,
+                    mode=self.mode,
+                    pool=pool,
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return C
+
+    def gemm(self, A: np.ndarray, B: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """Plain packed GEMM (the BLIS baseline the paper compares against)."""
+        _check_mult_shapes(A, B, C)
+        pool = ThreadPoolExecutor(self.threads) if self.threads > 1 else None
+        try:
+            packed_gemm(
+                [(1.0, A)], [(1.0, B)], [(1.0, C)],
+                self.params, self.counters, mode=self.mode, pool=pool,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return C
+
+
+def multiply(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray | None = None,
+    algorithm="strassen",
+    levels: int = 1,
+    variant: str = "abc",
+    engine: str = "direct",
+    params: BlockingParams | None = None,
+    threads: int = 1,
+    mode: str = "slab",
+) -> np.ndarray:
+    """Fast matrix multiplication: returns ``C + A @ B``.
+
+    The one-call public API.  ``algorithm``/``levels`` select any member of
+    the generated family (hybrid multi-level via a list, e.g.
+    ``algorithm=["strassen", "<3,3,3>"]``); ``engine`` picks the NumPy
+    reference path (``"direct"``) or the instrumented simulated-BLIS path
+    (``"blocked"``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import multiply
+    >>> A = np.random.rand(64, 64); B = np.random.rand(64, 64)
+    >>> C = multiply(A, B, algorithm="strassen", levels=2)
+    >>> np.allclose(C, A @ B)
+    True
+    """
+    A = np.ascontiguousarray(A, dtype=np.float64)
+    B = np.ascontiguousarray(B, dtype=np.float64)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"incompatible operand shapes {A.shape} x {B.shape}")
+    if C is None:
+        C = np.zeros((A.shape[0], B.shape[1]))
+    ml = resolve_levels(algorithm, levels)
+    if engine == "direct":
+        DirectEngine().multiply(A, B, C, ml)
+    elif engine == "blocked":
+        BlockedEngine(params=params, variant=variant, threads=threads, mode=mode).multiply(
+            A, B, C, ml
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return C
+
+
+def _vsum(idx, coef, views, shape, dtype):
+    out = None
+    for i, c in zip(idx, coef):
+        v = views[int(i)]
+        if out is None:
+            out = v * c if c != 1 else v.astype(dtype, copy=True)
+        elif c == 1:
+            out += v
+        elif c == -1:
+            out -= v
+        else:
+            out += c * v
+    if out is None:
+        out = np.zeros(shape, dtype=dtype)
+    return out
+
+
+def _check_mult_shapes(A, B, C):
+    if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
+        raise ValueError(
+            f"inconsistent shapes: A {A.shape}, B {B.shape}, C {C.shape}"
+        )

@@ -1,0 +1,192 @@
+"""Core representation of a fast matrix multiplication (FMM) algorithm.
+
+The paper (§3.1) specifies a one-level FMM algorithm by its partition
+dimensions ``<m~, k~, n~>`` and a coefficient triple ``[[U, V, W]]``.  This
+module provides :class:`FMMAlgorithm`, the immutable value object used
+throughout the package, with Brent-equation validation at construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.search import brent
+
+__all__ = ["FMMAlgorithm", "nnz"]
+
+
+def nnz(X: np.ndarray, tol: float = 0.0) -> int:
+    """Number of entries of ``X`` with magnitude strictly greater than ``tol``.
+
+    The performance model (Fig. 5) prices additions and packing traffic by
+    ``nnz`` of the (composed) coefficient matrices.
+    """
+    return int(np.count_nonzero(np.abs(np.asarray(X)) > tol))
+
+
+@dataclass(frozen=True)
+class FMMAlgorithm:
+    """A ``<m, k, n>`` fast matrix multiplication algorithm ``[[U, V, W]]``.
+
+    Attributes
+    ----------
+    m, k, n:
+        Partition dimensions: A is split m x k, B is k x n, C is m x n.
+    U, V, W:
+        Coefficient matrices of shape ``(m*k, R)``, ``(k*n, R)``, ``(m*n, R)``.
+        Row ordering of each matrix follows row-major block indexing of the
+        corresponding operand (paper, eq. (3)).
+    name:
+        Human-readable identifier, e.g. ``"strassen"`` or ``"<2,3,4>:20"``.
+    source:
+        Provenance note (e.g. "paper eq.(4)", "als-search", "rotation of ...").
+    """
+
+    m: int
+    k: int
+    n: int
+    U: np.ndarray
+    V: np.ndarray
+    W: np.ndarray
+    name: str = ""
+    source: str = ""
+    _validated: bool = field(default=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        U = np.ascontiguousarray(np.asarray(self.U, dtype=np.float64))
+        V = np.ascontiguousarray(np.asarray(self.V, dtype=np.float64))
+        W = np.ascontiguousarray(np.asarray(self.W, dtype=np.float64))
+        object.__setattr__(self, "U", U)
+        object.__setattr__(self, "V", V)
+        object.__setattr__(self, "W", W)
+        brent._check_shapes(U, V, W, self.m, self.k, self.n)
+        U.setflags(write=False)
+        V.setflags(write=False)
+        W.setflags(write=False)
+        if not self.name:
+            object.__setattr__(self, "name", f"<{self.m},{self.k},{self.n}>:{self.rank}")
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def rank(self) -> int:
+        """Number of submatrix multiplications R."""
+        return int(self.U.shape[1])
+
+    @property
+    def dims(self) -> tuple[int, int, int]:
+        return (self.m, self.k, self.n)
+
+    @property
+    def classical_multiplies(self) -> int:
+        """``m*k*n`` — multiplications used by the classical algorithm."""
+        return self.m * self.k * self.n
+
+    @property
+    def theoretical_speedup(self) -> float:
+        """Speedup per recursive step, ``m*k*n / R`` (Fig. 2, 'Theory')."""
+        return self.classical_multiplies / self.rank
+
+    @property
+    def exponent(self) -> float:
+        """Asymptotic exponent ``omega_0 = 3 log(R) / log(m*k*n)``.
+
+        For square-ish shapes this is the exponent obtained by recursing on
+        this algorithm alone (e.g. Strassen: log2(7) ~ 2.807).
+        """
+        return 3.0 * np.log(self.rank) / np.log(self.classical_multiplies)
+
+    def nnz_uvw(self) -> tuple[int, int, int]:
+        """``(nnz(U), nnz(V), nnz(W))`` — drives the performance model."""
+        return (nnz(self.U), nnz(self.V), nnz(self.W))
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def max_residual(self) -> float:
+        """Maximum Brent-equation residual of the triple."""
+        return brent.brent_max_residual(self.U, self.V, self.W, self.m, self.k, self.n)
+
+    def is_valid(self, tol: float = 1e-10) -> bool:
+        """True iff the triple satisfies the Brent equations within ``tol``."""
+        return self.max_residual() <= tol
+
+    def validate(self, tol: float = 1e-10) -> "FMMAlgorithm":
+        """Return self, raising ``ValueError`` if the Brent check fails."""
+        if self._validated:
+            return self
+        res = self.max_residual()
+        if res > tol:
+            raise ValueError(
+                f"{self.name}: Brent residual {res:.3e} exceeds tolerance {tol:.1e}"
+            )
+        object.__setattr__(self, "_validated", True)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Reference semantics
+    # ------------------------------------------------------------------ #
+    def apply_once(self, A: np.ndarray, B: np.ndarray, C: np.ndarray) -> np.ndarray:
+        """One non-recursive application of the algorithm: ``C += A @ B``.
+
+        Block sizes must divide evenly; multi-level and fringe handling live
+        in :mod:`repro.core.executor`.  This method is the executable
+        definition of eq. (3), used as the semantic oracle in tests.
+        """
+        m, k, n = self.dims
+        if A.shape[0] % m or A.shape[1] % k or B.shape[1] % n:
+            raise ValueError(
+                f"operand shape {A.shape}x{B.shape} not divisible by <{m},{k},{n}>"
+            )
+        if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
+            raise ValueError("inconsistent operand shapes")
+        bm, bk, bn = A.shape[0] // m, A.shape[1] // k, B.shape[1] // n
+        Ab = [
+            A[i1 * bm : (i1 + 1) * bm, i2 * bk : (i2 + 1) * bk]
+            for i1 in range(m)
+            for i2 in range(k)
+        ]
+        Bb = [
+            B[j1 * bk : (j1 + 1) * bk, j2 * bn : (j2 + 1) * bn]
+            for j1 in range(k)
+            for j2 in range(n)
+        ]
+        Cb = [
+            C[p1 * bm : (p1 + 1) * bm, p2 * bn : (p2 + 1) * bn]
+            for p1 in range(m)
+            for p2 in range(n)
+        ]
+        for r in range(self.rank):
+            S = _weighted_sum(self.U[:, r], Ab, (bm, bk), A.dtype)
+            T = _weighted_sum(self.V[:, r], Bb, (bk, bn), B.dtype)
+            M = S @ T
+            for p in range(m * n):
+                w = self.W[p, r]
+                if w:
+                    Cb[p] += w * M
+        return C
+
+    def __str__(self) -> str:
+        return (
+            f"FMMAlgorithm(<{self.m},{self.k},{self.n}>, R={self.rank}, "
+            f"name={self.name!r})"
+        )
+
+
+def _weighted_sum(coeffs, blocks, shape, dtype):
+    out = None
+    for c, blk in zip(coeffs, blocks):
+        if not c:
+            continue
+        if out is None:
+            out = blk * c if c != 1 else blk.astype(dtype, copy=True)
+        elif c == 1:
+            out += blk
+        else:
+            out += c * blk
+    if out is None:
+        out = np.zeros(shape, dtype=dtype)
+    return out

@@ -1,0 +1,135 @@
+"""Multi-level FMM composition via Kronecker products (paper §3.4–3.5).
+
+An L-level FMM algorithm applies a (possibly different) ``<m~_l, k~_l,
+n~_l>`` algorithm at every level of recursion.  With recursive-block operand
+indexing, its coefficients are simply the Kronecker products of the
+per-level coefficients — which turns the recursion into a flat loop over
+``R_L = prod R_l`` products (eq. (5)).  :class:`MultiLevelFMM` carries the
+level list and lazily materializes the composed coefficients.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.fmm import FMMAlgorithm, nnz
+
+__all__ = ["MultiLevelFMM"]
+
+
+class MultiLevelFMM:
+    """An L-level (possibly hybrid) FMM algorithm.
+
+    Parameters
+    ----------
+    levels:
+        The per-level one-level algorithms, outermost first.  A homogeneous
+        L-level Strassen is ``MultiLevelFMM([strassen()] * L)``.
+
+    Notes
+    -----
+    Coefficient row indices refer to *recursive-block* (Morton-like)
+    ordering of the operand partitions; :func:`repro.core.morton.block_views`
+    produces views in exactly that order.
+    """
+
+    def __init__(self, levels: list[FMMAlgorithm] | tuple[FMMAlgorithm, ...]):
+        if not levels:
+            raise ValueError("need at least one level")
+        self.levels: tuple[FMMAlgorithm, ...] = tuple(levels)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def L(self) -> int:
+        return len(self.levels)
+
+    @property
+    def dims_total(self) -> tuple[int, int, int]:
+        """``(M~_L, K~_L, N~_L)`` — the products of per-level partition dims."""
+        m = k = n = 1
+        for a in self.levels:
+            m *= a.m
+            k *= a.k
+            n *= a.n
+        return m, k, n
+
+    @property
+    def rank_total(self) -> int:
+        """``R_L = prod_l R_l`` — number of submatrix multiplications."""
+        r = 1
+        for a in self.levels:
+            r *= a.rank
+        return r
+
+    @property
+    def name(self) -> str:
+        return " (x) ".join(a.name for a in self.levels)
+
+    def grids(self, operand: str) -> list[tuple[int, int]]:
+        """Per-level partition grids for operand 'A', 'B' or 'C'."""
+        if operand == "A":
+            return [(a.m, a.k) for a in self.levels]
+        if operand == "B":
+            return [(a.k, a.n) for a in self.levels]
+        if operand == "C":
+            return [(a.m, a.n) for a in self.levels]
+        raise ValueError(f"operand must be A, B or C, not {operand!r}")
+
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def U(self) -> np.ndarray:
+        """Composed ``(prod m_l k_l) x R_L`` coefficients (recursive order)."""
+        return _kron_all([a.U for a in self.levels])
+
+    @cached_property
+    def V(self) -> np.ndarray:
+        return _kron_all([a.V for a in self.levels])
+
+    @cached_property
+    def W(self) -> np.ndarray:
+        return _kron_all([a.W for a in self.levels])
+
+    @cached_property
+    def columns(self) -> list[tuple]:
+        """Per-product sparse operand lists.
+
+        Entry ``r`` is ``(a_idx, a_coef, b_idx, b_coef, c_idx, c_coef)``
+        with the nonzero row indices and coefficients of column ``r`` of the
+        composed U, V, W — the exact operand lists of eq. (5) that the
+        engines and the code generator consume.
+        """
+        cols = []
+        for r in range(self.rank_total):
+            u = self.U[:, r]
+            v = self.V[:, r]
+            w = self.W[:, r]
+            ai = np.nonzero(u)[0]
+            bi = np.nonzero(v)[0]
+            ci = np.nonzero(w)[0]
+            cols.append((ai, u[ai], bi, v[bi], ci, w[ci]))
+        return cols
+
+    def nnz_uvw(self) -> tuple[int, int, int]:
+        """``nnz`` of the composed coefficients (performance-model inputs)."""
+        return (nnz(self.U), nnz(self.V), nnz(self.W))
+
+    def theoretical_speedup(self) -> float:
+        """Arithmetic-count speedup over classical for the full L levels."""
+        m, k, n = self.dims_total
+        return (m * k * n) / self.rank_total
+
+    def __repr__(self) -> str:
+        m, k, n = self.dims_total
+        return (
+            f"MultiLevelFMM(L={self.L}, <{m},{k},{n}>, R={self.rank_total}, "
+            f"levels=[{self.name}])"
+        )
+
+
+def _kron_all(mats: list[np.ndarray]) -> np.ndarray:
+    out = mats[0]
+    for M in mats[1:]:
+        out = np.kron(out, M)
+    return np.ascontiguousarray(out)

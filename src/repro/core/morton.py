@@ -1,0 +1,127 @@
+"""Recursive block storage indexing (Morton-like ordering), paper §3.3.
+
+Multi-level FMM indexes the submatrices of each operand in *recursive block*
+order: the matrix is split into an ``r0 x c0`` grid of blocks numbered in
+row-major order, each block is split into an ``r1 x c1`` grid numbered
+row-major within the block, and so on (Fig. 3 of the paper shows the
+``m~ = k~ = 2``, three-level case).
+
+This module provides the index maps between recursive-block order and flat
+row-major order, the block-view extraction used by the executors, and the
+illustration grid of Fig. 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "recursive_to_rowmajor",
+    "rowmajor_to_recursive",
+    "block_index_grid",
+    "block_views",
+    "block_shape",
+]
+
+
+def _check_grids(grids: list[tuple[int, int]]) -> None:
+    if not grids:
+        raise ValueError("need at least one level of partitioning")
+    for g in grids:
+        if len(g) != 2 or g[0] < 1 or g[1] < 1:
+            raise ValueError(f"invalid grid {g}; levels are (rows, cols) pairs")
+
+
+def recursive_to_rowmajor(grids: list[tuple[int, int]]) -> np.ndarray:
+    """Map recursive-block indices to flat row-major indices.
+
+    ``grids`` lists the per-level partition grid ``(rows_l, cols_l)`` from the
+    outermost level inward.  Returns an integer array ``perm`` of length
+    ``prod(rows_l * cols_l)`` with ``perm[rec] == rowmajor``: the block that
+    is visited ``rec``-th in recursive order sits at flat row-major position
+    ``perm[rec]`` in the full ``prod(rows_l) x prod(cols_l)`` block grid.
+    """
+    _check_grids(grids)
+    total = 1
+    for r, c in grids:
+        total *= r * c
+    perm = np.empty(total, dtype=np.int64)
+    tot_cols = int(np.prod([c for _, c in grids]))
+    for rec in range(total):
+        rows, cols = _split_recursive(rec, grids)
+        row = 0
+        col = 0
+        for (r, c), a, b in zip(grids, rows, cols):
+            row = row * r + a
+            col = col * c + b
+        perm[rec] = row * tot_cols + col
+    return perm
+
+
+def rowmajor_to_recursive(grids: list[tuple[int, int]]) -> np.ndarray:
+    """Inverse of :func:`recursive_to_rowmajor`."""
+    perm = recursive_to_rowmajor(grids)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm))
+    return inv
+
+
+def _split_recursive(
+    rec: int, grids: list[tuple[int, int]]
+) -> tuple[list[int], list[int]]:
+    """Decompose a recursive index into per-level (row, col) coordinates."""
+    digits: list[tuple[int, int]] = []
+    for r, c in reversed(grids):
+        rec, d = divmod(rec, r * c)
+        digits.append(divmod(d, c))
+    digits.reverse()
+    rows = [d[0] for d in digits]
+    cols = [d[1] for d in digits]
+    return rows, cols
+
+
+def block_index_grid(grids: list[tuple[int, int]]) -> np.ndarray:
+    """The Fig.-3 illustration: a block grid holding recursive indices.
+
+    Returns a ``prod(rows_l) x prod(cols_l)`` integer array whose ``(i, j)``
+    entry is the recursive-block index of the block at grid position
+    ``(i, j)``.  For ``grids=[(2,2)]*3`` this reproduces the 8x8 layout of
+    Fig. 3 (values 0..63).
+    """
+    perm = recursive_to_rowmajor(grids)
+    rows = int(np.prod([r for r, _ in grids]))
+    cols = int(np.prod([c for _, c in grids]))
+    grid = np.empty(rows * cols, dtype=np.int64)
+    grid[perm] = np.arange(len(perm))
+    return grid.reshape(rows, cols)
+
+
+def block_shape(
+    shape: tuple[int, int], grids: list[tuple[int, int]]
+) -> tuple[int, int]:
+    """Size of one innermost block; raises if ``shape`` is not divisible."""
+    rows = int(np.prod([r for r, _ in grids]))
+    cols = int(np.prod([c for _, c in grids]))
+    if shape[0] % rows or shape[1] % cols:
+        raise ValueError(
+            f"shape {shape} not divisible by block grid {rows}x{cols}"
+        )
+    return shape[0] // rows, shape[1] // cols
+
+
+def block_views(X: np.ndarray, grids: list[tuple[int, int]]) -> list[np.ndarray]:
+    """Views of the blocks of ``X`` in recursive-block order.
+
+    All returned arrays are views (no copies); writing through them updates
+    ``X``.  ``X``'s dimensions must be divisible by the total block grid.
+    """
+    _check_grids(grids)
+    br, bc = block_shape(X.shape, grids)
+    perm = recursive_to_rowmajor(grids)
+    tot_cols = int(np.prod([c for _, c in grids]))
+    views: list[np.ndarray] = []
+    for rec in range(len(perm)):
+        flat = perm[rec]
+        i, j = divmod(int(flat), tot_cols)
+        views.append(X[i * br : (i + 1) * br, j * bc : (j + 1) * bc])
+    return views

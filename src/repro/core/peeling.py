@@ -1,0 +1,99 @@
+"""Dynamic peeling for non-divisible problem sizes (paper §4.1, [16]).
+
+An L-level ``<M~, K~, N~>`` FMM requires every operand dimension to be a
+multiple of the total partition dims.  Dynamic peeling splits the problem
+into a divisible *core* handled by FMM and up to three thin *fringe* GEMM
+updates, requiring no extra workspace:
+
+    C[:m', :n'] += A[:m', :k'] B[:k', :n']      (FMM core)
+    C[:m', :n'] += A[:m', k':] B[k':, :n']      (k-fringe)
+    C[:m', n':] += A[:m', :]   B[:,  n':]       (n-fringe)
+    C[m':, :]   += A[m':, :]   B               (m-fringe)
+
+Together the four updates tile ``C += A B`` exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PeelPlan", "FringeCall", "peel"]
+
+
+@dataclass(frozen=True)
+class FringeCall:
+    """One fringe GEMM: ``C[c_rows, c_cols] += A[a_rows, a_cols] @ B[b_rows, b_cols]``."""
+
+    a_rows: slice
+    a_cols: slice
+    b_rows: slice
+    b_cols: slice
+    c_rows: slice
+    c_cols: slice
+    #: shape of the fringe product (m, k, n) — used by cost accounting
+    shape: tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class PeelPlan:
+    """Core size plus the fringe calls for a ``(m, k, n)`` problem."""
+
+    m: int
+    k: int
+    n: int
+    core: tuple[int, int, int]  # (m', k', n'), possibly containing zeros
+    fringes: tuple[FringeCall, ...]
+
+    @property
+    def has_core(self) -> bool:
+        return all(d > 0 for d in self.core)
+
+    @property
+    def core_fraction(self) -> float:
+        """Fraction of the 2mnk flops handled by the FMM core."""
+        mc, kc, nc = self.core
+        total = self.m * self.k * self.n
+        return (mc * kc * nc) / total if total else 0.0
+
+
+def peel(m: int, k: int, n: int, Mt: int, Kt: int, Nt: int) -> PeelPlan:
+    """Build the dynamic-peeling plan for an ``(m, k, n)`` multiplication.
+
+    ``Mt, Kt, Nt`` are the total partition dims ``M~_L, K~_L, N~_L`` of the
+    multi-level algorithm.  The core is the largest divisible sub-problem;
+    fringes are emitted only when non-empty.
+    """
+    if min(m, k, n) < 0 or min(Mt, Kt, Nt) < 1:
+        raise ValueError(f"bad peel arguments {(m, k, n, Mt, Kt, Nt)}")
+    mp = (m // Mt) * Mt
+    kp = (k // Kt) * Kt
+    np_ = (n // Nt) * Nt
+    fringes: list[FringeCall] = []
+    if mp and np_ and kp < k:
+        fringes.append(
+            FringeCall(
+                a_rows=slice(0, mp), a_cols=slice(kp, k),
+                b_rows=slice(kp, k), b_cols=slice(0, np_),
+                c_rows=slice(0, mp), c_cols=slice(0, np_),
+                shape=(mp, k - kp, np_),
+            )
+        )
+    if mp and np_ < n:
+        fringes.append(
+            FringeCall(
+                a_rows=slice(0, mp), a_cols=slice(0, k),
+                b_rows=slice(0, k), b_cols=slice(np_, n),
+                c_rows=slice(0, mp), c_cols=slice(np_, n),
+                shape=(mp, k, n - np_),
+            )
+        )
+    if mp < m:
+        fringes.append(
+            FringeCall(
+                a_rows=slice(mp, m), a_cols=slice(0, k),
+                b_rows=slice(0, k), b_cols=slice(0, n),
+                c_rows=slice(mp, m), c_cols=slice(0, n),
+                shape=(m - mp, k, n),
+            )
+        )
+    return PeelPlan(m=m, k=k, n=n, core=(mp, kp, np_), fringes=tuple(fringes))

@@ -1,0 +1,94 @@
+"""Execution-plan IR: the generator's intermediate representation.
+
+The paper's code generator has two stages (§4.1): build the skeleton
+(composed coefficients, partition indexing, peeling) and emit the typical
+operations (fused packing, specialized micro-kernel updates).  Our analog
+lowers a (multi-level algorithm, variant) pair into a flat list of steps —
+one :class:`ProductStep` per ``M_r`` plus fringe GEMMs — that both the code
+emitter (:mod:`repro.core.codegen`) and tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kronecker import MultiLevelFMM
+from repro.core.peeling import PeelPlan, peel
+
+__all__ = ["ProductStep", "ExecutionPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class ProductStep:
+    """One product ``M_r`` of eq. (5) with its sparse operand lists.
+
+    ``a_terms``/``b_terms`` hold ``(block_index, coefficient)`` pairs over
+    recursive-block operand indices; ``c_terms`` are the W-weighted
+    destinations.  The variant dictates whether the sums are fused into
+    packing (ab/abc) and whether the update is fused into the kernel (abc).
+    """
+
+    r: int
+    a_terms: tuple[tuple[int, float], ...]
+    b_terms: tuple[tuple[int, float], ...]
+    c_terms: tuple[tuple[int, float], ...]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything needed to execute/emit one generated implementation."""
+
+    ml: MultiLevelFMM
+    variant: str
+    m: int
+    k: int
+    n: int
+    peel_plan: PeelPlan
+    steps: tuple[ProductStep, ...] = field(default_factory=tuple)
+
+    @property
+    def rank_total(self) -> int:
+        return len(self.steps)
+
+    def operation_counts(self) -> dict[str, int]:
+        """Totals used in generator reports: products, adds per operand."""
+        a_adds = sum(max(len(s.a_terms) - 1, 0) for s in self.steps)
+        b_adds = sum(max(len(s.b_terms) - 1, 0) for s in self.steps)
+        c_updates = sum(len(s.c_terms) for s in self.steps)
+        return {
+            "products": len(self.steps),
+            "a_additions": a_adds,
+            "b_additions": b_adds,
+            "c_updates": c_updates,
+            "fringe_gemms": len(self.peel_plan.fringes),
+        }
+
+
+def build_plan(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM,
+    variant: str = "abc",
+) -> ExecutionPlan:
+    """Lower a (shape, algorithm, variant) triple to the step list."""
+    if variant not in ("naive", "ab", "abc"):
+        raise ValueError(f"unknown variant {variant!r}")
+    Mt, Kt, Nt = ml.dims_total
+    steps = []
+    for r, (ai, ac, bi, bc, ci, cc) in enumerate(ml.columns):
+        steps.append(
+            ProductStep(
+                r=r,
+                a_terms=tuple((int(i), float(c)) for i, c in zip(ai, ac)),
+                b_terms=tuple((int(i), float(c)) for i, c in zip(bi, bc)),
+                c_terms=tuple((int(i), float(c)) for i, c in zip(ci, cc)),
+            )
+        )
+    return ExecutionPlan(
+        ml=ml,
+        variant=variant,
+        m=m, k=k, n=n,
+        peel_plan=peel(m, k, n, Mt, Kt, Nt),
+        steps=tuple(steps),
+    )

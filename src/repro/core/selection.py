@@ -1,0 +1,131 @@
+"""Model-guided algorithm selection — the poly-algorithm of §4.4 / Fig. 8.
+
+The generator's performance model is cheap to evaluate, so for a given
+problem size/shape we can rank *every* generated implementation (23 shapes
+x levels x hybrid pairs x 3 variants — hundreds of candidates) without
+running any of them.  Following the paper, the top-2 model picks are then
+measured (fringe effects are invisible to the model) and the better one is
+chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.algorithms.catalog import FIG2_SHAPES, get_algorithm
+from repro.blis.simulator import simulate_time
+from repro.core.kronecker import MultiLevelFMM
+from repro.model.machines import MachineParams
+from repro.model.perfmodel import ModelPrediction, effective_gflops, predict_fmm
+
+__all__ = ["Candidate", "enumerate_candidates", "rank_candidates", "select"]
+
+#: Default hybrid building blocks (§5.2 evaluates hybrids of these shapes).
+_DEFAULT_HYBRID_SHAPES = ((2, 2, 2), (2, 3, 2), (3, 2, 3), (3, 3, 3))
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One generated implementation: level stack + variant + prediction."""
+
+    shapes: tuple[tuple[int, int, int], ...]
+    variant: str
+    prediction: ModelPrediction
+
+    @property
+    def levels(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def label(self) -> str:
+        stack = "+".join("<%d,%d,%d>" % s for s in self.shapes)
+        return f"{stack}/{self.variant}"
+
+    def multilevel(self) -> MultiLevelFMM:
+        return MultiLevelFMM([get_algorithm(s) for s in self.shapes])
+
+
+def enumerate_candidates(
+    m: int,
+    k: int,
+    n: int,
+    machine: MachineParams,
+    max_levels: int = 2,
+    variants: Sequence[str] = ("naive", "ab", "abc"),
+    one_level_shapes: Iterable[tuple[int, int, int]] | None = None,
+    hybrid_shapes: Iterable[tuple[int, int, int]] | None = None,
+) -> list[Candidate]:
+    """Model-evaluate the implementation family for one problem size.
+
+    Level-1 candidates cover every catalog shape; deeper levels cover all
+    ordered stacks of the (smaller) hybrid shape set, since 23^L explodes
+    while the paper's hybrids combine a handful of small shapes.
+    """
+    shapes1 = tuple(one_level_shapes or FIG2_SHAPES)
+    shapes_h = tuple(hybrid_shapes or _DEFAULT_HYBRID_SHAPES)
+    stacks: list[tuple[tuple[int, int, int], ...]] = [(s,) for s in shapes1]
+    prev: list[tuple[tuple[int, int, int], ...]] = [(s,) for s in shapes_h]
+    for _ in range(2, max_levels + 1):
+        nxt = [stack + (s,) for stack in prev for s in shapes_h]
+        stacks.extend(nxt)
+        prev = nxt
+
+    out: list[Candidate] = []
+    for stack in stacks:
+        ml = MultiLevelFMM([get_algorithm(s) for s in stack])
+        Mt, Kt, Nt = ml.dims_total
+        if m < Mt or k < Kt or n < Nt:
+            continue  # partition coarser than the problem
+        for var in variants:
+            pred = predict_fmm(m, k, n, ml, var, machine)
+            out.append(Candidate(shapes=stack, variant=var, prediction=pred))
+    return out
+
+
+def rank_candidates(candidates: list[Candidate]) -> list[Candidate]:
+    """Sort by predicted time, fastest first."""
+    return sorted(candidates, key=lambda c: c.prediction.time)
+
+
+def select(
+    m: int,
+    k: int,
+    n: int,
+    machine: MachineParams,
+    top: int = 2,
+    max_levels: int = 2,
+    measure: Callable[[Candidate], float] | None = None,
+    **enum_kwargs,
+) -> tuple[Candidate, list[Candidate]]:
+    """Pick the implementation for ``(m, k, n)`` the way the paper does.
+
+    The model ranks all candidates; the ``top`` best are then *measured*
+    (default: the fringe-aware loop simulator) and the fastest measured one
+    wins.  Returns ``(winner, ranked_candidates)``.
+    """
+    ranked = rank_candidates(
+        enumerate_candidates(m, k, n, machine, max_levels=max_levels, **enum_kwargs)
+    )
+    if not ranked:
+        raise ValueError(f"no candidate fits problem {(m, k, n)}")
+    finalists = ranked[: max(1, top)]
+    if measure is None:
+        def measure(c: Candidate) -> float:
+            return simulate_time(m, k, n, c.multilevel(), c.variant, machine)
+    winner = min(finalists, key=measure)
+    return winner, ranked
+
+
+def best_gflops_series(
+    sweep: Iterable[tuple[int, int, int]],
+    machine: MachineParams,
+    **kwargs,
+) -> list[tuple[tuple[int, int, int], Candidate, float]]:
+    """Convenience for Fig.-8 style curves: winner + simulated GFLOPS per point."""
+    out = []
+    for (m, k, n) in sweep:
+        winner, _ = select(m, k, n, machine, **kwargs)
+        t = simulate_time(m, k, n, winner.multilevel(), winner.variant, machine)
+        out.append(((m, k, n), winner, effective_gflops(m, k, n, t)))
+    return out

@@ -1,0 +1,122 @@
+"""The Naive / AB / ABC FMM implementation variants (paper §4.1).
+
+All three compute the same products ``M_r`` (eq. 5); they differ in where
+the linear combinations happen and what workspace they require:
+
+* ``naive`` — classical implementation: explicit temporaries for the A-sum,
+  the B-sum and the product ``M_r``; every temporary makes a DRAM round
+  trip.  Structurally this is what the reference framework [1] does.
+* ``ab`` — the A/B sums are fused into the packing of ``A~``/``B~`` (no
+  A/B temporaries), but ``M_r`` is still materialized and then scattered
+  into the destination submatrices of C.
+* ``abc`` — additionally fuses the W-weighted C updates into the
+  macro/micro-kernel: each computed block is added to every destination
+  while cache-hot, so no ``M_r`` buffer exists at all.
+
+The functions here execute one multi-level FMM *core* (divisible sizes)
+over recursive-block views; peeling and fringe handling live in the
+executor.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.blis.counters import OpCounters
+from repro.blis.gemm import packed_gemm
+from repro.blis.params import BlockingParams
+from repro.core.kronecker import MultiLevelFMM
+
+__all__ = ["VARIANTS", "run_fmm_blocked"]
+
+VARIANTS = ("naive", "ab", "abc")
+
+
+def _weighted_views(idx, coef, views):
+    return [(float(c), views[int(i)]) for i, c in zip(idx, coef)]
+
+
+def _scatter_temp(
+    M: np.ndarray,
+    targets,
+    counters: OpCounters | None,
+) -> None:
+    """``C_p += w * M_r`` from an explicit temporary (naive / AB variants)."""
+    size = float(M.size)
+    for w, view in targets:
+        if w == 1:
+            view += M
+        elif w == -1:
+            view -= M
+        else:
+            view += w * M
+    if counters is not None:
+        # Each update reads M_r and C_p and writes C_p: 3 transfers/element.
+        counters.temp_c_traffic += 3.0 * size * len(targets)
+        counters.c_add_flops += 2.0 * size * len(targets)
+
+
+def run_fmm_blocked(
+    A_views: list[np.ndarray],
+    B_views: list[np.ndarray],
+    C_views: list[np.ndarray],
+    ml: MultiLevelFMM,
+    variant: str = "abc",
+    params: BlockingParams = BlockingParams(),
+    counters: OpCounters | None = None,
+    pool: ThreadPoolExecutor | None = None,
+    mode: str = "slab",
+) -> None:
+    """Execute the ``R_L`` products of eq. (5) in the chosen variant.
+
+    The views lists must be in recursive-block order matching ``ml``'s
+    composed coefficients (see :func:`repro.core.morton.block_views`).
+    """
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    sub_m, sub_k = A_views[0].shape
+    sub_n = B_views[0].shape[1]
+
+    for ai, ac, bi, bc, ci, cc in ml.columns:
+        a_ops = _weighted_views(ai, ac, A_views)
+        b_ops = _weighted_views(bi, bc, B_views)
+        c_ops = _weighted_views(ci, cc, C_views)
+
+        if variant == "abc":
+            packed_gemm(a_ops, b_ops, c_ops, params, counters, mode=mode, pool=pool)
+            continue
+
+        if variant == "naive":
+            # Explicit A/B sum temporaries (one DRAM round trip each).
+            S = _explicit_sum(a_ops, (sub_m, sub_k), counters, "A")
+            T = _explicit_sum(b_ops, (sub_k, sub_n), counters, "B")
+            a_ops = [(1.0, S)]
+            b_ops = [(1.0, T)]
+
+        M = np.zeros((sub_m, sub_n))
+        packed_gemm(a_ops, b_ops, [(1.0, M)], params, counters, mode=mode, pool=pool)
+        _scatter_temp(M, c_ops, counters)
+
+
+def _explicit_sum(ops, shape, counters: OpCounters | None, which: str) -> np.ndarray:
+    out = np.zeros(shape)
+    for c, view in ops:
+        if c == 1:
+            out += view
+        elif c == -1:
+            out -= view
+        else:
+            out += c * view
+    if counters is not None:
+        size = float(out.size)
+        # Read every source once, write the temporary once.
+        traffic = (len(ops) + 1.0) * size
+        if which == "A":
+            counters.temp_a_traffic += traffic
+            counters.a_add_flops += 2.0 * max(len(ops) - 1, 0) * size
+        else:
+            counters.temp_b_traffic += traffic
+            counters.b_add_flops += 2.0 * max(len(ops) - 1, 0) * size
+    return out

@@ -1,0 +1,68 @@
+"""Freivalds' randomized verification of matrix products.
+
+FMM implementations are prime targets for subtle coefficient bugs; testing
+``C == A @ B`` directly costs another O(n^3) multiply.  Freivalds' check
+costs O(n^2) per trial: pick a random vector ``x`` and compare
+``A (B x)`` with ``C x``; a wrong product escapes one trial with
+probability <= 1/2 (over sign vectors), so ``t`` trials give confidence
+``1 - 2^-t``.  The engines' test suites and the CLI use this for large
+problems where a dense reference multiply would dominate runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["freivalds", "verify_product"]
+
+
+def freivalds(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    trials: int = 16,
+    rtol: float = 1e-8,
+    rng: np.random.Generator | None = None,
+) -> bool:
+    """Probabilistic check that ``C == A @ B`` (within roundoff).
+
+    Uses random sign vectors; the tolerance scales with the operand
+    magnitudes so legitimate FMM roundoff (slightly larger than classical)
+    is not flagged.
+    """
+    if A.ndim != 2 or B.ndim != 2 or C.ndim != 2:
+        raise ValueError("freivalds expects matrices")
+    if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
+        raise ValueError(
+            f"inconsistent shapes A{A.shape} B{B.shape} C{C.shape}"
+        )
+    rng = rng or np.random.default_rng(0x5EED)
+    scale = (
+        float(np.abs(A).sum(axis=1).max() * np.abs(B).max())
+        + float(np.abs(C).max())
+        + 1e-300
+    ) * B.shape[0]
+    for _ in range(trials):
+        x = rng.choice([-1.0, 1.0], size=B.shape[1])
+        lhs = A @ (B @ x)
+        rhs = C @ x
+        if np.abs(lhs - rhs).max() > rtol * scale:
+            return False
+    return True
+
+
+def verify_product(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    exact_threshold: int = 512,
+    trials: int = 16,
+) -> bool:
+    """Exact check for small problems, Freivalds for large ones."""
+    m, k = A.shape
+    n = B.shape[1]
+    if max(m, k, n) <= exact_threshold:
+        ref = A @ B
+        scale = float(np.abs(ref).max()) + 1e-300
+        return bool(np.abs(C - ref).max() <= 1e-8 * scale * max(k, 1))
+    return freivalds(A, B, C, trials=trials)

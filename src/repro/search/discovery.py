@@ -1,0 +1,180 @@
+"""Search orchestration: restarts, polish, discretize, fall back.
+
+``discover(m, k, n, rank)`` runs randomized ALS restarts against the
+``<m,k,n>`` tensor, polishes promising iterates with Levenberg–Marquardt,
+and attempts discretization.  It returns the best verified
+:class:`~repro.core.fmm.FMMAlgorithm` found, preferring exact discrete
+triples over float triples (which are accepted only below a strict
+residual threshold and flagged in their ``source``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fmm import FMMAlgorithm
+from repro.search.als import als_decompose, lm_polish
+from repro.search.fixing import incremental_rounding
+from repro.search.gauge import sparsify_gauge
+from repro.search.rounding import discretize, normalize_columns, snap
+
+__all__ = ["DiscoveryReport", "discover", "quantize_anneal"]
+
+# An ALS iterate is worth polishing once its Frobenius residual drops here.
+_POLISH_THRESHOLD = 5e-1
+# A float triple is accepted as a (flagged) algorithm below this residual.
+_FLOAT_ACCEPT = 1e-11
+
+
+@dataclass
+class DiscoveryReport:
+    """Statistics from a :func:`discover` call (for logs and tests)."""
+
+    m: int
+    k: int
+    n: int
+    rank: int
+    restarts: int = 0
+    polished: int = 0
+    best_residual: float = np.inf
+    elapsed: float = 0.0
+    found: str = "none"  # none | float | exact
+    history: list[float] = field(default_factory=list)
+
+
+def quantize_anneal(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    rng: np.random.Generator,
+    phases: int = 14,
+    iters_per_phase: int = 200,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Anneal a float CP solution onto the discrete coefficient grid.
+
+    The matmul tensor's symmetry group is continuous, so an exact float
+    solution generically has irrational-looking entries.  Each phase blends
+    the gauge-normalized factors toward their snapped values with an
+    increasing mixing weight, then lets a short low-ridge ALS re-converge.
+    If the blend lands in the attraction basin of a discrete representative,
+    the trailing :func:`~repro.search.rounding.discretize` call certifies it.
+    """
+    cur = normalize_columns(U, V, W)
+    for gamma in np.linspace(0.2, 1.0, phases):
+        blended = []
+        for X in cur:
+            S, _ = snap(X)
+            blended.append((1.0 - gamma) * X + gamma * S)
+        res = als_decompose(
+            m, k, n, U.shape[1], rng,
+            max_iter=iters_per_phase,
+            mu_start=1e-6, mu_end=1e-10,
+            init=tuple(blended), clip=4.0,
+        )
+        if not np.isfinite(res.residual):
+            return None
+        cur = normalize_columns(res.U, res.V, res.W)
+        if res.residual < 1e-7:
+            got = discretize(cur[0], cur[1], cur[2], m, k, n)
+            if got is not None:
+                return got
+    return None
+
+
+def discover(
+    m: int,
+    k: int,
+    n: int,
+    rank: int,
+    max_restarts: int = 50,
+    time_budget: float = 120.0,
+    seed: int = 0,
+    als_iters: int = 2500,
+    verbose: bool = False,
+) -> tuple[FMMAlgorithm | None, DiscoveryReport]:
+    """Search for an ``<m,k,n>`` algorithm of the given rank.
+
+    Deterministic for a fixed ``seed`` and budget on a given platform.
+    Returns ``(algorithm_or_None, report)``.
+    """
+    rng = np.random.default_rng(seed)
+    report = DiscoveryReport(m=m, k=k, n=n, rank=rank)
+    t0 = time.perf_counter()
+    best_float: FMMAlgorithm | None = None
+
+    for restart in range(max_restarts):
+        if time.perf_counter() - t0 > time_budget:
+            break
+        report.restarts += 1
+        sparsify = 0 if restart % 2 == 0 else 100
+        res = als_decompose(
+            m, k, n, rank, rng,
+            max_iter=als_iters,
+            sparsify_every=sparsify,
+        )
+        report.history.append(res.residual)
+        report.best_residual = min(report.best_residual, res.residual)
+        if verbose:
+            print(
+                f"  restart {restart}: als residual {res.residual:.3e}"
+                f" ({'sparsified' if sparsify else 'plain'})"
+            )
+        if not np.isfinite(res.residual) or res.residual > _POLISH_THRESHOLD:
+            continue
+
+        report.polished += 1
+        # LM builds a dense Jacobian in Python: affordable only for small
+        # variable counts.  Big shapes polish with a low-ridge ALS tail.
+        if (m * k + k * n + m * n) * rank <= 1200:
+            pol = lm_polish(res.U, res.V, res.W, m, k, n)
+        else:
+            pol = als_decompose(
+                m, k, n, rank, rng,
+                max_iter=3000, mu_start=1e-8, mu_end=1e-12,
+                init=(res.U, res.V, res.W),
+            )
+        report.best_residual = min(report.best_residual, pol.residual)
+        if verbose:
+            print(f"    polished -> {pol.residual:.3e}")
+        if pol.residual > 1e-8:
+            continue
+
+        # Gauge-sparsify onto (near) a discrete orbit representative, then
+        # certify by snapping / incremental rounding.
+        disc = discretize(pol.U, pol.V, pol.W, m, k, n)
+        if disc is None:
+            Ug, Vg, Wg = sparsify_gauge(pol.U, pol.V, pol.W, m, k, n, rng)
+            disc = discretize(Ug, Vg, Wg, m, k, n)
+            if disc is None:
+                fix = incremental_rounding(
+                    *normalize_columns(Ug, Vg, Wg), m, k, n
+                )
+                disc = fix.factors
+        if disc is not None:
+            algo = FMMAlgorithm(
+                m=m, k=k, n=n, U=disc[0], V=disc[1], W=disc[2],
+                name=f"<{m},{k},{n}>:{rank}",
+                source=f"als-search(seed={seed},restart={restart},exact)",
+            ).validate()
+            report.found = "exact"
+            report.elapsed = time.perf_counter() - t0
+            return algo, report
+
+        if pol.residual < _FLOAT_ACCEPT and best_float is None:
+            best_float = FMMAlgorithm(
+                m=m, k=k, n=n, U=pol.U, V=pol.V, W=pol.W,
+                name=f"<{m},{k},{n}>:{rank}",
+                source=f"als-search(seed={seed},restart={restart},float)",
+            )
+
+    report.elapsed = time.perf_counter() - t0
+    if best_float is not None:
+        report.found = "float"
+        return best_float, report
+    return None, report

@@ -1,0 +1,232 @@
+"""Incremental rounding: anneal a float CP solution onto discrete values.
+
+Smirnov's recipe for extracting practical algorithms from numerical
+decompositions: repeatedly *fix* the coefficients closest to a small grid of
+nice rationals and re-solve a constrained least-squares problem for the
+remaining free coefficients.  Because the CP objective is linear in each
+factor, the constrained refit is a per-row least squares over the free
+columns only.  When all entries are fixed and the residual is ~0, the triple
+is discrete and is certified by exact rational verification upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.search.als import khatri_rao
+from repro.search.brent import matmul_tensor
+
+__all__ = ["GRID", "incremental_rounding", "sparsify_zeros", "FixingResult"]
+
+# Values observed in published practical FMM algorithms.
+GRID = np.array([-2.0, -1.5, -1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0, 1.5, 2.0])
+
+
+def _snap_grid(X: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    idx = np.argmin(np.abs(X[..., None] - grid), axis=-1)
+    return grid[idx]
+
+
+@dataclass
+class FixingResult:
+    factors: tuple[np.ndarray, np.ndarray, np.ndarray] | None
+    residual: float
+    fixed_fraction: float
+    rounds: int
+
+
+def _constrained_sweep(
+    unfoldings, factors, masks, mu: float, max_sweeps: int, target: float = 1e-12
+) -> float:
+    """ALS passes updating only unfixed entries, until converged or stalled.
+
+    ``masks[f]`` is a boolean array, True where the entry is fixed.  Each
+    row's free entries solve a ridge least squares against the residual left
+    after the fixed entries' contribution.  Returns the final Frobenius
+    residual.
+    """
+    # The Khatri-Rao factor pairs are recomputed lazily per factor update;
+    # the residual is checked every few sweeps to allow early exit.
+    res = prev = np.inf
+    for sweep in range(max_sweeps):
+        for f in range(3):
+            X = factors[f]
+            others = [factors[g] for g in range(3) if g != f]
+            Z = khatri_rao(others[0], others[1])  # (cols, R)
+            Tm = unfoldings[f]
+            mask = masks[f]
+            for i in range(X.shape[0]):
+                free = ~mask[i]
+                if not free.any():
+                    continue
+                rhs = Tm[i] - Z[:, mask[i]] @ X[i, mask[i]]
+                Zf = Z[:, free]
+                G = Zf.T @ Zf + mu * np.eye(Zf.shape[1])
+                X[i, free] = np.linalg.solve(G, Zf.T @ rhs)
+        if sweep % 5 == 4 or sweep == max_sweeps - 1:
+            res = float(
+                np.linalg.norm(
+                    unfoldings[0]
+                    - factors[0] @ khatri_rao(factors[1], factors[2]).T
+                )
+            )
+            if res < target or res > 0.999 * prev:
+                break
+            prev = res
+    return res
+
+
+def incremental_rounding(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    grid: np.ndarray = GRID,
+    mu: float = 1e-10,
+    sweeps: int = 120,
+    fix_tol: float = 0.01,
+    fail_residual: float = 3e-4,
+    max_rounds: int = 4000,
+) -> FixingResult:
+    """Greedy fix-and-refit rounding of a converged CP solution.
+
+    Each round fixes a small batch of the free entries nearest the grid
+    (capped at ~5% of the remaining free entries), snaps them, and re-solves
+    the free entries.  If a batch breaks convergence, it is rolled back and
+    the single closest entry is fixed instead; if even that fails the round
+    aborts and the caller restarts from a different float solution.
+    """
+    T = matmul_tensor(m, k, n)
+    I, J, P = T.shape
+    unfoldings = (
+        T.reshape(I, -1),
+        T.transpose(1, 0, 2).reshape(J, -1),
+        T.transpose(2, 0, 1).reshape(P, -1),
+    )
+    factors = [np.array(X, dtype=np.float64, copy=True) for X in (U, V, W)]
+    masks = [np.zeros_like(X, dtype=bool) for X in factors]
+    total = sum(X.size for X in factors)
+
+    def free_count() -> int:
+        return total - sum(int(msk.sum()) for msk in masks)
+
+    def fix_batch(limit: int) -> list[tuple[int, int, int, float]]:
+        """Snap up to ``limit`` nearest-to-grid free entries; return undo log."""
+        cand: list[tuple[float, int, int, int]] = []
+        for f in range(3):
+            d = np.abs(factors[f] - _snap_grid(factors[f], grid))
+            d[masks[f]] = np.inf
+            flat = np.argsort(d, axis=None)[:limit]
+            for pos in flat:
+                i, r = np.unravel_index(pos, d.shape)
+                if np.isfinite(d[i, r]):
+                    cand.append((float(d[i, r]), f, int(i), int(r)))
+        cand.sort()
+        undo = []
+        for dist, f, i, r in cand[:limit]:
+            if dist > fix_tol and undo:
+                break  # only the closest entry may exceed fix_tol
+            undo.append((f, i, r, factors[f][i, r]))
+            factors[f][i, r] = _snap_grid(np.array(factors[f][i, r]), grid)
+            masks[f][i, r] = True
+            if dist > fix_tol:
+                break
+        return undo
+
+    def rollback(undo) -> None:
+        for f, i, r, val in undo:
+            factors[f][i, r] = val
+            masks[f][i, r] = False
+
+    rnd = 0
+    while free_count() > 0 and rnd < max_rounds:
+        rnd += 1
+        batch = max(1, free_count() // 20)
+        saved = [X.copy() for X in factors]
+        undo = fix_batch(batch)
+        res = _constrained_sweep(unfoldings, factors, masks, mu, sweeps)
+        if np.isfinite(res) and res <= fail_residual:
+            continue
+        # Batch failed: roll back and retry with the single closest entry.
+        rollback(undo)
+        for f in range(3):
+            factors[f][:] = saved[f]
+        if len(undo) > 1:
+            undo = fix_batch(1)
+            res = _constrained_sweep(unfoldings, factors, masks, mu, sweeps)
+            if np.isfinite(res) and res <= fail_residual:
+                continue
+            rollback(undo)
+            for f in range(3):
+                factors[f][:] = saved[f]
+        return FixingResult(None, float(res), 1 - free_count() / total, rnd)
+
+    # Everything is fixed; report the final snapped residual.
+    res = float(
+        np.linalg.norm(
+            unfoldings[0] - factors[0] @ khatri_rao(factors[1], factors[2]).T
+        )
+    )
+    if res > 1e-9:
+        return FixingResult(None, res, 1.0, rnd)
+    return FixingResult(tuple(factors), res, 1.0, rnd)
+
+
+def sparsify_zeros(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    zero_tol: float = 0.06,
+    sweeps: int = 300,
+    accept_residual: float = 1e-10,
+    max_rounds: int = 40,
+) -> FixingResult:
+    """Partial rounding: pin only the near-zero entries, keep the rest float.
+
+    Full discretization can fail when a decomposition's orbit holds no
+    representative on the coefficient grid, but the *zero pattern* is much
+    more robust — and nnz is what the performance model prices.  Each round
+    zeroes the free entries within ``zero_tol`` of 0, re-solves the
+    remaining float entries (constrained ALS), and stops when no further
+    zeros appear or the residual degrades.
+    """
+    T = matmul_tensor(m, k, n)
+    I, J, P = T.shape
+    unfoldings = (
+        T.reshape(I, -1),
+        T.transpose(1, 0, 2).reshape(J, -1),
+        T.transpose(2, 0, 1).reshape(P, -1),
+    )
+    factors = [np.array(X, dtype=np.float64, copy=True) for X in (U, V, W)]
+    masks = [np.zeros_like(X, dtype=bool) for X in factors]
+    total = sum(X.size for X in factors)
+    best = None
+    res = np.inf
+    for rnd in range(1, max_rounds + 1):
+        newly = 0
+        for f in range(3):
+            sel = (~masks[f]) & (np.abs(factors[f]) < zero_tol)
+            newly += int(sel.sum())
+            factors[f][sel] = 0.0
+            masks[f] |= sel
+        if newly == 0:
+            break
+        saved = [X.copy() for X in factors]
+        saved_masks = [msk.copy() for msk in masks]
+        res = _constrained_sweep(unfoldings, factors, masks, 1e-12, sweeps)
+        if not np.isfinite(res) or res > accept_residual:
+            factors = saved
+            masks = saved_masks
+            break
+        best = tuple(X.copy() for X in factors)
+    fixed = sum(int(msk.sum()) for msk in masks) / total
+    if best is None:
+        return FixingResult(None, float(res), fixed, 0)
+    return FixingResult(best, float(res), fixed, rnd)

@@ -1,0 +1,132 @@
+"""Gauge (symmetry-group) sparsification of CP decompositions.
+
+The matmul tensor ``T_{m,k,n}`` is invariant under the action of
+``GL(m) x GL(k) x GL(n)``: with nonsingular ``(X, Y, Z)`` the substitution
+``A -> X A Y``, ``B -> Y^-1 B Z``, ``Cbar -> X^-T Cbar Z^-T`` preserves the
+trilinear form ``trace(A B Cbar^T)``.  Tracking the per-column factor
+matrices through that substitution gives an *exact* map between rank-R
+decompositions:
+
+    U_r -> X^T  U_r Y^T,    V_r -> Y^-T V_r Z^T,    W_r -> X^-1 W_r Z^-1
+
+(``U_r = reshape(U[:, r], (m, k))`` etc.).  A generic ALS solution is a
+generic point of its orbit — dense, irrational-looking.  De Groote proved
+the rank-7 decompositions of ``<2,2,2>`` form a *single* orbit, so some
+gauge maps any ALS solution onto Strassen exactly; for larger shapes a
+gauge can usually reach a discrete representative when the orbit contains
+one.  This module finds sparsifying gauges by minimizing a smooth-L1/2
+(Charbonnier) objective over ``(X, Y, Z)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+__all__ = ["apply_gauge", "gauge_objective", "sparsify_gauge"]
+
+
+def apply_gauge(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    X: np.ndarray,
+    Y: np.ndarray,
+    Z: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply the symmetry ``(X, Y, Z)`` to a decomposition — exactly rank-safe."""
+    R = U.shape[1]
+    Um = U.reshape(m, k, R)
+    Vm = V.reshape(k, n, R)
+    Wm = W.reshape(m, n, R)
+    invX = np.linalg.inv(X)
+    invY = np.linalg.inv(Y)
+    invZ = np.linalg.inv(Z)
+    U2 = np.einsum("ia,ijr,bj->abr", X, Um, Y).reshape(m * k, R)
+    V2 = np.einsum("ia,ijr,bj->abr", invY, Vm, Z).reshape(k * n, R)
+    W2 = np.einsum("ai,ijr,jb->abr", invX, Wm, invZ).reshape(m * n, R)
+    return U2, V2, W2
+
+
+def _charbonnier(x: np.ndarray, eps: float) -> float:
+    return float(np.sum(np.sqrt(x * x + eps * eps) - eps))
+
+
+def gauge_objective(
+    params: np.ndarray,
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    eps: float,
+) -> float:
+    """Smooth sparsity objective of the gauged factors.
+
+    Near-singular gauges blow up the inverse-transformed factors, so the
+    objective is its own barrier; a large penalty is returned when the
+    matrices are numerically singular.
+    """
+    X = params[: m * m].reshape(m, m)
+    Y = params[m * m : m * m + k * k].reshape(k, k)
+    Z = params[m * m + k * k :].reshape(n, n)
+    for M in (X, Y, Z):
+        if abs(np.linalg.det(M)) < 1e-8:
+            return 1e12
+    U2, V2, W2 = apply_gauge(U, V, W, m, k, n, X, Y, Z)
+    return _charbonnier(U2, eps) + _charbonnier(V2, eps) + _charbonnier(W2, eps)
+
+
+def sparsify_gauge(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    rng: np.random.Generator,
+    restarts: int = 4,
+    eps_schedule: tuple[float, ...] = (0.1, 0.01, 0.001),
+    maxiter: int = 400,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Search ``GL(m) x GL(k) x GL(n)`` for a gauge that sparsifies (U, V, W).
+
+    Runs a few random restarts of Powell/L-BFGS minimization with an
+    annealed Charbonnier epsilon and returns the sparsest gauged triple
+    found (by the final objective).  The output decomposes the same tensor
+    as the input up to floating-point error.
+    """
+    d = m * m + k * k + n * n
+    best_obj = np.inf
+    best = (U, V, W)
+    for restart in range(restarts):
+        if restart == 0:
+            x0 = np.concatenate(
+                [np.eye(m).ravel(), np.eye(k).ravel(), np.eye(n).ravel()]
+            )
+        else:
+            x0 = np.concatenate(
+                [np.eye(m).ravel(), np.eye(k).ravel(), np.eye(n).ravel()]
+            ) + 0.4 * rng.standard_normal(d)
+        x = x0
+        for eps in eps_schedule:
+            sol = minimize(
+                gauge_objective,
+                x,
+                args=(U, V, W, m, k, n, eps),
+                method="L-BFGS-B",
+                options={"maxiter": maxiter},
+            )
+            x = sol.x
+        obj = gauge_objective(x, U, V, W, m, k, n, eps_schedule[-1])
+        if obj < best_obj:
+            best_obj = obj
+            X = x[: m * m].reshape(m, m)
+            Y = x[m * m : m * m + k * k].reshape(k, k)
+            Z = x[m * m + k * k :].reshape(n, n)
+            best = apply_gauge(U, V, W, m, k, n, X, Y, Z)
+    return best

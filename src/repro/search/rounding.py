@@ -1,0 +1,185 @@
+"""Discretization of numerically-found CP factors.
+
+A CP decomposition is invariant under per-column rescaling
+``(u_r, v_r, w_r) -> (u_r/a, v_r/b, a*b*w_r)``, and the matmul tensor has a
+large continuous symmetry group, so ALS solutions generally do *not* land on
+the discrete representatives published in the literature.  Discretization
+therefore combines three moves:
+
+1. **gauge normalization** — rescale each rank-1 term so the largest entry
+   of its U and V columns is +1 (fold scales into W);
+2. **snap** — round entries to a small candidate set of rationals;
+3. **refit** — given two snapped factors, the third is the solution of a
+   *linear* least-squares problem; if the snapped pair extends to an exact
+   decomposition the refit residual is ~1e-15 and the refit factor is the
+   exact one.
+
+The final gate is exact rational verification of the Brent equations, so a
+wrong snap can never produce a corrupt algorithm.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations
+
+import numpy as np
+
+from repro.search.brent import matmul_tensor, verify_brent, verify_brent_exact
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "normalize_columns",
+    "snap",
+    "refit_factor",
+    "discretize",
+]
+
+DEFAULT_CANDIDATES: tuple[Fraction, ...] = tuple(
+    sorted(
+        {
+            Fraction(0),
+            *(
+                s * Fraction(num, den)
+                for s in (1, -1)
+                for num, den in (
+                    (1, 1), (2, 1), (3, 1), (4, 1),
+                    (1, 2), (3, 2), (1, 4), (3, 4),
+                    (1, 3), (2, 3), (4, 3),
+                    (1, 8),
+                )
+            ),
+        }
+    )
+)
+
+
+def normalize_columns(
+    U: np.ndarray, V: np.ndarray, W: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rescale every rank-1 term so max|U[:,r]| = max|V[:,r]| = 1.
+
+    The scale is folded into W, preserving the CP sum exactly; the leading
+    entry of each U and V column is made positive, collapsing the sign gauge.
+    """
+    U, V, W = U.copy(), V.copy(), W.copy()
+    for r in range(U.shape[1]):
+        for X in (U, V):
+            idx = int(np.argmax(np.abs(X[:, r])))
+            a = X[idx, r]
+            if a == 0:
+                continue
+            X[:, r] /= a
+            W[:, r] *= a
+    return U, V, W
+
+
+def snap(X: np.ndarray, candidates=DEFAULT_CANDIDATES, tol: float | None = None):
+    """Round each entry to the nearest candidate value.
+
+    Returns ``(snapped, max_move)``.  If ``tol`` is given and some entry
+    moved further than ``tol``, ``snapped`` is still returned but callers
+    should treat the snap as unreliable (checked via ``max_move``).
+    """
+    grid = np.array([float(c) for c in candidates])
+    Xf = np.asarray(X, dtype=np.float64)
+    idx = np.argmin(np.abs(Xf[..., None] - grid), axis=-1)
+    snapped = grid[idx]
+    max_move = float(np.max(np.abs(snapped - Xf))) if Xf.size else 0.0
+    return snapped, max_move
+
+
+def refit_factor(
+    which: int,
+    factors: tuple[np.ndarray, np.ndarray, np.ndarray],
+    m: int,
+    k: int,
+    n: int,
+) -> np.ndarray:
+    """Exact least-squares refit of one factor given the other two.
+
+    ``which`` is 0, 1 or 2 for U, V, W.  The CP objective is linear in each
+    single factor, so this is one ``lstsq`` on the matching tensor unfolding.
+    """
+    from repro.search.als import khatri_rao  # local import to avoid a cycle
+
+    T = matmul_tensor(m, k, n)
+    U, V, W = factors
+    if which == 0:
+        Z = khatri_rao(V, W)
+        T1 = T.reshape(T.shape[0], -1)
+        return np.linalg.lstsq(Z, T1.T, rcond=None)[0].T
+    if which == 1:
+        Z = khatri_rao(U, W)
+        T2 = T.transpose(1, 0, 2).reshape(T.shape[1], -1)
+        return np.linalg.lstsq(Z, T2.T, rcond=None)[0].T
+    Z = khatri_rao(U, V)
+    T3 = T.transpose(2, 0, 1).reshape(T.shape[2], -1)
+    return np.linalg.lstsq(Z, T3.T, rcond=None)[0].T
+
+
+def _exact_gate(U, V, W, m, k, n):
+    if not verify_brent(U, V, W, m, k, n, tol=1e-9):
+        return None
+    if not verify_brent_exact(U, V, W, m, k, n):
+        return None
+    return U, V, W
+
+
+def discretize(
+    U: np.ndarray,
+    V: np.ndarray,
+    W: np.ndarray,
+    m: int,
+    k: int,
+    n: int,
+    candidates=DEFAULT_CANDIDATES,
+    max_rounds: int = 6,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Turn a float CP solution into an exact discrete triple, if possible.
+
+    Strategy: normalize the gauge, then for each ordering of the three
+    factors snap two of them and refit the third exactly; finally snap the
+    refit factor as well.  A short alternating projection loop (snap one
+    factor, ALS-refit the other two) is attempted as a fallback.  Returns
+    ``None`` when no attempt passes exact verification.
+    """
+    Un, Vn, Wn = normalize_columns(U, V, W)
+    base = (Un, Vn, Wn)
+
+    # Attempt 1: snap-all.
+    s = tuple(snap(X, candidates)[0] for X in base)
+    got = _exact_gate(*s, m, k, n)
+    if got is not None:
+        return got
+
+    # Attempt 2: snap two, refit + snap the third, all three choices.
+    for free in (2, 1, 0):
+        fs = [None, None, None]
+        for i in range(3):
+            if i != free:
+                fs[i] = snap(base[i], candidates)[0]
+            else:
+                fs[i] = base[i]
+        fs[free] = refit_factor(free, tuple(fs), m, k, n)
+        fs[free] = snap(fs[free], candidates)[0]
+        got = _exact_gate(fs[0], fs[1], fs[2], m, k, n)
+        if got is not None:
+            return got
+
+    # Attempt 3: alternating projection — snap one factor, exactly refit the
+    # other two (a few passes), renormalizing the gauge between rounds.
+    cur = [X.copy() for X in base]
+    for _ in range(max_rounds):
+        for lock in range(3):
+            cur[lock] = snap(cur[lock], candidates)[0]
+            for free in range(3):
+                if free == lock:
+                    continue
+                cur[free] = refit_factor(free, tuple(cur), m, k, n)
+            s = tuple(snap(X, candidates)[0] for X in cur)
+            got = _exact_gate(*s, m, k, n)
+            if got is not None:
+                return got
+        cur = list(normalize_columns(*cur))
+    return None

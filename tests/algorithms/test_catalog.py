@@ -1,0 +1,104 @@
+"""Tests for the Fig.-2 catalog registry."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import (
+    FIG2_SHAPES,
+    base_case,
+    catalog_summary,
+    fig2_family,
+    get_algorithm,
+    get_entry,
+)
+from repro.core.fmm import FMMAlgorithm
+
+
+class TestFamily:
+    def test_twenty_three_entries(self):
+        fam = fig2_family()
+        assert len(fam) == 23
+        assert [e.dims for e in fam] == list(FIG2_SHAPES)
+
+    def test_every_entry_is_valid(self):
+        for e in fig2_family():
+            assert e.algorithm.is_valid(), e.dims
+            assert e.algorithm.dims == e.dims
+
+    def test_rank_never_below_paper(self):
+        # The paper's ranks are best-known; beating them would mean a new
+        # world record (i.e., a bug).
+        for e in fig2_family():
+            assert e.achieved_rank >= e.paper_rank, e.dims
+            assert e.rank_gap >= 0
+
+    def test_exact_entries_present(self):
+        # These are constructed exactly regardless of search results.
+        for dims in [(2, 2, 2), (2, 3, 2), (3, 2, 2), (2, 5, 2), (5, 2, 2), (4, 2, 2)]:
+            assert get_entry(*dims).status == "exact", dims
+
+    def test_every_entry_beats_classical_or_ties(self):
+        for e in fig2_family():
+            m, k, n = e.dims
+            assert e.achieved_rank < m * k * n, e.dims
+
+    def test_entries_multiply_correctly(self, rng):
+        for e in fig2_family():
+            m, k, n = e.dims
+            A = rng.standard_normal((2 * m, 2 * k))
+            B = rng.standard_normal((2 * k, 2 * n))
+            C = np.zeros((2 * m, 2 * n))
+            e.algorithm.apply_once(A, B, C)
+            assert np.abs(C - A @ B).max() < 1e-8, e.dims
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_algorithm("strassen").name == "strassen"
+        assert get_algorithm("winograd").rank == 7
+        assert get_algorithm("classical").dims == (1, 1, 1)
+
+    def test_by_string_shape(self):
+        a = get_algorithm("<3,2,3>")
+        assert a.dims == (3, 2, 3)
+        assert get_algorithm(" < 3 ,2, 3 >") .dims == (3, 2, 3)
+
+    def test_by_tuple(self):
+        assert get_algorithm((4, 2, 2)).dims == (4, 2, 2)
+
+    def test_passthrough(self):
+        s = get_algorithm("strassen")
+        assert get_algorithm(s) is s
+
+    def test_unknown_shape_raises(self):
+        with pytest.raises(KeyError):
+            get_entry(7, 7, 7)
+
+    def test_bad_spec_raises(self):
+        with pytest.raises(TypeError):
+            get_algorithm(3.14)
+
+
+class TestBaseCases:
+    def test_base_223_rank_11(self):
+        assert base_case(2, 2, 3).rank == 11
+
+    def test_base_225_rank_18(self):
+        assert base_case(2, 2, 5).rank == 18
+
+    def test_base_224_rank_14(self):
+        assert base_case(2, 2, 4).rank == 14
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(KeyError):
+            base_case(9, 9, 9)
+
+    def test_caching_returns_same_object(self):
+        assert base_case(2, 2, 3) is base_case(2, 2, 3)
+
+
+class TestSummary:
+    def test_summary_mentions_all_shapes(self):
+        text = catalog_summary()
+        for (m, k, n) in FIG2_SHAPES:
+            assert f"<{m},{k},{n}>" in text

@@ -1,0 +1,35 @@
+"""Tests for the classical algorithm generator."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.classical import classical
+
+
+class TestClassical:
+    @pytest.mark.parametrize("dims", [(1, 1, 1), (2, 2, 2), (3, 2, 4), (1, 6, 1)])
+    def test_rank_is_mkn(self, dims):
+        c = classical(*dims)
+        assert c.rank == dims[0] * dims[1] * dims[2]
+        assert c.max_residual() == 0.0
+
+    def test_unit_coefficients(self):
+        c = classical(2, 3, 2)
+        for M in (c.U, c.V, c.W):
+            assert set(np.unique(M)) <= {0.0, 1.0}
+
+    def test_one_nonzero_per_column(self):
+        c = classical(2, 2, 2)
+        for M in (c.U, c.V, c.W):
+            assert (np.count_nonzero(M, axis=0) == 1).all()
+
+    def test_no_speedup(self):
+        assert classical(4, 4, 4).theoretical_speedup == 1.0
+
+    def test_multiplies(self, rng):
+        c = classical(2, 3, 4)
+        A = rng.standard_normal((6, 9))
+        B = rng.standard_normal((9, 8))
+        C = np.zeros((6, 8))
+        c.apply_once(A, B, C)
+        assert np.allclose(C, A @ B)

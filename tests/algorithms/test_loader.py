@@ -1,0 +1,52 @@
+"""Tests for coefficient JSON (de)serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.loader import (
+    algorithm_from_dict,
+    algorithm_to_dict,
+    load_json,
+    save_json,
+)
+from repro.algorithms.strassen import strassen
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        s = strassen()
+        d = algorithm_to_dict(s)
+        s2 = algorithm_from_dict(d)
+        assert s2.dims == s.dims
+        assert np.array_equal(s2.U, s.U)
+        assert np.array_equal(s2.V, s.V)
+        assert np.array_equal(s2.W, s.W)
+
+    def test_file_roundtrip(self, tmp_path):
+        s = strassen()
+        p = save_json(s, tmp_path / "strassen.json")
+        s2 = load_json(p)
+        assert s2.rank == 7
+        assert np.array_equal(s2.W, s.W)
+
+    def test_json_is_plain(self, tmp_path):
+        p = save_json(strassen(), tmp_path / "x.json")
+        data = json.loads(p.read_text())
+        assert data["m"] == 2 and data["rank"] == 7
+        assert isinstance(data["U"], list)
+
+
+class TestValidationOnLoad:
+    def test_corrupt_coefficients_rejected(self, tmp_path):
+        d = algorithm_to_dict(strassen())
+        d["U"][0][0] = 5.0
+        with pytest.raises(ValueError):
+            algorithm_from_dict(d)
+
+    def test_rank_mismatch_rejected(self):
+        d = algorithm_to_dict(strassen())
+        d["rank"] = 6
+        with pytest.raises(ValueError):
+            algorithm_from_dict(d)

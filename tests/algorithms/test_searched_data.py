@@ -1,0 +1,65 @@
+"""Validation of the shipped search-discovered coefficient data files."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.loader import data_dir, load_json
+from repro.core.fmm import nnz
+from repro.search.brent import verify_brent_exact
+
+FILES = sorted(data_dir().glob("*.json"))
+
+
+@pytest.mark.skipif(not FILES, reason="no shipped search data")
+class TestShippedData:
+    @pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+    def test_loads_and_validates(self, path):
+        algo = load_json(path)  # load_json re-runs Brent validation
+        m, k, n, rank = (
+            int(path.name.split("_")[0]),
+            int(path.name.split("_")[1]),
+            int(path.name.split("_")[2]),
+            int(path.name.split("_")[3].split(".")[0]),
+        )
+        assert algo.dims == (m, k, n)
+        assert algo.rank == rank
+
+    @pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+    def test_beats_classical_rank(self, path):
+        algo = load_json(path)
+        assert algo.rank < algo.classical_multiplies
+
+    @pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+    def test_multiplies_matrices(self, path):
+        algo = load_json(path)
+        rng = np.random.default_rng(1)
+        m, k, n = algo.dims
+        A = rng.standard_normal((3 * m, 3 * k))
+        B = rng.standard_normal((3 * k, 3 * n))
+        C = np.zeros((3 * m, 3 * n))
+        algo.apply_once(A, B, C)
+        assert np.abs(C - A @ B).max() < 1e-8
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in FILES if ".float" not in p.name],
+        ids=lambda p: p.name,
+    )
+    def test_discrete_entries_are_exact_rationals(self, path):
+        algo = load_json(path)
+        assert verify_brent_exact(algo.U, algo.V, algo.W, *algo.dims)
+        # Discrete entries should also be reasonably sparse — far from the
+        # dense m*k*R worst case.
+        u, v, w = algo.nnz_uvw()
+        assert u < 0.7 * algo.U.size
+        assert v < 0.7 * algo.V.size
+
+    @pytest.mark.parametrize(
+        "path",
+        [p for p in FILES if ".float" in p.name],
+        ids=lambda p: p.name,
+    )
+    def test_float_entries_have_tiny_residual(self, path):
+        algo = load_json(path)
+        assert algo.max_residual() < 1e-9
+        assert nnz(algo.U) > 0

@@ -1,0 +1,58 @@
+"""Tests for the Strassen triples."""
+
+import numpy as np
+
+from repro.algorithms.strassen import strassen, winograd
+from repro.search.brent import verify_brent_exact
+
+
+class TestStrassen:
+    def test_valid_and_exact(self):
+        s = strassen()
+        assert s.max_residual() == 0.0
+        assert verify_brent_exact(s.U, s.V, s.W, 2, 2, 2)
+
+    def test_matches_eq2_products(self):
+        # Column 0 is M0 = (A0 + A3)(B0 + B3); C0 += M0; C3 += M0.
+        s = strassen()
+        assert s.U[:, 0].tolist() == [1, 0, 0, 1]
+        assert s.V[:, 0].tolist() == [1, 0, 0, 1]
+        assert s.W[:, 0].tolist() == [1, 0, 0, 1]
+        # Column 4 is M4 = (A0 + A1) B3; C1 += M4; C0 -= M4.
+        assert s.U[:, 4].tolist() == [1, 1, 0, 0]
+        assert s.V[:, 4].tolist() == [0, 0, 0, 1]
+        assert s.W[:, 4].tolist() == [-1, 1, 0, 0]
+
+    def test_integer_coefficients(self):
+        s = strassen()
+        for M in (s.U, s.V, s.W):
+            assert set(np.unique(M)) <= {-1.0, 0.0, 1.0}
+
+    def test_multiplies(self, rng):
+        s = strassen()
+        A = rng.standard_normal((10, 10))
+        B = rng.standard_normal((10, 10))
+        C = np.zeros((10, 10))
+        s.apply_once(A, B, C)
+        assert np.allclose(C, A @ B)
+
+
+class TestWinograd:
+    def test_valid_and_exact(self):
+        w = winograd()
+        assert w.max_residual() == 0.0
+        assert verify_brent_exact(w.U, w.V, w.W, 2, 2, 2)
+
+    def test_rank_seven(self):
+        assert winograd().rank == 7
+
+    def test_distinct_from_strassen(self):
+        assert not np.array_equal(winograd().U, strassen().U)
+
+    def test_multiplies(self, rng):
+        w = winograd()
+        A = rng.standard_normal((6, 6))
+        B = rng.standard_normal((6, 6))
+        C = np.zeros((6, 6))
+        w.apply_once(A, B, C)
+        assert np.allclose(C, A @ B)

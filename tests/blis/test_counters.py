@@ -1,0 +1,44 @@
+"""Tests for the counter accounting object."""
+
+from repro.blis.counters import OpCounters
+
+
+class TestOpCounters:
+    def test_starts_zero(self):
+        c = OpCounters()
+        assert c.total_flops == 0
+        assert c.dram_elements() == 0
+
+    def test_accumulate(self):
+        a = OpCounters(mul_flops=10, a_read=5)
+        b = OpCounters(mul_flops=2, c_traffic=4)
+        a += b
+        assert a.mul_flops == 12
+        assert a.c_traffic == 4
+
+    def test_lambda_scales_only_c_kernel_traffic(self):
+        c = OpCounters(a_read=10, c_traffic=100, temp_c_traffic=7)
+        assert c.dram_elements(lam=1.0) == 117
+        assert c.dram_elements(lam=0.5) == 67
+
+    def test_pack_writes_excluded_by_default(self):
+        c = OpCounters(a_read=1, a_pack_write=50, b_pack_write=50)
+        assert c.dram_elements() == 1
+        assert c.dram_elements(count_pack_writes=True) == 101
+
+    def test_reset(self):
+        c = OpCounters(mul_flops=5)
+        c.reset()
+        assert c.total_flops == 0
+
+    def test_copy_is_independent(self):
+        a = OpCounters(mul_flops=3)
+        b = a.copy()
+        b.mul_flops = 9
+        assert a.mul_flops == 3
+
+    def test_as_dict_roundtrip(self):
+        c = OpCounters(b_read=2.5)
+        d = c.as_dict()
+        assert d["b_read"] == 2.5
+        assert len(d) == 12

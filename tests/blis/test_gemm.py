@@ -1,0 +1,113 @@
+"""Tests for the five-loop packed GEMM."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.blis.counters import OpCounters
+from repro.blis.gemm import loop_bounds, packed_gemm
+from repro.blis.params import BlockingParams
+
+SMALL = BlockingParams(mc=16, kc=16, nc=32, mr=4, nr=4)
+
+
+class TestLoopBounds:
+    def test_exact_division(self):
+        assert list(loop_bounds(8, 4)) == [(0, 4), (4, 4)]
+
+    def test_remainder(self):
+        assert list(loop_bounds(10, 4)) == [(0, 4), (4, 4), (8, 2)]
+
+    def test_oversized_step(self):
+        assert list(loop_bounds(3, 100)) == [(0, 3)]
+
+    def test_zero_dim(self):
+        assert list(loop_bounds(0, 4)) == []
+
+
+class TestPackedGemm:
+    @pytest.mark.parametrize("shape", [(16, 16, 16), (50, 33, 71), (7, 100, 3)])
+    def test_matches_numpy(self, rng, shape):
+        m, k, n = shape
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        C = np.zeros((m, n))
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C)], SMALL)
+        assert np.abs(C - A @ B).max() < 1e-10
+
+    def test_weighted_operands(self, rng):
+        A1 = rng.standard_normal((20, 20))
+        A2 = rng.standard_normal((20, 20))
+        B1 = rng.standard_normal((20, 20))
+        B2 = rng.standard_normal((20, 20))
+        C1 = np.zeros((20, 20))
+        C2 = np.zeros((20, 20))
+        packed_gemm(
+            [(1.0, A1), (-1.0, A2)],
+            [(0.5, B1), (2.0, B2)],
+            [(1.0, C1), (-1.0, C2)],
+            SMALL,
+        )
+        M = (A1 - A2) @ (0.5 * B1 + 2 * B2)
+        assert np.allclose(C1, M)
+        assert np.allclose(C2, -M)
+
+    def test_micro_mode_matches(self, rng):
+        A = rng.standard_normal((24, 20))
+        B = rng.standard_normal((20, 36))
+        C1 = np.zeros((24, 36))
+        C2 = np.zeros((24, 36))
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C1)], SMALL, mode="slab")
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C2)], SMALL, mode="micro")
+        assert np.allclose(C1, C2)
+
+    def test_pool_matches_sequential(self, rng):
+        A = rng.standard_normal((64, 48))
+        B = rng.standard_normal((48, 64))
+        C1 = np.zeros((64, 64))
+        C2 = np.zeros((64, 64))
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C1)], SMALL)
+        with ThreadPoolExecutor(4) as pool:
+            packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C2)], SMALL, pool=pool)
+        assert np.allclose(C1, C2)
+
+    def test_inner_dim_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            packed_gemm(
+                [(1.0, rng.standard_normal((4, 5)))],
+                [(1.0, rng.standard_normal((6, 4)))],
+                [(1.0, np.zeros((4, 4)))],
+                SMALL,
+            )
+
+    def test_operand_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            packed_gemm(
+                [(1.0, rng.standard_normal((4, 4))), (1.0, rng.standard_normal((4, 5)))],
+                [(1.0, rng.standard_normal((4, 4)))],
+                [(1.0, np.zeros((4, 4)))],
+                SMALL,
+            )
+
+
+class TestGemmCounters:
+    def test_divisible_case_closed_form(self, rng):
+        m = k = 32
+        n = 64
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        C = np.zeros((m, n))
+        c = OpCounters()
+        packed_gemm([(1.0, A)], [(1.0, B)], [(1.0, C)], SMALL, c)
+        # kc=16 -> 2 k-blocks; nc=32 -> 2 n-blocks; mc=16 -> 2 m-blocks.
+        assert c.mul_flops == 2 * m * n * k
+        assert c.b_read == k * n  # B packed once per (jc, pc), disjoint
+        assert c.a_read == m * k * (n // 32)  # A repacked per jc iteration
+        assert c.c_traffic == 2 * m * n * (k // 16)  # C touched per pc
+
+    def test_counters_optional(self, rng):
+        A = rng.standard_normal((8, 8))
+        C = np.zeros((8, 8))
+        packed_gemm([(1.0, A)], [(1.0, A)], [(1.0, C)], SMALL, None)
+        assert np.allclose(C, A @ A)

@@ -1,0 +1,58 @@
+"""Tests for the macro/micro-kernel."""
+
+import numpy as np
+import pytest
+
+from repro.blis.counters import OpCounters
+from repro.blis.microkernel import macro_kernel
+from repro.blis.params import BlockingParams
+
+P = BlockingParams(mc=16, kc=16, nc=32, mr=4, nr=4)
+
+
+class TestMacroKernel:
+    def test_slab_computes_product(self, rng):
+        At = rng.standard_normal((8, 12))
+        Bt = rng.standard_normal((12, 8))
+        C = np.zeros((16, 16))
+        macro_kernel(At, Bt, [(1.0, C)], 4, 8, P, mode="slab")
+        assert np.allclose(C[4:12, 8:16], At @ Bt)
+        assert C[:4].sum() == 0
+
+    def test_micro_equals_slab(self, rng):
+        At = rng.standard_normal((10, 12))  # ragged vs mr=4
+        Bt = rng.standard_normal((12, 10))  # ragged vs nr=4
+        C1 = np.zeros((10, 10))
+        C2 = np.zeros((10, 10))
+        macro_kernel(At, Bt, [(1.0, C1)], 0, 0, P, mode="slab")
+        macro_kernel(At, Bt, [(1.0, C2)], 0, 0, P, mode="micro")
+        assert np.allclose(C1, C2)
+
+    def test_multi_destination_weights(self, rng):
+        At = rng.standard_normal((4, 4))
+        Bt = rng.standard_normal((4, 4))
+        C1 = np.zeros((4, 4))
+        C2 = np.zeros((4, 4))
+        macro_kernel(At, Bt, [(2.0, C1), (-1.0, C2)], 0, 0, P)
+        assert np.allclose(C1, 2 * (At @ Bt))
+        assert np.allclose(C2, -(At @ Bt))
+
+    def test_flop_counting(self, rng):
+        At = rng.standard_normal((8, 12))
+        Bt = rng.standard_normal((12, 8))
+        c = OpCounters()
+        macro_kernel(At, Bt, [(1.0, np.zeros((8, 8)))], 0, 0, P, counters=c)
+        assert c.mul_flops == 2 * 8 * 8 * 12
+
+    def test_scratch_reuse(self, rng):
+        At = rng.standard_normal((8, 8))
+        Bt = rng.standard_normal((8, 8))
+        C = np.zeros((8, 8))
+        scratch = np.empty((16, 32))
+        macro_kernel(At, Bt, [(1.0, C)], 0, 0, P, mode="slab", scratch=scratch)
+        assert np.allclose(C, At @ Bt)
+
+    def test_unknown_mode_raises(self, rng):
+        At = rng.standard_normal((4, 4))
+        with pytest.raises(ValueError):
+            macro_kernel(At, At, [(1.0, np.zeros((4, 4)))], 0, 0, P, mode="x")

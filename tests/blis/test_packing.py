@@ -1,0 +1,71 @@
+"""Tests for fused-sum packing and multi-destination updates."""
+
+import numpy as np
+import pytest
+
+from repro.blis.counters import OpCounters
+from repro.blis.packing import pack_weighted, weighted_update
+
+
+class TestPackWeighted:
+    def test_single_operand_copies(self, rng):
+        X = rng.standard_normal((10, 12))
+        buf = pack_weighted([(1.0, X)], slice(2, 6), slice(0, 5))
+        assert np.array_equal(buf, X[2:6, 0:5])
+        buf[0, 0] = 99  # must be a copy, not a view
+        assert X[2, 0] != 99
+
+    def test_weighted_sum(self, rng):
+        X = rng.standard_normal((8, 8))
+        Y = rng.standard_normal((8, 8))
+        buf = pack_weighted([(1.0, X), (-2.0, Y)], slice(0, 8), slice(0, 8))
+        assert np.allclose(buf, X - 2 * Y)
+
+    def test_counters_a(self, rng):
+        X = rng.standard_normal((6, 4))
+        c = OpCounters()
+        pack_weighted([(1.0, X), (1.0, X), (-1.0, X)], slice(0, 6), slice(0, 4), c, "A")
+        assert c.a_read == 3 * 24
+        assert c.a_pack_write == 24
+        assert c.a_add_flops == 2 * 2 * 24
+        assert c.b_read == 0
+
+    def test_counters_b(self, rng):
+        X = rng.standard_normal((6, 4))
+        c = OpCounters()
+        pack_weighted([(1.0, X)], slice(0, 3), slice(0, 4), c, "B")
+        assert c.b_read == 12
+        assert c.b_pack_write == 12
+        assert c.b_add_flops == 0
+
+    def test_preallocated_out(self, rng):
+        X = rng.standard_normal((8, 8))
+        out = np.empty((16, 16))
+        buf = pack_weighted([(1.0, X)], slice(0, 8), slice(0, 4), out=out)
+        assert buf.shape == (8, 4)
+        assert buf.base is out
+
+    def test_empty_operands_raise(self):
+        with pytest.raises(ValueError):
+            pack_weighted([], slice(0, 1), slice(0, 1))
+
+
+class TestWeightedUpdate:
+    def test_multi_destination(self, rng):
+        block = rng.standard_normal((4, 4))
+        C1 = np.zeros((8, 8))
+        C2 = np.zeros((8, 8))
+        weighted_update(
+            [(1.0, C1), (-0.5, C2)], block, slice(4, 8), slice(0, 4)
+        )
+        assert np.allclose(C1[4:8, 0:4], block)
+        assert np.allclose(C2[4:8, 0:4], -0.5 * block)
+        assert C1[:4].sum() == 0
+
+    def test_counters(self, rng):
+        block = rng.standard_normal((3, 3))
+        C = np.zeros((3, 3))
+        c = OpCounters()
+        weighted_update([(1.0, C), (1.0, C)], block, slice(0, 3), slice(0, 3), c)
+        assert c.c_traffic == 2 * 9 * 2
+        assert c.c_add_flops == 2 * 9 * 2

@@ -1,0 +1,34 @@
+"""Tests for blocking parameters."""
+
+import pytest
+
+from repro.blis.params import IVY_BRIDGE_BLOCKING, BlockingParams
+
+
+class TestBlockingParams:
+    def test_paper_defaults(self):
+        p = IVY_BRIDGE_BLOCKING
+        assert (p.mc, p.kc, p.nc, p.mr, p.nr) == (96, 256, 4096, 8, 4)
+
+    def test_paper_buffer_sizes(self):
+        # §5.1: A~ is 192 KB (fits 256 KB L2), B~ is 8192 KB (fits L3).
+        assert IVY_BRIDGE_BLOCKING.a_buffer_bytes == 192 * 1024
+        assert IVY_BRIDGE_BLOCKING.b_buffer_bytes == 8192 * 1024
+
+    def test_mc_must_divide_mr(self):
+        with pytest.raises(ValueError):
+            BlockingParams(mc=100, mr=8)
+
+    def test_nc_must_divide_nr(self):
+        with pytest.raises(ValueError):
+            BlockingParams(nc=4098, nr=4)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            BlockingParams(kc=0)
+
+    def test_scaled_copy(self):
+        p = IVY_BRIDGE_BLOCKING.scaled(kc=128)
+        assert p.kc == 128
+        assert p.mc == 96
+        assert IVY_BRIDGE_BLOCKING.kc == 256  # original untouched

@@ -1,0 +1,95 @@
+"""Tests for the loop-walking cost simulator.
+
+The key property: for every variant, level count and (ragged) shape, the
+simulator's counters must equal the instrumented engine's counters exactly
+— they walk the same loop structure, one with arrays, one without.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blis.params import BlockingParams
+from repro.blis.simulator import (
+    counters_to_time,
+    simulate_fmm,
+    simulate_gemm,
+    simulate_time,
+)
+from repro.core.executor import BlockedEngine, resolve_levels
+from repro.model.machines import ivy_bridge_e5_2680_v2
+
+SMALL = BlockingParams(mc=16, kc=16, nc=32, mr=4, nr=4)
+MACH = ivy_bridge_e5_2680_v2(1)
+
+
+class TestGemmSimulation:
+    def test_matches_engine(self, rng):
+        m, k, n = 50, 33, 71
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        eng = BlockedEngine(params=SMALL)
+        eng.gemm(A, B, np.zeros((m, n)))
+        sim = simulate_gemm(m, k, n, SMALL)
+        assert sim.as_dict() == eng.counters.as_dict()
+
+    def test_flops_identity(self):
+        sim = simulate_gemm(100, 200, 300, SMALL)
+        assert sim.mul_flops == 2 * 100 * 200 * 300
+
+
+class TestFmmSimulation:
+    @pytest.mark.parametrize("variant", ["naive", "ab", "abc"])
+    @pytest.mark.parametrize(
+        "spec,levels,shape",
+        [
+            ("strassen", 1, (64, 64, 64)),
+            ("strassen", 2, (100, 103, 97)),
+            ((3, 2, 3), 1, (66, 44, 66)),
+            ((2, 5, 2), 1, (32, 50, 20)),
+        ],
+    )
+    def test_matches_engine_exactly(self, rng, variant, spec, levels, shape):
+        ml = resolve_levels(spec, levels)
+        m, k, n = shape
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        eng = BlockedEngine(params=SMALL, variant=variant)
+        eng.multiply(A, B, np.zeros((m, n)), ml)
+        sim = simulate_fmm(m, k, n, ml, variant, SMALL)
+        for key, val in eng.counters.as_dict().items():
+            assert sim.as_dict()[key] == pytest.approx(val), (key, variant, spec)
+
+    def test_fmm_saves_flops(self):
+        ml = resolve_levels("strassen", 1)
+        sim = simulate_fmm(1024, 1024, 1024, ml, "abc", SMALL)
+        gemm = simulate_gemm(1024, 1024, 1024, SMALL)
+        # 7/8 of the multiplies, plus lower-order addition flops.
+        assert sim.mul_flops == gemm.mul_flops * 7 / 8
+
+    def test_unknown_variant_raises(self):
+        ml = resolve_levels("strassen", 1)
+        with pytest.raises(ValueError):
+            simulate_fmm(64, 64, 64, ml, "xyz", SMALL)
+
+
+class TestPricing:
+    def test_counters_to_time_positive(self):
+        sim = simulate_gemm(512, 512, 512, MACH.blocking)
+        t = counters_to_time(sim, MACH)
+        assert t > 0
+
+    def test_multicore_speeds_up_arithmetic(self):
+        m1 = ivy_bridge_e5_2680_v2(1)
+        m10 = ivy_bridge_e5_2680_v2(10)
+        t1 = simulate_time(4096, 4096, 4096, None, "abc", m1)
+        t10 = simulate_time(4096, 4096, 4096, None, "abc", m10)
+        assert t10 < t1
+
+    def test_paper_scale_is_fast_to_simulate(self):
+        # The whole point: m=n=14400 in milliseconds, not teraflops.
+        import time
+
+        ml = resolve_levels("strassen", 2)
+        t0 = time.perf_counter()
+        simulate_time(14400, 12000, 14400, ml, "abc", MACH)
+        assert time.perf_counter() - t0 < 5.0

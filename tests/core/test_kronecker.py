@@ -1,0 +1,78 @@
+"""Tests for multi-level Kronecker composition."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen
+from repro.core.fmm import nnz
+from repro.core.kronecker import MultiLevelFMM
+
+
+class TestStructure:
+    def test_one_level_passthrough(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo])
+        assert ml.L == 1
+        assert ml.dims_total == (2, 2, 2)
+        assert ml.rank_total == 7
+        assert np.array_equal(ml.U, strassen_algo.U)
+
+    def test_two_level_strassen(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo, strassen_algo])
+        assert ml.dims_total == (4, 4, 4)
+        assert ml.rank_total == 49
+        assert ml.U.shape == (16, 49)
+        assert ml.V.shape == (16, 49)
+        assert ml.W.shape == (16, 49)
+
+    def test_hybrid_dims(self, strassen_algo):
+        c = classical(3, 1, 2)
+        ml = MultiLevelFMM([strassen_algo, c])
+        assert ml.dims_total == (6, 2, 4)
+        assert ml.rank_total == 7 * 6
+
+    def test_kron_coefficients_match_numpy(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo, strassen_algo])
+        assert np.array_equal(ml.U, np.kron(strassen_algo.U, strassen_algo.U))
+
+    def test_empty_levels_raise(self):
+        with pytest.raises(ValueError):
+            MultiLevelFMM([])
+
+    def test_grids(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo, classical(3, 1, 2)])
+        assert ml.grids("A") == [(2, 2), (3, 1)]
+        assert ml.grids("B") == [(2, 2), (1, 2)]
+        assert ml.grids("C") == [(2, 2), (3, 2)]
+        with pytest.raises(ValueError):
+            ml.grids("D")
+
+
+class TestNnz:
+    def test_nnz_is_multiplicative(self, strassen_algo):
+        # nnz(kron(X, Y)) = nnz(X) * nnz(Y) for exact zero patterns.
+        ml = MultiLevelFMM([strassen_algo, strassen_algo])
+        u1, v1, w1 = strassen_algo.nnz_uvw()
+        u2, v2, w2 = ml.nnz_uvw()
+        assert (u2, v2, w2) == (u1 * u1, v1 * v1, w1 * w1)
+
+    def test_theoretical_speedup_compounds(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo] * 3)
+        assert ml.theoretical_speedup() == pytest.approx((8 / 7) ** 3)
+
+
+class TestColumns:
+    def test_columns_reconstruct_matrices(self, strassen_algo):
+        ml = MultiLevelFMM([strassen_algo, strassen_algo])
+        cols = ml.columns
+        assert len(cols) == 49
+        U2 = np.zeros_like(ml.U)
+        for r, (ai, ac, _, _, _, _) in enumerate(cols):
+            U2[ai, r] = ac
+        assert np.array_equal(U2, ml.U)
+
+    def test_columns_are_nonempty(self, strassen_algo):
+        # Every product must touch at least one block of each operand.
+        ml = MultiLevelFMM([strassen_algo, classical(2, 1, 2)])
+        for ai, _, bi, _, ci, _ in ml.columns:
+            assert len(ai) >= 1 and len(bi) >= 1 and len(ci) >= 1

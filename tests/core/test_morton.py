@@ -1,0 +1,91 @@
+"""Tests for recursive block (Morton-like) indexing."""
+
+import numpy as np
+import pytest
+
+from repro.core.morton import (
+    block_index_grid,
+    block_shape,
+    block_views,
+    recursive_to_rowmajor,
+    rowmajor_to_recursive,
+)
+
+
+class TestPermutations:
+    def test_single_level_is_identity(self):
+        perm = recursive_to_rowmajor([(3, 4)])
+        assert np.array_equal(perm, np.arange(12))
+
+    def test_bijection(self):
+        for grids in ([(2, 2), (2, 2)], [(2, 3), (3, 2)], [(2, 2), (3, 1), (1, 2)]):
+            perm = recursive_to_rowmajor(grids)
+            assert sorted(perm.tolist()) == list(range(len(perm)))
+
+    def test_inverse(self):
+        grids = [(2, 3), (2, 2)]
+        p = recursive_to_rowmajor(grids)
+        q = rowmajor_to_recursive(grids)
+        assert np.array_equal(p[q], np.arange(len(p)))
+        assert np.array_equal(q[p], np.arange(len(p)))
+
+    def test_two_level_2x2_explicit(self):
+        # Recursive index 1 is the NE quadrant's NW block: grid position
+        # (row 0, col 2) in the 4x4 flat grid => flat index 2.
+        perm = recursive_to_rowmajor([(2, 2), (2, 2)])
+        assert perm[0] == 0
+        assert perm[1] == 1
+        assert perm[4] == 2  # quadrant 1 (NE), inner 0
+        assert perm[12] == 10  # quadrant 3 (SE), inner 0
+
+    def test_rejects_empty_and_bad_grids(self):
+        with pytest.raises(ValueError):
+            recursive_to_rowmajor([])
+        with pytest.raises(ValueError):
+            recursive_to_rowmajor([(0, 2)])
+
+
+class TestFig3:
+    def test_paper_figure_grid(self):
+        # Fig. 3: three-level <2,2> splitting of an 8x8 block grid.
+        g = block_index_grid([(2, 2)] * 3)
+        assert g.shape == (8, 8)
+        # First quadrant rows as printed in the paper's figure.
+        assert g[0, :4].tolist() == [0, 1, 4, 5]
+        assert g[1, :4].tolist() == [2, 3, 6, 7]
+        assert g[0, 4:].tolist() == [16, 17, 20, 21]
+        assert g[4, :4].tolist() == [32, 33, 36, 37]
+        assert g[7, 7] == 63
+
+    def test_grid_holds_all_indices(self):
+        g = block_index_grid([(2, 3), (3, 2)])
+        assert sorted(g.ravel().tolist()) == list(range(36))
+
+
+class TestBlockViews:
+    def test_views_cover_matrix(self, rng):
+        X = rng.standard_normal((12, 8))
+        views = block_views(X, [(2, 2), (3, 2)])
+        assert len(views) == 4 * 6
+        total = sum(v.sum() for v in views)
+        assert np.isclose(total, X.sum())
+
+    def test_views_are_writable_views(self, rng):
+        X = np.zeros((4, 4))
+        views = block_views(X, [(2, 2)])
+        views[3] += 1.0  # bottom-right quadrant
+        assert X[2:, 2:].sum() == 4.0
+        assert X[:2, :2].sum() == 0.0
+
+    def test_recursive_order_matches_kron(self, rng):
+        # Writing index r into view r must reproduce block_index_grid.
+        grids = [(2, 2), (2, 2)]
+        X = np.zeros((8, 8))
+        for r, v in enumerate(block_views(X, grids)):
+            v[:] = r
+        g = block_index_grid(grids)
+        assert np.array_equal(X[::2, ::2], g.reshape(4, 4))
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            block_shape((5, 4), [(2, 2)])

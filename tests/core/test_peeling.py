@@ -1,0 +1,67 @@
+"""Tests for dynamic peeling."""
+
+import numpy as np
+import pytest
+
+from repro.core.peeling import peel
+
+
+class TestPeel:
+    def test_divisible_has_no_fringes(self):
+        plan = peel(8, 8, 8, 2, 2, 2)
+        assert plan.core == (8, 8, 8)
+        assert plan.fringes == ()
+        assert plan.core_fraction == 1.0
+
+    def test_all_dims_ragged(self):
+        plan = peel(9, 9, 9, 2, 2, 2)
+        assert plan.core == (8, 8, 8)
+        assert len(plan.fringes) == 3
+
+    def test_flop_cover_identity(self):
+        # Core flops + fringe flops must equal m*k*n exactly — the peeling
+        # decomposition tiles the computation with no overlap or gap.
+        for (m, k, n, Mt, Kt, Nt) in [
+            (9, 9, 9, 2, 2, 2),
+            (100, 103, 97, 4, 4, 4),
+            (5, 7, 11, 3, 2, 6),
+            (6, 6, 6, 2, 3, 2),
+            (2, 2, 2, 3, 3, 3),  # core empty
+        ]:
+            plan = peel(m, k, n, Mt, Kt, Nt)
+            mc, kc, nc = plan.core
+            total = mc * kc * nc + sum(
+                f.shape[0] * f.shape[1] * f.shape[2] for f in plan.fringes
+            )
+            assert total == m * k * n, (m, k, n, Mt, Kt, Nt)
+
+    def test_semantic_cover(self, rng):
+        # Executing core (as plain matmul) + fringes reproduces A @ B.
+        m, k, n, Mt, Kt, Nt = 11, 7, 13, 2, 3, 4
+        plan = peel(m, k, n, Mt, Kt, Nt)
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        C = np.zeros((m, n))
+        mp, kp, np_ = plan.core
+        if plan.has_core:
+            C[:mp, :np_] += A[:mp, :kp] @ B[:kp, :np_]
+        for f in plan.fringes:
+            C[f.c_rows, f.c_cols] += A[f.a_rows, f.a_cols] @ B[f.b_rows, f.b_cols]
+        assert np.allclose(C, A @ B)
+
+    def test_core_smaller_than_partition(self):
+        plan = peel(3, 3, 3, 4, 4, 4)
+        assert not plan.has_core
+        # Everything lands in fringes; cover identity still holds.
+        total = sum(f.shape[0] * f.shape[1] * f.shape[2] for f in plan.fringes)
+        assert total == 27
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            peel(4, 4, 4, 0, 2, 2)
+        with pytest.raises(ValueError):
+            peel(-1, 4, 4, 2, 2, 2)
+
+    def test_zero_dims(self):
+        plan = peel(0, 4, 4, 2, 2, 2)
+        assert not plan.has_core

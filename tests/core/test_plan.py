@@ -1,0 +1,52 @@
+"""Tests for the execution-plan IR."""
+
+import pytest
+
+from repro.core.executor import resolve_levels
+from repro.core.plan import build_plan
+
+
+class TestBuildPlan:
+    def test_strassen_step_count(self):
+        ml = resolve_levels("strassen", 1)
+        plan = build_plan(64, 64, 64, ml, "abc")
+        assert plan.rank_total == 7
+        assert len(plan.steps) == 7
+
+    def test_step_terms_match_eq2(self):
+        # Product M1 = (A2 + A3) B0; C2 += M1; C3 -= M1 (paper eq. (2)).
+        ml = resolve_levels("strassen", 1)
+        plan = build_plan(64, 64, 64, ml, "abc")
+        s = plan.steps[1]
+        assert s.a_terms == ((2, 1.0), (3, 1.0))
+        assert s.b_terms == ((0, 1.0),)
+        assert s.c_terms == ((2, 1.0), (3, -1.0))
+
+    def test_operation_counts(self):
+        ml = resolve_levels("strassen", 1)
+        plan = build_plan(64, 64, 64, ml, "abc")
+        counts = plan.operation_counts()
+        assert counts["products"] == 7
+        # nnz(U) - R = 12 - 7 = 5 A-side additions, same for B; 12 C updates.
+        assert counts["a_additions"] == 5
+        assert counts["b_additions"] == 5
+        assert counts["c_updates"] == 12
+        assert counts["fringe_gemms"] == 0
+
+    def test_fringes_recorded(self):
+        ml = resolve_levels("strassen", 1)
+        plan = build_plan(65, 65, 65, ml, "abc")
+        assert plan.operation_counts()["fringe_gemms"] == 3
+
+    def test_two_level_counts(self):
+        ml = resolve_levels("strassen", 2)
+        plan = build_plan(64, 64, 64, ml, "ab")
+        assert plan.rank_total == 49
+        counts = plan.operation_counts()
+        assert counts["a_additions"] == 144 - 49  # nnz(U (x) U) - R^2
+        assert counts["c_updates"] == 144
+
+    def test_bad_variant(self):
+        ml = resolve_levels("strassen", 1)
+        with pytest.raises(ValueError):
+            build_plan(8, 8, 8, ml, "fused")

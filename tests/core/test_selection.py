@@ -1,0 +1,71 @@
+"""Tests for model-guided selection (the poly-algorithm)."""
+
+import pytest
+
+from repro.core.selection import Candidate, enumerate_candidates, rank_candidates, select
+from repro.model.machines import ivy_bridge_e5_2680_v2
+
+MACH = ivy_bridge_e5_2680_v2(1)
+
+
+class TestEnumerate:
+    def test_counts(self):
+        cands = enumerate_candidates(4800, 4800, 4800, MACH, max_levels=1)
+        # 23 one-level shapes x 3 variants.
+        assert len(cands) == 23 * 3
+
+    def test_two_level_includes_hybrids(self):
+        cands = enumerate_candidates(4800, 4800, 4800, MACH, max_levels=2)
+        labels = {c.label for c in cands}
+        assert any("+" in lab for lab in labels)
+        assert "<2,2,2>+<3,3,3>/abc" in labels
+
+    def test_too_small_problem_filters(self):
+        cands = enumerate_candidates(3, 3, 3, MACH, max_levels=2)
+        for c in cands:
+            Mt = 1
+            for s in c.shapes:
+                Mt *= s[0]
+            assert Mt <= 3
+
+    def test_variants_restricted(self):
+        cands = enumerate_candidates(1000, 1000, 1000, MACH, variants=("abc",))
+        assert {c.variant for c in cands} == {"abc"}
+
+
+class TestRankAndSelect:
+    def test_ranking_sorted(self):
+        ranked = rank_candidates(enumerate_candidates(4800, 480, 4800, MACH))
+        times = [c.prediction.time for c in ranked]
+        assert times == sorted(times)
+
+    def test_select_returns_finalist(self):
+        winner, ranked = select(14400, 480, 14400, MACH, top=2)
+        assert isinstance(winner, Candidate)
+        assert winner.label in {c.label for c in ranked[:2]}
+
+    def test_rank_k_update_prefers_abc(self):
+        # Paper §4.3: for small k the ABC variant wins (no M_r traffic).
+        winner, _ = select(14400, 480, 14400, MACH)
+        assert winner.variant == "abc"
+
+    def test_large_square_prefers_ab_or_naive(self):
+        # Paper §4.3: for large k the AB/Naive variants overtake ABC.
+        winner, _ = select(12000, 12000, 12000, MACH)
+        assert winner.variant in ("ab", "naive")
+
+    def test_empty_problem_raises(self):
+        with pytest.raises(ValueError):
+            select(1, 1, 1, MACH)
+
+    def test_measure_hook(self):
+        # A custom measurement can override the model's favorite.
+        calls = []
+
+        def fake_measure(c):
+            calls.append(c.label)
+            return float(len(calls))  # first finalist "measures" fastest
+
+        winner, ranked = select(4800, 4800, 4800, MACH, top=3, measure=fake_measure)
+        assert len(calls) == 3
+        assert winner.label == ranked[0].label

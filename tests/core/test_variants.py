@@ -1,0 +1,78 @@
+"""Tests for Naive / AB / ABC variant semantics and their cost signatures."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import BlockedEngine, resolve_levels
+from repro.core.variants import VARIANTS, run_fmm_blocked
+
+
+def _run(variant, rng, shape=(64, 64, 64), spec="strassen", levels=1):
+    ml = resolve_levels(spec, levels)
+    m, k, n = shape
+    A = rng.standard_normal((m, k))
+    B = rng.standard_normal((k, n))
+    C = np.zeros((m, n))
+    eng = BlockedEngine(variant=variant)
+    eng.multiply(A, B, C, ml)
+    assert np.abs(C - A @ B).max() < 1e-9
+    return eng.counters
+
+
+class TestCostSignatures:
+    def test_abc_has_no_temporaries(self, rng):
+        c = _run("abc", rng)
+        assert c.temp_a_traffic == 0
+        assert c.temp_b_traffic == 0
+        assert c.temp_c_traffic == 0
+
+    def test_ab_has_only_c_temporary(self, rng):
+        c = _run("ab", rng)
+        assert c.temp_a_traffic == 0
+        assert c.temp_b_traffic == 0
+        assert c.temp_c_traffic > 0
+
+    def test_naive_has_all_temporaries(self, rng):
+        c = _run("naive", rng)
+        assert c.temp_a_traffic > 0
+        assert c.temp_b_traffic > 0
+        assert c.temp_c_traffic > 0
+
+    def test_packing_read_ordering(self, rng):
+        # ABC/AB read each A submatrix once per use (nnz(U) reads); naive
+        # reads only R packed temporaries — fewer packing reads, paid back
+        # as temporary traffic.
+        abc = _run("abc", rng)
+        naive = _run("naive", rng)
+        assert abc.a_read > naive.a_read
+        assert naive.temp_a_traffic > 0
+
+    def test_c_kernel_traffic_ordering(self, rng):
+        # ABC writes every destination from the kernel: nnz(W) > R streams.
+        abc = _run("abc", rng)
+        ab = _run("ab", rng)
+        assert abc.c_traffic > ab.c_traffic
+
+    def test_same_multiplication_flops(self, rng):
+        flops = {v: _run(v, rng).mul_flops for v in VARIANTS}
+        assert flops["abc"] == flops["ab"] == flops["naive"]
+        # One-level Strassen: 7 products of (32)^3 blocks: 7 * 2 * 32^3.
+        assert flops["abc"] == 7 * 2 * 32**3
+
+
+class TestRunFmmBlockedValidation:
+    def test_unknown_variant(self, rng):
+        ml = resolve_levels("strassen", 1)
+        from repro.core.morton import block_views
+
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C = np.zeros((8, 8))
+        with pytest.raises(ValueError):
+            run_fmm_blocked(
+                block_views(A, ml.grids("A")),
+                block_views(B, ml.grids("B")),
+                block_views(C, ml.grids("C")),
+                ml,
+                variant="xyz",
+            )

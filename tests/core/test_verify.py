@@ -1,0 +1,62 @@
+"""Tests for Freivalds' randomized product verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import multiply
+from repro.core.verify import freivalds, verify_product
+
+
+class TestFreivalds:
+    def test_accepts_correct_product(self, rng):
+        A = rng.standard_normal((50, 40))
+        B = rng.standard_normal((40, 60))
+        assert freivalds(A, B, A @ B)
+
+    def test_accepts_fmm_roundoff(self, rng):
+        A = rng.standard_normal((100, 100))
+        B = rng.standard_normal((100, 100))
+        C = multiply(A, B, algorithm="strassen", levels=2)
+        assert freivalds(A, B, C)
+
+    def test_rejects_wrong_product(self, rng):
+        A = rng.standard_normal((32, 32))
+        B = rng.standard_normal((32, 32))
+        C = A @ B
+        C[3, 4] += 1.0
+        assert not freivalds(A, B, C)
+
+    def test_rejects_small_corruption(self, rng):
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        C = A @ B
+        C[0, 0] += 1e-2 * np.abs(C).max()
+        assert not freivalds(A, B, C, trials=32)
+
+    def test_rejects_transposed_result(self, rng):
+        A = rng.standard_normal((48, 48))
+        B = rng.standard_normal((48, 48))
+        assert not freivalds(A, B, (A @ B).T)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            freivalds(
+                rng.standard_normal((4, 4)),
+                rng.standard_normal((5, 4)),
+                np.zeros((4, 4)),
+            )
+
+
+class TestVerifyProduct:
+    def test_small_exact_path(self, rng):
+        A = rng.standard_normal((20, 20))
+        B = rng.standard_normal((20, 20))
+        assert verify_product(A, B, A @ B)
+        bad = A @ B + 1e-3
+        assert not verify_product(A, B, bad)
+
+    def test_large_randomized_path(self, rng):
+        A = rng.standard_normal((600, 64))
+        B = rng.standard_normal((64, 600))
+        C = multiply(A, B, algorithm=(4, 2, 2))
+        assert verify_product(A, B, C, exact_threshold=128)

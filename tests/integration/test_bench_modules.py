@@ -1,0 +1,115 @@
+"""Tests for the benchmark support package (workloads/runner/reporting)."""
+
+import numpy as np
+
+from repro.bench.paper_data import FIG2_ROWS, PRACTICAL1_SHAPE, PRACTICAL2_SHAPE
+from repro.bench.reporting import format_table, series_table, write_csv
+from repro.bench.runner import Series, SeriesPoint, measure_wall, run_series
+from repro.bench.workloads import (
+    fig6_sweep,
+    fig7_fixed_k_sweep,
+    fig7_square_sweep,
+    fig9_sweep,
+    reduced,
+)
+from repro.core.executor import resolve_levels
+from repro.model.machines import generic_laptop, ivy_bridge_e5_2680_v2
+
+
+class TestWorkloads:
+    def test_fig6_sweep_matches_paper_axis(self):
+        sweep = fig6_sweep()
+        assert sweep[0] == (14400, 1024, 14400)
+        assert sweep[-1] == (14400, 12288, 14400)
+        assert len(sweep) == 12
+
+    def test_fig7_square(self):
+        assert all(m == k == n for m, k, n in fig7_square_sweep())
+
+    def test_fig7_fixed_k(self):
+        assert all(k == 1024 for _, k, _ in fig7_fixed_k_sweep())
+
+    def test_fig9_axis(self):
+        sweep = fig9_sweep()
+        assert sweep[0] == (1200, 1200, 1200)
+        assert sweep[-1] == (15600, 1200, 15600)
+
+    def test_reduced_floors(self):
+        r = reduced([(14400, 480, 14400)], factor=1000, minimum=48)
+        assert r == [(48, 48, 48)]
+
+
+class TestPaperData:
+    def test_fig2_rows_complete(self):
+        assert len(FIG2_ROWS) == 23
+        assert {r.dims for r in FIG2_ROWS} == {
+            tuple(d) for d in [r.dims for r in FIG2_ROWS]
+        }
+
+    def test_theory_consistent_with_rank(self):
+        for r in FIG2_ROWS:
+            expect = (r.classical_muls / r.rank - 1) * 100
+            assert abs(expect - r.theory_pct) < 0.1, r.dims
+
+    def test_practical_shapes(self):
+        assert PRACTICAL1_SHAPE == (14400, 480, 14400)
+        assert PRACTICAL2_SHAPE == (14400, 12000, 14400)
+
+
+class TestRunner:
+    def test_model_and_sim_tiers(self):
+        mach = ivy_bridge_e5_2680_v2(1)
+        sweep = [(2048, 2048, 2048), (4096, 4096, 4096)]
+        for tier in ("model", "sim"):
+            s = run_series(sweep, "strassen", 1, "abc", mach, tier=tier)
+            assert s.tier == tier
+            assert len(s.points) == 2
+            assert s.points[1].gflops > s.points[0].gflops * 0.5
+
+    def test_wall_tier_direct(self):
+        mach = generic_laptop(1)
+        s = run_series([(96, 96, 96)], "strassen", 1, "abc", mach, tier="wall")
+        assert s.points[0].time > 0
+
+    def test_measure_wall_blocked(self):
+        ml = resolve_levels("strassen", 1)
+        t = measure_wall(64, 64, 64, ml, "abc", engine="blocked", repeats=1)
+        assert t > 0
+
+    def test_unknown_tier(self):
+        mach = generic_laptop(1)
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_series([(8, 8, 8)], None, 1, "abc", mach, tier="psychic")
+
+
+class TestReporting:
+    def _series(self):
+        s = Series(label="x", tier="model")
+        s.points = [
+            SeriesPoint((10, 10, 10), 1.5, 2.0),
+            SeriesPoint((20, 20, 20), 2.5, 3.0),
+        ]
+        return s
+
+    def test_format_table_alignment(self):
+        t = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert lines[3].startswith("1")
+        assert "333" in lines[4]
+
+    def test_series_table(self):
+        out = series_table([self._series()])
+        assert "x [model]" in out
+        assert "10x10x10" in out
+
+    def test_write_csv(self, tmp_path):
+        p = write_csv(tmp_path / "out.csv", [self._series()])
+        text = p.read_text()
+        assert "m,k,n,x|model" in text
+        assert "20,20,20,2.5000" in text
+
+    def test_empty_series_table(self):
+        assert "no series" in series_table([])

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_multiply_defaults(self):
+        args = build_parser().parse_args(["multiply"])
+        assert args.m == 1024 and args.algorithm == "strassen"
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "<2,2,2>" in out and "<6,3,3>" in out
+
+    def test_multiply_direct(self, capsys):
+        rc = main(["multiply", "-m", "32", "-k", "40", "-n", "36"])
+        assert rc == 0
+        assert "max |C - AB|" in capsys.readouterr().out
+
+    def test_multiply_blocked_hybrid(self, capsys):
+        rc = main(
+            ["multiply", "-m", "30", "-k", "20", "-n", "30",
+             "--algorithm", "strassen+<3,2,3>", "--engine", "blocked",
+             "--variant", "ab"]
+        )
+        assert rc == 0
+        assert "counters" in capsys.readouterr().out
+
+    def test_select(self, capsys):
+        rc = main(["select", "-m", "4800", "-k", "480", "-n", "4800"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "selected:" in out
+
+    def test_codegen(self, capsys):
+        rc = main(["codegen", "-m", "64", "-k", "64", "-n", "64"])
+        assert rc == 0
+        src = capsys.readouterr().out
+        assert src.startswith("def fmm_")
+        ns: dict = {}
+        exec(src, ns)  # emitted source must be runnable as-is
+
+    def test_model(self, capsys):
+        rc = main(["model", "-m", "14400", "-k", "480", "-n", "14400"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gemm (BLIS model)" in out and "strassen/abc" in out
+
+    def test_discover_trivial(self, capsys):
+        rc = main(
+            ["discover", "-m", "1", "-k", "1", "-n", "2", "--rank", "2",
+             "--restarts", "4", "--budget", "20"]
+        )
+        assert rc == 0
+
+    def test_discover_impossible(self):
+        rc = main(
+            ["discover", "-m", "2", "-k", "2", "-n", "2", "--rank", "4",
+             "--restarts", "2", "--budget", "5"]
+        )
+        assert rc == 1

@@ -1,0 +1,116 @@
+"""Cross-module integration tests: full pipeline consistency."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.bench.runner import run_series
+from repro.bench.workloads import fig6_sweep, reduced
+from repro.blis.simulator import simulate_time
+from repro.core.codegen import compile_plan
+from repro.core.plan import build_plan
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_docstring_example(self, rng):
+        A, B = rng.random((128, 96)), rng.random((96, 160))
+        C = repro.multiply(A, B, algorithm="strassen", levels=2)
+        assert np.allclose(C, A @ B)
+
+    def test_catalog_to_multiply_roundtrip(self, rng):
+        for entry in repro.fig2_family()[:6]:
+            m, k, n = entry.dims
+            A = rng.standard_normal((m * 8 + 1, k * 8 + 1))
+            B = rng.standard_normal((k * 8 + 1, n * 8 + 1))
+            C = repro.multiply(A, B, algorithm=entry.algorithm)
+            assert np.abs(C - A @ B).max() < 1e-8
+
+
+class TestGeneratorEngineAgreement:
+    @pytest.mark.parametrize("variant", ["naive", "ab", "abc"])
+    def test_codegen_equals_engines(self, rng, variant):
+        ml = repro.resolve_levels("strassen", 2)
+        fn, _ = compile_plan(build_plan(64, 64, 64, ml, variant))
+        A = rng.standard_normal((68, 72))
+        B = rng.standard_normal((72, 76))
+        from_gen = fn(A, B, np.zeros((68, 76)))
+        from_direct = repro.multiply(A, B, algorithm="strassen", levels=2)
+        from_blocked = repro.multiply(
+            A, B, algorithm="strassen", levels=2, engine="blocked", variant=variant
+        )
+        assert np.allclose(from_gen, from_direct)
+        assert np.allclose(from_gen, from_blocked)
+
+
+class TestSelectionPipeline:
+    def test_selected_candidate_is_runnable(self, rng):
+        mach = repro.ivy_bridge_e5_2680_v2(1)
+        winner, _ = repro.select(480, 480, 480, mach)
+        ml = winner.multilevel()
+        A = rng.standard_normal((481, 483))
+        B = rng.standard_normal((483, 479))
+        C = np.zeros((481, 479))
+        repro.DirectEngine().multiply(A, B, C, ml)
+        assert np.abs(C - A @ B).max() < 1e-7
+
+    def test_model_agrees_with_simulator_ordering(self):
+        # For the clean divisible sizes of the paper sweeps, the model and
+        # the fringe-aware simulator must broadly agree on who wins.
+        mach = repro.ivy_bridge_e5_2680_v2(1)
+        ml = repro.resolve_levels("strassen", 1)
+        m = n = 14400
+        for k in (1024, 4096, 12288):
+            t_model = repro.predict_fmm(m, k, n, ml, "abc", mach).time
+            t_sim = simulate_time(m, k, n, ml, "abc", mach)
+            assert t_model == pytest.approx(t_sim, rel=0.05), k
+
+
+class TestBenchHarness:
+    def test_run_series_model_tier(self):
+        mach = repro.ivy_bridge_e5_2680_v2(1)
+        sweep = fig6_sweep()[:3]
+        s = run_series(sweep, "strassen", 1, "abc", mach, tier="model")
+        assert len(s.points) == 3
+        assert all(p.gflops > 0 for p in s.points)
+
+    def test_run_series_sim_tier(self):
+        mach = repro.ivy_bridge_e5_2680_v2(1)
+        sweep = fig6_sweep()[:2]
+        s = run_series(sweep, "strassen", 1, "abc", mach, tier="sim")
+        assert all(p.gflops > 10 for p in s.points)
+
+    def test_run_series_wall_tier_small(self):
+        mach = repro.generic_laptop(1)
+        sweep = reduced(fig6_sweep()[:1], factor=100)
+        s = run_series(sweep, "strassen", 1, "abc", mach, tier="wall")
+        assert s.points[0].time > 0
+
+    def test_gemm_baseline_series(self):
+        mach = repro.ivy_bridge_e5_2680_v2(1)
+        s = run_series(fig6_sweep()[:2], None, 1, "abc", mach, tier="model")
+        assert s.label == "gemm"
+
+
+class TestNumericalBehaviour:
+    def test_fmm_error_grows_with_levels(self, rng):
+        # Known FMM property ([8-10] in the paper): deeper recursion loses
+        # accuracy relative to classical GEMM.  Use a well-scaled problem.
+        n = 128
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        ref = A @ B
+        errs = []
+        for levels in (1, 2, 3):
+            C = repro.multiply(A, B, algorithm="strassen", levels=levels)
+            errs.append(np.abs(C - ref).max())
+        assert errs[0] < errs[2] * 1.001  # non-decreasing overall trend
+        assert errs[2] < 1e-10  # still tiny at fp64
+
+    def test_float32_supported_via_promotion(self, rng):
+        A = rng.standard_normal((32, 32)).astype(np.float32)
+        B = rng.standard_normal((32, 32)).astype(np.float32)
+        C = repro.multiply(A, B, algorithm="strassen")
+        assert np.abs(C - A.astype(np.float64) @ B.astype(np.float64)).max() < 1e-5

@@ -1,0 +1,38 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.plotting import ascii_chart
+from repro.bench.runner import Series, SeriesPoint
+
+
+def _series(label, values, ks=None):
+    s = Series(label=label, tier="model")
+    ks = ks or [1024 * (i + 1) for i in range(len(values))]
+    s.points = [
+        SeriesPoint((14400, k, 14400), v, 1.0) for k, v in zip(ks, values)
+    ]
+    return s
+
+
+class TestAsciiChart:
+    def test_renders_marks_and_legend(self):
+        out = ascii_chart([_series("gemm", [26, 26.5, 27]),
+                           _series("strassen", [25, 28, 30])], title="panel")
+        assert out.startswith("panel")
+        assert "o gemm" in out and "x strassen" in out
+        body = "\n".join(out.splitlines()[1:-3])  # chart rows only
+        assert "o" in body and "x" in body  # both series plotted
+
+    def test_y_axis_covers_range(self):
+        out = ascii_chart([_series("s", [10.0, 50.0])])
+        assert "50.0" in out and "10.0" in out
+
+    def test_flat_series_no_crash(self):
+        out = ascii_chart([_series("flat", [5.0, 5.0, 5.0])])
+        assert "flat" in out
+
+    def test_empty(self):
+        assert ascii_chart([]) == "(no series)"
+
+    def test_x_axis_bounds_printed(self):
+        out = ascii_chart([_series("s", [1, 2, 3], ks=[100, 200, 300])])
+        assert "100" in out and "300" in out

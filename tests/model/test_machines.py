@@ -1,0 +1,45 @@
+"""Tests for machine parameter configs."""
+
+import pytest
+
+from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
+
+
+class TestMachineParams:
+    def test_tau_a(self):
+        m = ivy_bridge_e5_2680_v2(1)
+        assert m.tau_a == pytest.approx(1.0 / 28.32e9)
+
+    def test_tau_b(self):
+        m = ivy_bridge_e5_2680_v2(1)
+        assert m.tau_b == pytest.approx(8.0 / 12.0e9)
+
+    def test_single_core_peak(self):
+        assert ivy_bridge_e5_2680_v2(1).peak_gflops == pytest.approx(28.32)
+
+    def test_ten_core_peak_matches_paper(self):
+        # 24.8 GFLOPS/core x 10 = 248, the line marked in Figs. 9-10.
+        assert ivy_bridge_e5_2680_v2(10).peak_gflops == pytest.approx(248.0)
+
+    def test_bandwidth_saturates_at_socket(self):
+        assert ivy_bridge_e5_2680_v2(10).bandwidth_gbs == pytest.approx(59.7)
+        assert ivy_bridge_e5_2680_v2(2).bandwidth_gbs == pytest.approx(24.0)
+
+    def test_with_lam(self):
+        m = ivy_bridge_e5_2680_v2(1)
+        m2 = m.with_lam(0.55)
+        assert m2.lam == 0.55
+        assert m.lam == 0.7  # frozen original
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineParams(name="x", peak_gflops_per_core=0, bandwidth_gbs=10)
+        with pytest.raises(ValueError):
+            MachineParams(name="x", peak_gflops_per_core=10, bandwidth_gbs=10, lam=1.5)
+        with pytest.raises(ValueError):
+            MachineParams(name="x", peak_gflops_per_core=10, bandwidth_gbs=10, cores=0)
+
+    def test_generic_laptop(self):
+        m = generic_laptop(4)
+        assert m.cores == 4
+        assert m.peak_gflops > 0

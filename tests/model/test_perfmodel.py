@@ -1,0 +1,88 @@
+"""Tests for the performance-model predictions."""
+
+import pytest
+
+from repro.core.executor import resolve_levels
+from repro.model.machines import ivy_bridge_e5_2680_v2
+from repro.model.perfmodel import (
+    calibrate_lambda,
+    effective_gflops,
+    predict_fmm,
+    predict_gemm,
+)
+
+MACH = ivy_bridge_e5_2680_v2(1)
+
+
+class TestEffectiveGflops:
+    def test_definition(self):
+        assert effective_gflops(1000, 1000, 1000, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            effective_gflops(10, 10, 10, 0.0)
+
+
+class TestGemmPrediction:
+    def test_below_peak(self):
+        p = predict_gemm(12000, 12000, 12000, MACH)
+        assert 0.85 * 28.32 < p.effective_gflops < 28.32
+
+    def test_rank_k_lower_than_square(self):
+        # Memory-bound rank-k updates run below big-square GEMM.
+        small_k = predict_gemm(14400, 480, 14400, MACH)
+        square = predict_gemm(14400, 12000, 14400, MACH)
+        assert small_k.effective_gflops < square.effective_gflops
+
+
+class TestFmmPrediction:
+    def test_strassen_beats_gemm_when_large(self):
+        ml = resolve_levels("strassen", 1)
+        fmm = predict_fmm(14400, 12000, 14400, ml, "abc", MACH)
+        gemm = predict_gemm(14400, 12000, 14400, MACH)
+        assert fmm.effective_gflops > gemm.effective_gflops
+
+    def test_exceeds_nominal_peak(self):
+        # Effective GFLOPS counts 2mnk classical flops: a 2-level Strassen
+        # at huge sizes must exceed the machine's nominal peak.
+        ml = resolve_levels("strassen", 2)
+        p = predict_fmm(14400, 12000, 14400, ml, "ab", MACH)
+        assert p.effective_gflops > 28.32
+
+    def test_abc_wins_rank_k_ab_wins_square(self):
+        # The central §4.3 observation, at the model level.
+        ml = resolve_levels("strassen", 1)
+        m = n = 14400
+        abc_small = predict_fmm(m, 480, n, ml, "abc", MACH)
+        ab_small = predict_fmm(m, 480, n, ml, "ab", MACH)
+        assert abc_small.effective_gflops > ab_small.effective_gflops
+        abc_big = predict_fmm(m, 12000, n, ml, "abc", MACH)
+        ab_big = predict_fmm(m, 12000, n, ml, "ab", MACH)
+        assert ab_big.effective_gflops > abc_big.effective_gflops
+
+    def test_time_decomposition(self):
+        ml = resolve_levels("strassen", 1)
+        p = predict_fmm(4800, 4800, 4800, ml, "abc", MACH)
+        assert p.time == pytest.approx(p.arithmetic_time + p.memory_time)
+
+    def test_multicore_divides_arithmetic_only(self):
+        ml = resolve_levels("strassen", 1)
+        m10 = ivy_bridge_e5_2680_v2(10)
+        p1 = predict_fmm(10000, 10000, 10000, ml, "abc", ivy_bridge_e5_2680_v2(1))
+        p10 = predict_fmm(10000, 10000, 10000, ml, "abc", m10)
+        assert p10.time < p1.time
+        # Less than 10x: bandwidth does not scale 10x (59.7/12 ~ 5x).
+        assert p1.time / p10.time < 10.0
+
+
+class TestCalibrateLambda:
+    def test_recovers_known_lambda(self):
+        target = predict_gemm(14400, 12000, 14400, MACH.with_lam(0.62)).effective_gflops
+        fitted = calibrate_lambda(MACH, target)
+        assert fitted.lam == pytest.approx(0.62, abs=0.01)
+
+    def test_clamps_at_bounds(self):
+        too_fast = calibrate_lambda(MACH, 1e9)
+        assert too_fast.lam == pytest.approx(0.05)
+        too_slow = calibrate_lambda(MACH, 0.1)
+        assert too_slow.lam == pytest.approx(1.0)

@@ -1,0 +1,71 @@
+"""Tests for the numerical-stability bounds."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import fig2_family
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen
+from repro.core.executor import multiply, resolve_levels
+from repro.model.stability import (
+    estimate_forward_error,
+    growth_factor,
+    rank_by_stability,
+)
+
+
+class TestGrowthFactor:
+    def test_classical_is_minimal(self):
+        # Classical <2,2,2>: each column of U/V/W has a single 1 -> Q = 1.
+        assert growth_factor(classical(2, 2, 2)) == 1.0
+
+    def test_strassen_growth(self):
+        # eq.-(4): every column of U, V and W has at most two unit entries,
+        # so the max column sums are 2, 2, 2 -> Q = 8.
+        assert growth_factor(strassen()) == 8.0
+
+    def test_all_catalog_entries_bounded(self):
+        for e in fig2_family():
+            q = growth_factor(e.algorithm)
+            assert 1.0 <= q < 1000.0, e.dims
+
+    def test_fmm_less_stable_than_classical(self):
+        for e in fig2_family()[:5]:
+            assert growth_factor(e.algorithm) > growth_factor(classical(*e.dims)) * 0.99
+
+
+class TestEstimate:
+    def test_growth_compounds_with_levels(self):
+        e1 = estimate_forward_error(resolve_levels("strassen", 1), 1024)
+        e2 = estimate_forward_error(resolve_levels("strassen", 2), 1024)
+        assert e2.growth == pytest.approx(e1.growth**2)
+        assert e2.bound_coefficient > e1.bound_coefficient
+
+    def test_bound_dominates_measured_error(self, rng):
+        # The bound must actually hold (it is loose by construction).
+        n = 128
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        ref = A @ B
+        for levels in (1, 2):
+            ml = resolve_levels("strassen", levels)
+            C = multiply(A, B, algorithm="strassen", levels=levels)
+            est = estimate_forward_error(ml, n)
+            bound = est.absolute_bound(
+                float(np.linalg.norm(A, np.inf)), float(np.linalg.norm(B, np.inf))
+            )
+            measured = float(np.abs(C - ref).max())
+            assert measured < bound, (levels, measured, bound)
+
+
+class TestRanking:
+    def test_strassen_among_most_stable(self):
+        algos = [e.algorithm for e in fig2_family()]
+        ranked = rank_by_stability(algos)
+        names = [a.name for a, _ in ranked[:8]]
+        assert "strassen" in names
+
+    def test_sorted_ascending(self):
+        ranked = rank_by_stability([e.algorithm for e in fig2_family()])
+        qs = [q for _, q in ranked]
+        assert qs == sorted(qs)

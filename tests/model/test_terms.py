@@ -1,0 +1,90 @@
+"""Tests for the Fig.-5 term tables."""
+
+import math
+
+import pytest
+
+from repro.core.executor import resolve_levels
+from repro.model.machines import ivy_bridge_e5_2680_v2
+from repro.model.terms import gemm_term_table, term_table
+
+MACH = ivy_bridge_e5_2680_v2(1)
+
+
+class TestGemmTable:
+    def test_arithmetic_is_2mnk(self):
+        m, k, n = 1000, 2000, 3000
+        tab = gemm_term_table(m, k, n, MACH)
+        assert tab.arithmetic_time == pytest.approx(2 * m * n * k * MACH.tau_a)
+
+    def test_memory_formula(self):
+        m, k, n = 5000, 300, 7000
+        tab = gemm_term_table(m, k, n, MACH)
+        kc, nc = MACH.blocking.kc, MACH.blocking.nc
+        expect = (
+            m * k * math.ceil(n / nc)
+            + n * k
+            + 2 * MACH.lam * m * n * math.ceil(k / kc)
+        ) * MACH.tau_b
+        assert tab.memory_time == pytest.approx(expect)
+
+
+class TestFmmCounts:
+    def setup_method(self):
+        self.ml = resolve_levels("strassen", 1)
+
+    def test_abc_counts(self):
+        tab = term_table(1000, 1000, 1000, self.ml, "abc", MACH)
+        assert tab.n_mul == 7
+        assert tab.n_a_add == 5 and tab.n_b_add == 5 and tab.n_c_add == 12
+        assert tab.n_a_pack_read == 12 and tab.n_b_pack_read == 12
+        assert tab.n_c_kernel == 12
+        assert tab.n_a_temp == tab.n_b_temp == tab.n_c_temp == 0
+
+    def test_ab_counts(self):
+        tab = term_table(1000, 1000, 1000, self.ml, "ab", MACH)
+        assert tab.n_c_kernel == 7  # M_r buffer, one stream per product
+        assert tab.n_c_temp == 36  # 3 * nnz(W)
+        assert tab.n_a_temp == 0
+
+    def test_naive_counts(self):
+        tab = term_table(1000, 1000, 1000, self.ml, "naive", MACH)
+        assert tab.n_a_pack_read == 7  # packs the temporary, R_L times
+        assert tab.n_a_temp == 12 + 7  # nnz(U) + R_L
+        assert tab.n_b_temp == 12 + 7
+        assert tab.n_c_temp == 36
+
+    def test_two_level_counts_compound(self):
+        ml2 = resolve_levels("strassen", 2)
+        tab = term_table(1000, 1000, 1000, ml2, "abc", MACH)
+        assert tab.n_mul == 49
+        assert tab.n_a_pack_read == 144  # nnz(U (x) U) = 12^2
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            term_table(100, 100, 100, self.ml, "zzz", MACH)
+
+
+class TestUnitTimes:
+    def test_submatrix_sizes_divide(self):
+        ml = resolve_levels("strassen", 1)
+        tab = term_table(1000, 1000, 1000, ml, "abc", MACH)
+        # T_a^x is 2 * (m/2)(n/2)(k/2) * tau_a.
+        assert tab.t_mul == pytest.approx(2 * 500**3 * MACH.tau_a)
+        assert tab.t_a_add == pytest.approx(2 * 500 * 500 * MACH.tau_a)
+
+    def test_c_kernel_has_lambda_and_ceiling(self):
+        ml = resolve_levels("strassen", 1)
+        tab = term_table(1000, 600, 1000, ml, "abc", MACH)
+        expect = (
+            2 * MACH.lam * 500 * 500 * math.ceil(300 / MACH.blocking.kc) * MACH.tau_b
+        )
+        assert tab.t_c_kernel == pytest.approx(expect)
+
+    def test_breakdown_sums_to_total(self):
+        ml = resolve_levels("strassen", 2)
+        tab = term_table(2000, 2000, 2000, ml, "ab", MACH)
+        parts = tab.breakdown()
+        assert sum(parts.values()) == pytest.approx(
+            tab.arithmetic_time + tab.memory_time
+        )

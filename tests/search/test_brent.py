@@ -1,0 +1,98 @@
+"""Tests for the matmul tensor and Brent-equation verification."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.classical import classical
+from repro.algorithms.strassen import strassen, winograd
+from repro.search import brent
+
+
+class TestMatmulTensor:
+    def test_shape(self):
+        T = brent.matmul_tensor(2, 3, 4)
+        assert T.shape == (6, 12, 8)
+
+    def test_entry_count(self):
+        # Exactly m*k*n unit entries: one per scalar multiply of classical.
+        for m, k, n in [(1, 1, 1), (2, 2, 2), (2, 3, 4), (3, 1, 5)]:
+            T = brent.matmul_tensor(m, k, n)
+            assert T.sum() == m * k * n
+            assert set(np.unique(T)) <= {0.0, 1.0}
+
+    def test_entries_match_classical_product(self):
+        m, k, n = 2, 3, 2
+        T = brent.matmul_tensor(m, k, n)
+        # T[i,j,p]=1 iff A-block i and B-block j multiply into C-block p.
+        for i1 in range(m):
+            for i2 in range(k):
+                for j1 in range(k):
+                    for j2 in range(n):
+                        for p1 in range(m):
+                            for p2 in range(n):
+                                expect = (i2 == j1) and (i1 == p1) and (j2 == p2)
+                                got = T[i1 * k + i2, j1 * n + j2, p1 * n + p2]
+                                assert got == float(expect)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            brent.matmul_tensor(0, 2, 2)
+
+
+class TestVerification:
+    def test_strassen_satisfies_brent(self):
+        s = strassen()
+        assert brent.verify_brent(s.U, s.V, s.W, 2, 2, 2)
+        assert brent.brent_max_residual(s.U, s.V, s.W, 2, 2, 2) == 0.0
+
+    def test_winograd_satisfies_brent(self):
+        w = winograd()
+        assert brent.verify_brent(w.U, w.V, w.W, 2, 2, 2)
+
+    def test_classical_satisfies_brent(self):
+        for dims in [(1, 1, 1), (2, 3, 4), (3, 3, 3)]:
+            c = classical(*dims)
+            assert brent.verify_brent(c.U, c.V, c.W, *dims)
+
+    def test_corrupted_algorithm_fails(self):
+        s = strassen()
+        U = s.U.copy()
+        U[0, 0] += 0.5
+        assert not brent.verify_brent(U, s.V, s.W, 2, 2, 2)
+        assert brent.brent_max_residual(U, s.V, s.W, 2, 2, 2) >= 0.5
+
+    def test_frobenius_vs_max(self):
+        s = strassen()
+        U = s.U.copy()
+        U[0, 0] += 1e-3
+        fro = brent.brent_frobenius_residual(U, s.V, s.W, 2, 2, 2)
+        mx = brent.brent_max_residual(U, s.V, s.W, 2, 2, 2)
+        assert fro >= mx > 0
+
+    def test_exact_verification_strassen(self):
+        s = strassen()
+        assert brent.verify_brent_exact(s.U, s.V, s.W, 2, 2, 2)
+
+    def test_exact_verification_rejects_epsilon_error(self):
+        s = strassen()
+        U = s.U.copy()
+        U[0, 0] = 1.0 + 1.0 / 1024  # a representable small rational error
+        assert not brent.verify_brent_exact(U, s.V, s.W, 2, 2, 2)
+
+    def test_exact_verification_halves(self):
+        # Rescale one Strassen column by 2 / 0.5 — still exact.
+        s = strassen()
+        U = s.U.copy()
+        W = s.W.copy()
+        U[:, 0] *= 2.0
+        W[:, 0] *= 0.5
+        assert brent.verify_brent_exact(U, s.V, W, 2, 2, 2)
+
+    def test_shape_validation(self):
+        s = strassen()
+        with pytest.raises(ValueError):
+            brent.verify_brent(s.U[:3], s.V, s.W, 2, 2, 2)
+        with pytest.raises(ValueError):
+            brent.verify_brent(s.U, s.V[:, :6], s.W, 2, 2, 2)
+        with pytest.raises(ValueError):
+            brent.verify_brent(s.U.ravel(), s.V, s.W, 2, 2, 2)

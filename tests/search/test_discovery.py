@@ -1,0 +1,36 @@
+"""Tests for the search orchestration (kept cheap: tiny tensors + one real hit)."""
+
+import pytest
+
+from repro.search.discovery import discover
+
+
+class TestDiscover:
+    def test_trivial_rank(self):
+        # <1,1,2> has rank exactly 2; any restart should succeed quickly.
+        algo, rep = discover(1, 1, 2, 2, max_restarts=5, time_budget=30, seed=0)
+        assert algo is not None
+        assert algo.rank == 2
+        assert rep.found in ("exact", "float")
+
+    def test_report_counts(self):
+        _, rep = discover(1, 1, 2, 2, max_restarts=3, time_budget=30, seed=0)
+        assert rep.restarts >= 1
+        assert len(rep.history) == rep.restarts
+        assert rep.elapsed >= 0
+
+    def test_impossible_rank_returns_none(self):
+        # Rank 5 < R(<2,2,2>) = 7: nothing to find.
+        algo, rep = discover(2, 2, 2, 5, max_restarts=3, time_budget=15, seed=0)
+        assert algo is None
+        assert rep.found == "none"
+        assert rep.best_residual > 1e-3
+
+    @pytest.mark.slow
+    def test_finds_strassen_rank7_exact(self):
+        algo, rep = discover(2, 2, 2, 7, max_restarts=20, time_budget=120, seed=0)
+        assert algo is not None
+        assert rep.found == "exact"
+        assert algo.rank == 7
+        nnz = sum(int((abs(M) > 0).sum()) for M in (algo.U, algo.V, algo.W))
+        assert nnz <= 48  # discrete representative, Strassen-orbit sparse

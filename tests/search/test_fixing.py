@@ -1,0 +1,82 @@
+"""Tests for incremental (fix-and-refit) rounding."""
+
+import numpy as np
+
+from repro.algorithms.strassen import strassen
+from repro.search.brent import brent_max_residual, verify_brent_exact
+from repro.search.fixing import (
+    GRID,
+    _snap_grid,
+    incremental_rounding,
+    sparsify_zeros,
+)
+
+
+class TestSnapGrid:
+    def test_snaps_to_nearest(self):
+        X = np.array([0.49, -0.9, 0.1, 1.6])
+        S = _snap_grid(X, GRID)
+        assert np.allclose(S, [0.5, -1.0, 0.0, 1.5])
+
+    def test_grid_contains_published_values(self):
+        for v in (0.0, 0.5, -0.5, 1.0, -1.0, 2.0, 0.25):
+            assert v in GRID
+
+
+class TestIncrementalRounding:
+    def test_fixes_noisy_strassen(self, rng):
+        s = strassen()
+        U = s.U + 5e-3 * rng.standard_normal(s.U.shape)
+        V = s.V + 5e-3 * rng.standard_normal(s.V.shape)
+        W = s.W + 5e-3 * rng.standard_normal(s.W.shape)
+        out = incremental_rounding(U, V, W, 2, 2, 2)
+        assert out.factors is not None
+        assert out.fixed_fraction == 1.0
+        assert brent_max_residual(*out.factors, 2, 2, 2) < 1e-9
+        assert verify_brent_exact(*out.factors, 2, 2, 2)
+
+    def test_exact_input_is_fixed_point(self):
+        s = strassen()
+        out = incremental_rounding(s.U, s.V, s.W, 2, 2, 2)
+        assert out.factors is not None
+        assert np.allclose(out.factors[0], s.U)
+        assert np.allclose(out.factors[1], s.V)
+        assert np.allclose(out.factors[2], s.W)
+
+    def test_garbage_fails_cleanly(self, rng):
+        U = rng.standard_normal((4, 7))
+        V = rng.standard_normal((4, 7))
+        W = rng.standard_normal((4, 7))
+        out = incremental_rounding(U, V, W, 2, 2, 2)
+        assert out.factors is None
+        assert 0.0 <= out.fixed_fraction <= 1.0
+
+
+class TestSparsifyZeros:
+    def test_recovers_zero_pattern_under_noise(self, rng):
+        # Perturb Strassen's zeros slightly: the zero pattern must come
+        # back exactly, and the result must still decompose the tensor.
+        s = strassen()
+        noise = 0.02 * rng.standard_normal(s.U.shape)
+        U = s.U + noise * (s.U == 0)
+        out = sparsify_zeros(U, s.V, s.W, 2, 2, 2)
+        assert out.factors is not None
+        assert np.count_nonzero(out.factors[0]) <= np.count_nonzero(s.U)
+        assert brent_max_residual(*out.factors, 2, 2, 2) < 1e-9
+
+    def test_keeps_float_values_float(self, rng):
+        # Rescale a Strassen column by an irrational-ish factor: zeros are
+        # pinned but the scaled values survive (no snap to the grid).
+        s = strassen()
+        U, W = s.U.copy(), s.W.copy()
+        U[:, 0] *= 1.37
+        W[:, 0] /= 1.37
+        out = sparsify_zeros(U, s.V, W, 2, 2, 2)
+        assert out.factors is not None
+        assert brent_max_residual(*out.factors, 2, 2, 2) < 1e-9
+        assert np.any(np.abs(np.abs(out.factors[0]) - 1.37) < 1e-6)
+
+    def test_dense_garbage_reports_failure(self, rng):
+        U = 1.0 + 0.1 * rng.standard_normal((4, 7))  # nothing near zero
+        out = sparsify_zeros(U, U, U, 2, 2, 2)
+        assert out.factors is None

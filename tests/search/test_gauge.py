@@ -1,0 +1,73 @@
+"""Tests for symmetry-group (gauge) transformations and sparsification."""
+
+import numpy as np
+
+from repro.algorithms.strassen import strassen
+from repro.search.brent import brent_max_residual
+from repro.search.gauge import apply_gauge, gauge_objective, sparsify_gauge
+
+
+class TestApplyGauge:
+    def test_identity_is_noop(self):
+        s = strassen()
+        U, V, W = apply_gauge(
+            s.U, s.V, s.W, 2, 2, 2, np.eye(2), np.eye(2), np.eye(2)
+        )
+        assert np.allclose(U, s.U)
+        assert np.allclose(V, s.V)
+        assert np.allclose(W, s.W)
+
+    def test_random_gauge_preserves_brent(self, rng):
+        s = strassen()
+        for _ in range(5):
+            X = np.eye(2) + 0.5 * rng.standard_normal((2, 2))
+            Y = np.eye(2) + 0.5 * rng.standard_normal((2, 2))
+            Z = np.eye(2) + 0.5 * rng.standard_normal((2, 2))
+            U, V, W = apply_gauge(s.U, s.V, s.W, 2, 2, 2, X, Y, Z)
+            assert brent_max_residual(U, V, W, 2, 2, 2) < 1e-10
+
+    def test_gauge_composition(self, rng):
+        # Applying (X1,Y1,Z1) then (X2,Y2,Z2) equals the single gauge
+        # (X1 X2, Y2 Y1, Z2 Z1): U transforms through X^T / Y^T so X
+        # composes left-to-right while Y and Z pick up the reversed order.
+        s = strassen()
+        X1, Y1, Z1, X2, Y2, Z2 = (
+            np.eye(2) + 0.3 * rng.standard_normal((2, 2)) for _ in range(6)
+        )
+        a = apply_gauge(*apply_gauge(s.U, s.V, s.W, 2, 2, 2, X1, Y1, Z1),
+                        2, 2, 2, X2, Y2, Z2)
+        b = apply_gauge(s.U, s.V, s.W, 2, 2, 2, X1 @ X2, Y2 @ Y1, Z2 @ Z1)
+        for p, q in zip(a, b):
+            assert np.allclose(p, q)
+
+    def test_nonsquare_shape(self, rng):
+        from repro.algorithms.classical import classical
+
+        c = classical(2, 3, 4)
+        X = np.eye(2) + 0.2 * rng.standard_normal((2, 2))
+        Y = np.eye(3) + 0.2 * rng.standard_normal((3, 3))
+        Z = np.eye(4) + 0.2 * rng.standard_normal((4, 4))
+        U, V, W = apply_gauge(c.U, c.V, c.W, 2, 3, 4, X, Y, Z)
+        assert brent_max_residual(U, V, W, 2, 3, 4) < 1e-9
+
+
+class TestSparsifyGauge:
+    def test_objective_penalizes_singular(self):
+        s = strassen()
+        params = np.concatenate([np.zeros(4), np.eye(2).ravel(), np.eye(2).ravel()])
+        assert gauge_objective(params, s.U, s.V, s.W, 2, 2, 2, 0.01) >= 1e12
+
+    def test_scrambled_strassen_resparsifies(self, rng):
+        # Scramble Strassen with a random gauge; sparsification should get
+        # the nonzero count back near the original 36 (allow slack).
+        s = strassen()
+        X = np.eye(2) + 0.4 * rng.standard_normal((2, 2))
+        Y = np.eye(2) + 0.4 * rng.standard_normal((2, 2))
+        Z = np.eye(2) + 0.4 * rng.standard_normal((2, 2))
+        U, V, W = apply_gauge(s.U, s.V, s.W, 2, 2, 2, X, Y, Z)
+        dense_nnz = sum(int(np.sum(np.abs(M) > 1e-6)) for M in (U, V, W))
+        Ug, Vg, Wg = sparsify_gauge(U, V, W, 2, 2, 2, rng, restarts=2)
+        assert brent_max_residual(Ug, Vg, Wg, 2, 2, 2) < 1e-8
+        sparse_nnz = sum(int(np.sum(np.abs(M) > 1e-3)) for M in (Ug, Vg, Wg))
+        assert sparse_nnz <= dense_nnz
+        assert sparse_nnz <= 48  # Strassen orbit representative is 36

@@ -1,0 +1,94 @@
+"""Tests for gauge normalization, snapping and refit-based discretization."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.strassen import strassen
+from repro.search.brent import brent_max_residual
+from repro.search.rounding import (
+    DEFAULT_CANDIDATES,
+    discretize,
+    normalize_columns,
+    refit_factor,
+    snap,
+)
+
+
+class TestNormalizeColumns:
+    def test_preserves_decomposition(self, rng):
+        s = strassen()
+        # Randomly rescale the gauge, then normalize back.
+        U, V, W = s.U.copy(), s.V.copy(), s.W.copy()
+        for r in range(7):
+            a, b = rng.uniform(0.5, 2.0, 2)
+            U[:, r] *= a
+            V[:, r] *= b
+            W[:, r] /= a * b
+        Un, Vn, Wn = normalize_columns(U, V, W)
+        assert brent_max_residual(Un, Vn, Wn, 2, 2, 2) < 1e-12
+
+    def test_unit_max_columns(self, rng):
+        s = strassen()
+        U, V, W = s.U * 3.0, s.V * 0.25, s.W.copy()
+        Un, Vn, Wn = normalize_columns(U, V, W)
+        for r in range(7):
+            assert np.isclose(np.max(np.abs(Un[:, r])), 1.0)
+            assert np.isclose(np.max(np.abs(Vn[:, r])), 1.0)
+
+
+class TestSnap:
+    def test_exact_values_unchanged(self):
+        X = np.array([[0.0, 1.0, -0.5], [2.0, -1.0, 0.25]])
+        S, move = snap(X)
+        assert np.array_equal(S, X)
+        assert move == 0.0
+
+    def test_reports_max_move(self):
+        X = np.array([[0.97, 0.02]])
+        S, move = snap(X)
+        assert np.allclose(S, [[1.0, 0.0]])
+        assert move == pytest.approx(0.03, abs=1e-12)
+
+    def test_candidate_set_contains_basics(self):
+        vals = {float(c) for c in DEFAULT_CANDIDATES}
+        for v in (0.0, 1.0, -1.0, 0.5, -0.5, 2.0):
+            assert v in vals
+
+
+class TestRefitFactor:
+    @pytest.mark.parametrize("which", [0, 1, 2])
+    def test_recovers_deleted_factor(self, which):
+        s = strassen()
+        factors = [s.U.copy(), s.V.copy(), s.W.copy()]
+        factors[which] = np.zeros_like(factors[which])
+        got = refit_factor(which, tuple(factors), 2, 2, 2)
+        factors[which] = got
+        assert brent_max_residual(*factors, 2, 2, 2) < 1e-10
+
+
+class TestDiscretize:
+    def test_roundtrip_perturbed_strassen(self, rng):
+        s = strassen()
+        U = s.U + 0.01 * rng.standard_normal(s.U.shape)
+        V = s.V + 0.01 * rng.standard_normal(s.V.shape)
+        W = s.W + 0.01 * rng.standard_normal(s.W.shape)
+        out = discretize(U, V, W, 2, 2, 2)
+        assert out is not None
+        assert brent_max_residual(*out, 2, 2, 2) == 0.0
+
+    def test_rescaled_columns_recovered(self, rng):
+        # Per-column scaling is pure gauge: discretize must undo it.
+        s = strassen()
+        U, V, W = s.U.copy(), s.V.copy(), s.W.copy()
+        for r in range(7):
+            a = rng.uniform(0.6, 1.7)
+            U[:, r] *= a
+            W[:, r] /= a
+        out = discretize(U, V, W, 2, 2, 2)
+        assert out is not None
+
+    def test_garbage_returns_none(self, rng):
+        U = rng.standard_normal((4, 7))
+        V = rng.standard_normal((4, 7))
+        W = rng.standard_normal((4, 7))
+        assert discretize(U, V, W, 2, 2, 2) is None

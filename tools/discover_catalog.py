@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Offline driver: search for the irreducible base-case algorithms.
+
+Runs the ALS -> LM-polish -> gauge-sparsify -> round pipeline for each base
+shape that cannot be constructed exactly by transforms, across many seeds in
+parallel, and writes any exact triple found to
+``src/repro/algorithms/data/<m>_<k>_<n>_<rank>.json``.
+
+Usage:  python tools/discover_catalog.py [--budget SECONDS] [--targets m,k,n,R ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.algorithms.loader import save_json  # noqa: E402
+from repro.search.discovery import discover  # noqa: E402
+
+# (m, k, n, rank): the paper's Fig.-2 base cases beyond transform reach.
+DEFAULT_TARGETS = [
+    (2, 3, 3, 15),
+    (3, 3, 3, 23),
+    (2, 3, 4, 20),
+    (3, 4, 3, 29),
+    (4, 2, 4, 26),
+    (3, 5, 3, 36),
+    (3, 3, 6, 40),
+]
+
+
+def _search_one(args):
+    m, k, n, rank, seed, budget = args
+    algo, rep = discover(
+        m, k, n, rank,
+        max_restarts=10_000,
+        time_budget=budget,
+        seed=seed,
+        als_iters=1500,
+    )
+    return (m, k, n, rank, seed, algo, rep)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--budget", type=float, default=600.0, help="seconds per worker")
+    ap.add_argument("--seeds", type=int, default=3, help="parallel seeds per target")
+    ap.add_argument("--targets", nargs="*", default=None, help="m,k,n,R tuples")
+    args = ap.parse_args()
+
+    targets = DEFAULT_TARGETS
+    if args.targets:
+        targets = [tuple(int(x) for x in t.split(",")) for t in args.targets]
+
+    out_dir = REPO / "src" / "repro" / "algorithms" / "data"
+    done: set[tuple[int, int, int, int]] = set()
+    jobs = []
+    for m, k, n, rank in targets:
+        path = out_dir / f"{m}_{k}_{n}_{rank}.json"
+        if path.exists():
+            print(f"skip <{m},{k},{n}>:{rank} (already on disk)")
+            done.add((m, k, n, rank))
+            continue
+        for s in range(args.seeds):
+            jobs.append((m, k, n, rank, 1000 * s + hash((m, k, n)) % 997, args.budget))
+
+    t0 = time.time()
+    with ProcessPoolExecutor(max_workers=min(len(jobs), 20) or 1) as pool:
+        futs = {pool.submit(_search_one, j): j for j in jobs}
+        for fut in as_completed(futs):
+            m, k, n, rank, seed, algo, rep = fut.result()
+            key = (m, k, n, rank)
+            tag = f"<{m},{k},{n}>:{rank} seed={seed}"
+            if algo is None or key in done:
+                print(
+                    f"[{time.time() - t0:7.1f}s] {tag}: {rep.found} "
+                    f"(best residual {rep.best_residual:.2e}, "
+                    f"{rep.restarts} restarts)"
+                )
+                continue
+            if "exact" in algo.source:
+                done.add(key)
+                p = save_json(algo, out_dir / f"{m}_{k}_{n}_{rank}.json")
+                print(f"[{time.time() - t0:7.1f}s] {tag}: EXACT -> {p.name}")
+            else:
+                p = save_json(algo, out_dir / f"{m}_{k}_{n}_{rank}.float.json")
+                print(f"[{time.time() - t0:7.1f}s] {tag}: float -> {p.name}")
+    missing = [t for t in targets if t not in done]
+    print("missing:", missing or "none")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,10 +12,14 @@ True
 
 Public surface
 --------------
-* :func:`multiply` — one-call FMM (any catalog algorithm, levels, hybrid).
+* :func:`multiply` / :func:`multiply_batched` — one-call FMM (any catalog
+  algorithm, levels, hybrid; ``engine="auto"`` for model-guided dispatch).
 * :func:`get_algorithm` / :func:`fig2_family` — the generated family.
 * :class:`FMMAlgorithm` / :class:`MultiLevelFMM` — the ``[[U,V,W]]`` algebra.
-* :class:`DirectEngine` / :class:`BlockedEngine` — execution engines.
+* :class:`DirectEngine` / :class:`BlockedEngine` — execution engines, thin
+  interpreters of the cached :class:`CompiledPlan` artifact
+  (:mod:`repro.core.compile`; inspect the cache with
+  :func:`plan_cache_info` / :func:`plan_cache_clear`).
 * :func:`predict_fmm` / :func:`predict_gemm` — the Fig.-5 performance model.
 * :func:`select` — model-guided poly-algorithm selection (Fig. 8).
 * :func:`build_plan` / :func:`generate_source` — the code generator.
@@ -33,11 +37,23 @@ from repro.algorithms.classical import classical
 from repro.algorithms.strassen import strassen, winograd
 from repro.blis.params import BlockingParams
 from repro.core.codegen import compile_plan, generate_source
-from repro.core.executor import BlockedEngine, DirectEngine, multiply, resolve_levels
+from repro.core.compile import (
+    CompiledPlan,
+    plan_cache_clear,
+    plan_cache_info,
+)
+from repro.core.executor import (
+    BlockedEngine,
+    DirectEngine,
+    multiply,
+    multiply_batched,
+    resolve_levels,
+)
 from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.plan import build_plan
-from repro.core.selection import Candidate, select
+from repro.core.selection import Candidate, auto_config, select
+from repro.core.spec import normalize_spec
 from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
 from repro.model.perfmodel import (
     calibrate_lambda,
@@ -50,6 +66,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "multiply",
+    "multiply_batched",
+    "CompiledPlan",
+    "plan_cache_info",
+    "plan_cache_clear",
+    "normalize_spec",
+    "auto_config",
     "get_algorithm",
     "get_entry",
     "fig2_family",

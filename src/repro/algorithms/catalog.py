@@ -245,7 +245,13 @@ def get_algorithm(spec) -> FMMAlgorithm:
         if low == "classical":
             return classical(1, 1, 1)
         low = low.strip("<>")
-        parts = tuple(int(x) for x in low.replace(" ", "").split(","))
+        try:
+            parts = tuple(int(x) for x in low.replace(" ", "").split(","))
+        except ValueError:
+            raise ValueError(
+                f"unknown algorithm {spec!r}: expected 'strassen', 'winograd', "
+                f"'classical' or a '<m,k,n>' shape"
+            ) from None
         return get_entry(*parts).algorithm
     if isinstance(spec, (tuple, list)) and len(spec) == 3:
         return get_entry(*(int(x) for x in spec)).algorithm

@@ -79,7 +79,9 @@ def packed_gemm(
     m, k, n = _operand_shapes(a_ops, b_ops, c_ops)
     if 0 in (m, k, n):
         return
-    b_buf = np.empty((min(params.kc, k), min(params.nc, n)))
+    # Reusable B~ panel in the operands' dtype (float32 stays float32).
+    work_dtype = np.result_type(a_ops[0][1], b_ops[0][1])
+    b_buf = np.empty((min(params.kc, k), min(params.nc, n)), dtype=work_dtype)
 
     for jc, nc_eff in loop_bounds(n, params.nc):  # 5th loop
         jsl = slice(jc, jc + nc_eff)

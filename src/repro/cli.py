@@ -25,10 +25,10 @@ def _add_shape(p: argparse.ArgumentParser) -> None:
 
 
 def _parse_algorithm(spec: str, levels: int):
-    from repro.core.executor import resolve_levels
+    # All spec grammar (names, "<m,k,n>", "+"-joined hybrid stacks) lives in
+    # repro.core.spec; the CLI just forwards.
+    from repro.core.spec import resolve_levels
 
-    if "+" in spec:
-        return resolve_levels([s.strip() for s in spec.split("+")])
     return resolve_levels(spec, levels)
 
 
@@ -40,22 +40,43 @@ def cmd_catalog(args) -> int:
 
 
 def cmd_multiply(args) -> int:
-    from repro.core.executor import BlockedEngine, DirectEngine
+    from repro.core.executor import BlockedEngine, multiply, multiply_batched
 
-    ml = _parse_algorithm(args.algorithm, args.levels)
     rng = np.random.default_rng(args.seed)
-    A = rng.standard_normal((args.m, args.k))
-    B = rng.standard_normal((args.k, args.n))
-    C = np.zeros((args.m, args.n))
-    if args.engine == "blocked":
+    dtype = np.float32 if args.dtype == "float32" else np.float64
+    shape_a, shape_b = (args.m, args.k), (args.k, args.n)
+    if args.batch > 1:
+        shape_a, shape_b = (args.batch,) + shape_a, (args.batch,) + shape_b
+    A = rng.standard_normal(shape_a).astype(dtype)
+    B = rng.standard_normal(shape_b).astype(dtype)
+
+    if args.engine == "auto":
+        ml, label = None, "auto-dispatch"
+    else:
+        ml = _parse_algorithm(args.algorithm, args.levels)
+        label = str(ml)
+    if args.batch > 1:
+        C = multiply_batched(
+            A, B, algorithm=ml if ml is not None else "strassen",
+            variant=args.variant, engine=args.engine, threads=args.threads,
+        )
+    elif args.engine == "blocked":
         eng = BlockedEngine(variant=args.variant, threads=args.threads)
+        C = np.zeros((args.m, args.n), dtype=dtype)
         eng.multiply(A, B, C, ml)
         print("counters:", eng.counters)
     else:
-        DirectEngine().multiply(A, B, C, ml)
+        C = multiply(
+            A, B, algorithm=ml if ml is not None else "strassen",
+            variant=args.variant, engine=args.engine, threads=args.threads,
+        )
     err = float(np.abs(C - A @ B).max())
-    print(f"{ml} on {args.m}x{args.k}x{args.n}: max |C - AB| = {err:.3e}")
-    return 0 if err < 1e-6 else 1
+    scale = max(1.0, float(np.abs(C).max()))
+    tol = 1e-6 if dtype == np.float64 else 1e-2
+    batch_note = f" x{args.batch} batch" if args.batch > 1 else ""
+    print(f"{label} on {args.m}x{args.k}x{args.n}{batch_note} "
+          f"[{C.dtype}]: max |C - AB| = {err:.3e}")
+    return 0 if err / scale < tol else 1
 
 
 def cmd_select(args) -> int:
@@ -134,9 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help='e.g. strassen, "<3,2,3>", "strassen+<3,3,3>"')
     p.add_argument("--levels", type=int, default=1)
     p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
-    p.add_argument("--engine", choices=("direct", "blocked"), default="direct")
+    p.add_argument("--engine", choices=("direct", "blocked", "auto"),
+                   default="direct")
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dtype", choices=("float32", "float64"), default="float64")
+    p.add_argument("--batch", type=int, default=1,
+                   help="multiply a stack of N same-shape problems "
+                        "through one compiled plan")
 
     p = sub.add_parser("select", help="model-guided selection")
     _add_shape(p)

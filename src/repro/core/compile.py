@@ -1,0 +1,250 @@
+"""The plan compiler and cache: one compiled artifact for every execution path.
+
+The paper's generator separates *building* an implementation (composing
+coefficients, indexing partitions, planning the peel — §4.1's skeleton)
+from *running* it.  :func:`compile` is that separation made explicit for
+the runtime: it lowers ``(shape, algorithm, levels, variant, dtype)`` to a
+:class:`CompiledPlan` — the :class:`~repro.core.plan.ExecutionPlan` IR plus
+every per-call-invariant artifact the interpreters need:
+
+* dtype-cast composed coefficient operators ``Ut``/``Vt``/``W`` for the
+  vectorized direct path,
+* per-operand block tables (recursive index -> grid position) so operand
+  views are sliced without re-deriving the Morton permutation,
+* the peel plan and per-step gather vectors.
+
+Compiled plans are memoized in a bounded, thread-safe LRU cache keyed on
+the canonical ``(m, k, n, spec_key, variant, dtype)`` tuple, so serving
+many same-shape multiplies pays the lowering cost once —
+``benchmarks/bench_plan_cache.py`` measures the effect.
+
+``DirectEngine``, ``BlockedEngine``, ``FMMAlgorithm.apply_once`` and the
+source emitter (:mod:`repro.core.codegen`) all consume this one object.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, namedtuple
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.kronecker import MultiLevelFMM
+from repro.core.peeling import PeelPlan
+from repro.core.plan import ExecutionPlan, build_plan
+from repro.core.spec import resolve_levels, spec_key
+
+__all__ = [
+    "CompiledPlan",
+    "compile",
+    "plan_cache_info",
+    "plan_cache_clear",
+    "set_plan_cache_maxsize",
+    "SUPPORTED_DTYPES",
+]
+
+#: Dtypes the execution stack preserves end-to-end.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize")
+
+
+@dataclass(frozen=True, eq=False)
+class CompiledPlan:
+    """A cached, ready-to-interpret implementation of one multiply config.
+
+    Wraps the :class:`~repro.core.plan.ExecutionPlan` IR with the
+    precomputed artifacts that make interpretation allocation- and
+    recomposition-free:
+
+    Attributes
+    ----------
+    plan:
+        The underlying IR (steps with gather vectors, peel plan, grids).
+    dtype:
+        Element type every intermediate is computed in (float32/float64).
+    Ut, Vt:
+        ``(R, prod m_l k_l)`` / ``(R, prod k_l n_l)`` transposed composed
+        coefficients in ``dtype`` — applying them to the stacked operand
+        blocks yields *all* operand sums ``S_r``/``T_r`` in one tensordot.
+    W:
+        ``(prod m_l n_l, R)`` composed C coefficients in ``dtype`` for the
+        one-shot scatter of all products into the destination blocks.
+    a_table, b_table, c_table:
+        Recursive-block index -> ``(row, col)`` grid position per operand.
+    """
+
+    key: tuple
+    plan: ExecutionPlan
+    dtype: np.dtype
+    Ut: np.ndarray = field(repr=False)
+    Vt: np.ndarray = field(repr=False)
+    W: np.ndarray = field(repr=False)
+    a_table: tuple[tuple[int, int], ...] = field(repr=False)
+    b_table: tuple[tuple[int, int], ...] = field(repr=False)
+    c_table: tuple[tuple[int, int], ...] = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Delegated IR accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def ml(self) -> MultiLevelFMM:
+        return self.plan.ml
+
+    @property
+    def variant(self) -> str:
+        return self.plan.variant
+
+    @property
+    def steps(self):
+        return self.plan.steps
+
+    @property
+    def peel_plan(self) -> PeelPlan:
+        return self.plan.peel_plan
+
+    @property
+    def dims_total(self) -> tuple[int, int, int]:
+        return self.plan.dims_total
+
+    @property
+    def rank_total(self) -> int:
+        return self.plan.rank_total
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.plan.m, self.plan.k, self.plan.n)
+
+    # ------------------------------------------------------------------ #
+    # View extraction (works for 2-D and batched ``(..., rows, cols)``)
+    # ------------------------------------------------------------------ #
+    def _table(self, operand: str) -> tuple[tuple[int, int], ...]:
+        try:
+            return {"A": self.a_table, "B": self.b_table, "C": self.c_table}[operand]
+        except KeyError:
+            raise ValueError(f"operand must be A, B or C, not {operand!r}") from None
+
+    def block_views(self, X: np.ndarray, operand: str, br: int, bc: int):
+        """Recursive-block-ordered views of a core slab ``X``.
+
+        ``br``/``bc`` are the block sizes (rows, cols); slicing applies to
+        the trailing two axes, so batched stacks work unchanged.
+        """
+        return [
+            X[..., r * br : (r + 1) * br, c * bc : (c + 1) * bc]
+            for r, c in self._table(operand)
+        ]
+
+    def __repr__(self) -> str:  # keep array payloads out of reprs
+        m, k, n = self.shape
+        return (
+            f"CompiledPlan({m}x{k}x{n}, {self.ml.name}, "
+            f"variant={self.variant!r}, dtype={self.dtype.name}, "
+            f"R={self.rank_total})"
+        )
+
+
+# ---------------------------------------------------------------------- #
+# The plan cache
+# ---------------------------------------------------------------------- #
+_lock = threading.Lock()
+_cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+_maxsize = 128
+_hits = 0
+_misses = 0
+
+
+def compile(
+    shape: tuple[int, int, int],
+    algorithm="strassen",
+    levels: int = 1,
+    variant: str = "abc",
+    dtype=np.float64,
+) -> CompiledPlan:
+    """Lower one multiply configuration to a cached :class:`CompiledPlan`.
+
+    Parameters
+    ----------
+    shape:
+        Problem size ``(m, k, n)``.
+    algorithm, levels:
+        Any spec accepted by :func:`repro.core.spec.normalize_spec`.
+    variant:
+        ``"naive"``, ``"ab"`` or ``"abc"``.
+    dtype:
+        float32 or float64; the compiled coefficient operators are cast so
+        execution preserves the dtype end-to-end.
+
+    Repeat calls with an equivalent configuration return the *same* object
+    from the LRU cache (see :func:`plan_cache_info`).
+    """
+    global _hits, _misses
+    m, k, n = (int(x) for x in shape)
+    dt = np.dtype(dtype)
+    if dt not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dt}; execution supports "
+            f"{[d.name for d in SUPPORTED_DTYPES]}"
+        )
+    key = (m, k, n, spec_key(algorithm, levels), variant, dt.str)
+    with _lock:
+        hit = _cache.get(key)
+        if hit is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return hit
+        _misses += 1
+
+    ml = resolve_levels(algorithm, levels)
+    plan = build_plan(m, k, n, ml, variant)
+    Ut = np.ascontiguousarray(ml.U.T, dtype=dt)
+    Vt = np.ascontiguousarray(ml.V.T, dtype=dt)
+    W = np.ascontiguousarray(ml.W, dtype=dt)
+    for arr in (Ut, Vt, W):
+        arr.setflags(write=False)
+    compiled = CompiledPlan(
+        key=key,
+        plan=plan,
+        dtype=dt,
+        Ut=Ut, Vt=Vt, W=W,
+        a_table=plan.block_table("A"),
+        b_table=plan.block_table("B"),
+        c_table=plan.block_table("C"),
+    )
+    with _lock:
+        # A concurrent compile may have raced us; keep the first entry so
+        # callers holding it keep hitting the same object.
+        existing = _cache.get(key)
+        if existing is not None:
+            return existing
+        _cache[key] = compiled
+        while len(_cache) > _maxsize:
+            _cache.popitem(last=False)
+    return compiled
+
+
+def plan_cache_info() -> CacheInfo:
+    """``(hits, misses, maxsize, currsize)`` of the compiled-plan cache."""
+    with _lock:
+        return CacheInfo(_hits, _misses, _maxsize, len(_cache))
+
+
+def plan_cache_clear() -> None:
+    """Empty the cache and reset the hit/miss counters."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_plan_cache_maxsize(maxsize: int) -> None:
+    """Resize the cache (evicting least-recently-used entries if needed)."""
+    global _maxsize
+    if maxsize < 1:
+        raise ValueError("maxsize must be >= 1")
+    with _lock:
+        _maxsize = int(maxsize)
+        while len(_cache) > _maxsize:
+            _cache.popitem(last=False)

@@ -1,17 +1,26 @@
-"""Execution engines and the public ``multiply`` entry point.
+"""Execution engines and the public ``multiply`` entry points.
 
-Two engines run any (multi-level, hybrid) FMM algorithm from the catalog:
+Every multiply flows through one compiled artifact: the
+:class:`~repro.core.compile.CompiledPlan` produced (and LRU-cached) by
+:func:`repro.core.compile.compile`.  The engines are thin interpreters of
+that object — they re-derive nothing per call:
 
-* :class:`DirectEngine` — vectorized NumPy execution of eq. (5): operand
-  sums, one ``matmul`` per product, W-weighted scatter.  Fast and simple;
-  the correctness oracle for everything else.
+* :class:`DirectEngine` — vectorized NumPy execution of eq. (5).  Small
+  cores run the *batched* path (all ``R`` operand sums via one tensordot
+  against the compiled ``Ut``/``Vt`` operators, one stacked matmul, one
+  ``W`` scatter); large cores fall back to a memory-light per-step gather
+  loop.  Fast and simple; the correctness oracle for everything else.
 * :class:`BlockedEngine` — the simulated-BLIS path: every product runs
   through the packed five-loop GEMM with variant-specific fusion
   (:mod:`repro.core.variants`), instrumented with the counters the
   performance model prices.  Optionally thread-parallel over the 3rd loop.
 
-Both engines peel non-divisible sizes dynamically (paper §4.1) and accept a
-different algorithm per level (hybrid compositions, §5.2).
+Public API on top: :func:`multiply` (with model-guided
+``engine="auto"`` dispatch), :func:`multiply_batched` (one compiled plan
+amortized over a stack of same-shape multiplies), and dtype generality —
+float32/float64 operands are preserved end-to-end, everything else is
+promoted to float64.  Peeling for non-divisible sizes (paper §4.1) and
+per-level hybrid algorithms (§5.2) come with the plan.
 """
 
 from __future__ import annotations
@@ -23,42 +32,65 @@ import numpy as np
 from repro.blis.counters import OpCounters
 from repro.blis.gemm import packed_gemm
 from repro.blis.params import BlockingParams
-from repro.core.fmm import FMMAlgorithm
+from repro.core import compile as plancache
+from repro.core.compile import SUPPORTED_DTYPES, CompiledPlan
 from repro.core.kronecker import MultiLevelFMM
-from repro.core.morton import block_views
-from repro.core.peeling import peel
+from repro.core.spec import resolve_levels
 from repro.core.variants import run_fmm_blocked
 
-__all__ = ["DirectEngine", "BlockedEngine", "multiply", "resolve_levels"]
+__all__ = [
+    "DirectEngine",
+    "BlockedEngine",
+    "multiply",
+    "multiply_batched",
+    "resolve_levels",
+]
 
 
-def resolve_levels(algorithm, levels: int = 1) -> MultiLevelFMM:
-    """Normalize an algorithm spec into a :class:`MultiLevelFMM`.
+def _compute_dtype(*arrays, dtype=None) -> np.dtype:
+    """Execution dtype: an explicit request, or the operands' common type.
 
-    ``algorithm`` may be an :class:`FMMAlgorithm`, a catalog spec (name,
-    "<m,k,n>" string or tuple), a list of any of those (one per level,
-    hybrid allowed), or an existing :class:`MultiLevelFMM`.  ``levels``
-    replicates a single algorithm homogeneously.
+    float32/float64 are preserved; any other input type (ints, float16...)
+    promotes to float64 like a NumPy ufunc would round up.
     """
-    from repro.algorithms.catalog import get_algorithm
+    if dtype is not None:
+        dt = np.dtype(dtype)
+        if dt not in SUPPORTED_DTYPES:
+            raise ValueError(f"unsupported dtype {dt}")
+        return dt
+    dt = np.result_type(*arrays)
+    return dt if dt in SUPPORTED_DTYPES else np.dtype(np.float64)
 
-    if isinstance(algorithm, MultiLevelFMM):
-        return algorithm
-    if isinstance(algorithm, (list,)) or (
-        isinstance(algorithm, tuple) and algorithm and not isinstance(algorithm[0], int)
-    ):
-        return MultiLevelFMM([get_algorithm(a) for a in algorithm])
-    algo = get_algorithm(algorithm)
-    if levels < 1:
-        raise ValueError("levels must be >= 1")
-    return MultiLevelFMM([algo] * levels)
+
+def _compile_for(A: np.ndarray, B: np.ndarray, algorithm, variant: str) -> CompiledPlan:
+    """Compile a plan matching already-validated 2-D operands."""
+    return plancache.compile(
+        (A.shape[0], A.shape[1], B.shape[1]),
+        algorithm,
+        variant=variant,
+        dtype=_compute_dtype(A, B),
+    )
 
 
 class DirectEngine:
-    """Vectorized NumPy reference engine."""
+    """Vectorized NumPy interpreter of :class:`CompiledPlan`.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    vector_cap:
+        Per-element workload bound (elements across the stacked S/T/M
+        intermediates) under which the fully vectorized path is used;
+        larger cores use the per-step gather loop to bound workspace.
+    chunk_target:
+        Intermediate-size target (elements) for slicing a batch into
+        cache-resident chunks on the vectorized path.
+    """
+
+    def __init__(self, vector_cap: int = 1 << 24, chunk_target: int = 1 << 17) -> None:
+        self.vector_cap = int(vector_cap)
+        self.chunk_target = int(chunk_target)
         self.last_peel = None
+        self.last_plan: CompiledPlan | None = None
 
     def multiply(
         self,
@@ -67,49 +99,118 @@ class DirectEngine:
         C: np.ndarray,
         ml: MultiLevelFMM,
     ) -> np.ndarray:
-        """``C += A @ B`` using the multi-level FMM ``ml``."""
-        m, k = A.shape
-        k2, n = B.shape
-        _check_mult_shapes(A, B, C)
-        Mt, Kt, Nt = ml.dims_total
-        plan = peel(m, k, n, Mt, Kt, Nt)
-        self.last_peel = plan
+        """``C += A @ B`` using the multi-level FMM ``ml`` (compat shim).
 
-        if plan.has_core:
-            mp, kp, np_ = plan.core
-            Av = block_views(A[:mp, :kp], ml.grids("A"))
-            Bv = block_views(B[:kp, :np_], ml.grids("B"))
-            Cv = block_views(C[:mp, :np_], ml.grids("C"))
-            sub_m = mp // Mt
-            sub_k = kp // Kt
-            sub_n = np_ // Nt
-            for ai, ac, bi, bc, ci, cc in ml.columns:
-                S = _vsum(ai, ac, Av, (sub_m, sub_k), A.dtype)
-                T = _vsum(bi, bc, Bv, (sub_k, sub_n), B.dtype)
-                M = S @ T
-                for i, w in zip(ci, cc):
-                    if w == 1:
-                        Cv[int(i)] += M
-                    elif w == -1:
-                        Cv[int(i)] -= M
-                    else:
-                        Cv[int(i)] += w * M
-        for f in plan.fringes:
+        Compiles (or fetches from the plan cache) the matching
+        :class:`CompiledPlan` and defers to :meth:`execute`.
+        """
+        _check_mult_shapes(A, B, C)
+        return self.execute(_compile_for(A, B, ml, "abc"), A, B, C)
+
+    def execute(
+        self, cplan: CompiledPlan, A: np.ndarray, B: np.ndarray, C: np.ndarray
+    ) -> np.ndarray:
+        """Interpret a compiled plan: ``C += A @ B``.
+
+        Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
+        trailing dims match the plan's ``(m, k, n)``.
+        """
+        _check_exec_shapes(cplan, A, B, C)
+        pp = cplan.peel_plan
+        self.last_peel = pp
+        self.last_plan = cplan
+
+        if pp.has_core:
+            mp, kp, np_ = pp.core
+            Mt, Kt, Nt = cplan.dims_total
+            bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
+            Ac = A[..., :mp, :kp]
+            Bc = B[..., :kp, :np_]
+            Cc = C[..., :mp, :np_]
+            work = cplan.rank_total * (bm * bk + bk * bn + bm * bn)
+            # The fused path computes in the plan dtype; when C cannot
+            # absorb that (e.g. integer operands fed straight to the
+            # engine), the per-step loop preserves the operand dtype for
+            # +-1-coefficient algorithms exactly like the classic engine.
+            vectorizable = np.can_cast(cplan.dtype, C.dtype, casting="same_kind")
+            if vectorizable and work <= self.vector_cap:
+                self._run_vectorized(cplan, Ac, Bc, Cc, bm, bk, bn, work)
+            else:
+                self._run_steps(cplan, Ac, Bc, Cc, bm, bk, bn)
+        for f in pp.fringes:
             if 0 in f.shape:
                 continue
-            C[f.c_rows, f.c_cols] += A[f.a_rows, f.a_cols] @ B[f.b_rows, f.b_cols]
+            C[..., f.c_rows, f.c_cols] += (
+                A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
+            )
         return C
+
+    def _run_vectorized(self, cplan, Ac, Bc, Cc, bm, bk, bn, work) -> None:
+        """All R products through the compiled operators.
+
+        Batched stacks are sliced into chunks whose S/T/M intermediates
+        stay near cache size — one huge fused pass is bandwidth-bound.
+        """
+        if Ac.ndim != 3:  # plain 2-D multiply (or exotic leading dims)
+            self._vectorized_chunk(cplan, Ac, Bc, Cc, bm, bk, bn)
+            return
+        batch = Ac.shape[0]
+        chunk = max(1, min(batch, self.chunk_target // max(work, 1)))
+        for i in range(0, batch, chunk):
+            self._vectorized_chunk(
+                cplan, Ac[i : i + chunk], Bc[i : i + chunk], Cc[i : i + chunk],
+                bm, bk, bn,
+            )
+
+    def _vectorized_chunk(self, cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
+        """One fused pass: every operand sum, product and C update of
+        eq. (5) as a handful of large contiguous matmuls."""
+        Ablk = np.stack(cplan.block_views(Ac, "A", bm, bk))
+        Bblk = np.stack(cplan.block_views(Bc, "B", bk, bn))
+        R = cplan.rank_total
+        # (R, P) @ (P, batch*br*bc): all R operand sums in one matmul, then
+        # merge the (R, batch) leading dims so the product matmul runs over
+        # one flat stack of blocks.
+        S = (cplan.Ut @ Ablk.reshape(Ablk.shape[0], -1)).reshape(-1, bm, bk)
+        T = (cplan.Vt @ Bblk.reshape(Bblk.shape[0], -1)).reshape(-1, bk, bn)
+        M = S @ T  # (R*batch, bm, bn)
+        upd = (cplan.W @ M.reshape(R, -1)).reshape(
+            (-1,) + Cc.shape[:-2] + (bm, bn)
+        )
+        for p, view in enumerate(cplan.block_views(Cc, "C", bm, bn)):
+            view += upd[p]
+
+    def _run_steps(self, cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
+        """Memory-light per-product loop over the plan's gather lists."""
+        Av = cplan.block_views(Ac, "A", bm, bk)
+        Bv = cplan.block_views(Bc, "B", bk, bn)
+        Cv = cplan.block_views(Cc, "C", bm, bn)
+        lead = Ac.shape[:-2]
+        dt = np.result_type(Ac, Bc)
+        for s in cplan.steps:
+            S = _vsum(s.a_terms, Av, lead + (bm, bk), dt)
+            T = _vsum(s.b_terms, Bv, lead + (bk, bn), dt)
+            M = S @ T
+            for i, w in s.c_terms:
+                if w == 1:
+                    Cv[i] += M
+                elif w == -1:
+                    Cv[i] -= M
+                else:
+                    Cv[i] += w * M
 
 
 class BlockedEngine:
-    """Simulated-BLIS engine with instrumentation and variants.
+    """Simulated-BLIS interpreter of :class:`CompiledPlan`.
 
     Parameters
     ----------
     params:
         Cache/register blocking (defaults to the paper's Ivy Bridge config).
     variant:
-        ``"naive"``, ``"ab"`` or ``"abc"`` (see :mod:`repro.core.variants`).
+        ``"naive"``, ``"ab"`` or ``"abc"`` (see :mod:`repro.core.variants`);
+        used when compiling plans via :meth:`multiply`.  :meth:`execute`
+        honors the variant baked into the plan.
     threads:
         Worker count for the 3rd-loop data parallelism; 1 = sequential.
     mode:
@@ -130,6 +231,7 @@ class BlockedEngine:
         self.mode = mode
         self.counters = OpCounters()
         self.last_peel = None
+        self.last_plan: CompiledPlan | None = None
 
     def multiply(
         self,
@@ -140,28 +242,40 @@ class BlockedEngine:
     ) -> np.ndarray:
         """``C += A @ B`` through the packed five-loop substrate."""
         _check_mult_shapes(A, B, C)
-        m, k = A.shape
-        n = B.shape[1]
-        Mt, Kt, Nt = ml.dims_total
-        plan = peel(m, k, n, Mt, Kt, Nt)
-        self.last_peel = plan
+        return self.execute(_compile_for(A, B, ml, self.variant), A, B, C)
+
+    def execute(
+        self, cplan: CompiledPlan, A: np.ndarray, B: np.ndarray, C: np.ndarray
+    ) -> np.ndarray:
+        """Interpret a compiled plan through the blocked substrate (2-D)."""
+        if A.ndim != 2:
+            raise ValueError(
+                "BlockedEngine executes 2-D operands; use multiply_batched "
+                "for stacked inputs"
+            )
+        _check_exec_shapes(cplan, A, B, C)
+        pp = cplan.peel_plan
+        self.last_peel = pp
+        self.last_plan = cplan
 
         pool = ThreadPoolExecutor(self.threads) if self.threads > 1 else None
         try:
-            if plan.has_core:
-                mp, kp, np_ = plan.core
-                Av = block_views(A[:mp, :kp], ml.grids("A"))
-                Bv = block_views(B[:kp, :np_], ml.grids("B"))
-                Cv = block_views(C[:mp, :np_], ml.grids("C"))
+            if pp.has_core:
+                mp, kp, np_ = pp.core
+                Mt, Kt, Nt = cplan.dims_total
+                bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
                 run_fmm_blocked(
-                    Av, Bv, Cv, ml,
-                    variant=self.variant,
+                    cplan.block_views(A[:mp, :kp], "A", bm, bk),
+                    cplan.block_views(B[:kp, :np_], "B", bk, bn),
+                    cplan.block_views(C[:mp, :np_], "C", bm, bn),
+                    cplan.plan,
+                    variant=cplan.variant,
                     params=self.params,
                     counters=self.counters,
                     pool=pool,
                     mode=self.mode,
                 )
-            for f in plan.fringes:
+            for f in pp.fringes:
                 if 0 in f.shape:
                     continue
                 packed_gemm(
@@ -193,6 +307,17 @@ class BlockedEngine:
         return C
 
 
+def _dispatch(engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode):
+    if engine == "direct":
+        DirectEngine().execute(cplan, A, B, C)
+    elif engine == "blocked":
+        BlockedEngine(
+            params=params, variant=cplan.variant, threads=threads, mode=mode
+        ).execute(cplan, A, B, C)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+
 def multiply(
     A: np.ndarray,
     B: np.ndarray,
@@ -204,14 +329,21 @@ def multiply(
     params: BlockingParams | None = None,
     threads: int = 1,
     mode: str = "slab",
+    dtype=None,
 ) -> np.ndarray:
     """Fast matrix multiplication: returns ``C + A @ B``.
 
     The one-call public API.  ``algorithm``/``levels`` select any member of
     the generated family (hybrid multi-level via a list, e.g.
-    ``algorithm=["strassen", "<3,3,3>"]``); ``engine`` picks the NumPy
-    reference path (``"direct"``) or the instrumented simulated-BLIS path
-    (``"blocked"``).
+    ``algorithm=["strassen", "<3,3,3>"]``, or a ``"+"``-joined string);
+    ``engine`` picks the NumPy reference path (``"direct"``), the
+    instrumented simulated-BLIS path (``"blocked"``), or model-guided
+    auto-dispatch (``"auto"``, which selects algorithm stack, levels and
+    variant from the §4.4 performance model and falls back to classical
+    GEMM when the model says FMM will not pay off).
+
+    float32/float64 operands are preserved end-to-end (pass ``dtype`` to
+    force one); other input types promote to float64.
 
     Examples
     --------
@@ -222,30 +354,107 @@ def multiply(
     >>> np.allclose(C, A @ B)
     True
     """
-    A = np.ascontiguousarray(A, dtype=np.float64)
-    B = np.ascontiguousarray(B, dtype=np.float64)
+    A = np.asarray(A)
+    B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
         raise ValueError(f"incompatible operand shapes {A.shape} x {B.shape}")
+    dt = _compute_dtype(A, B, dtype=dtype)
+    A = np.ascontiguousarray(A, dtype=dt)
+    B = np.ascontiguousarray(B, dtype=dt)
+    m, k = A.shape
+    n = B.shape[1]
+    if engine == "auto":
+        from repro.core.selection import auto_config
+
+        algorithm, levels, variant, engine = auto_config(m, k, n)
     if C is None:
-        C = np.zeros((A.shape[0], B.shape[1]))
-    ml = resolve_levels(algorithm, levels)
-    if engine == "direct":
-        DirectEngine().multiply(A, B, C, ml)
-    elif engine == "blocked":
-        BlockedEngine(params=params, variant=variant, threads=threads, mode=mode).multiply(
-            A, B, C, ml
+        C = np.zeros((m, n), dtype=dt)
+    cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
+    _dispatch(engine, cplan, A, B, C, params, threads, mode)
+    return C
+
+
+def multiply_batched(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray | None = None,
+    algorithm="strassen",
+    levels: int = 1,
+    variant: str = "abc",
+    engine: str = "direct",
+    params: BlockingParams | None = None,
+    threads: int = 1,
+    mode: str = "slab",
+    dtype=None,
+) -> np.ndarray:
+    """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
+
+    ``A`` is ``(batch, m, k)`` and ``B`` ``(batch, k, n)``; either may be
+    2-D to share one operand across the batch.  The configuration is
+    compiled **once** and amortized over the whole batch: the direct path
+    executes all batch elements through stacked 3-D operands (one
+    tensordot/matmul sequence covers every product of every element), the
+    blocked path interprets the same plan per element.
+
+    Returns the ``(batch, m, n)`` result stack.
+    """
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim == 2 and B.ndim == 2:
+        raise ValueError("batched multiply needs a 3-D operand; use multiply()")
+    if A.ndim == 2:
+        A = A[None]
+    if B.ndim == 2:
+        B = B[None]
+    if A.ndim != 3 or B.ndim != 3:
+        raise ValueError(
+            f"operands must be (batch, rows, cols) stacks, got {A.shape} x {B.shape}"
         )
+    if A.shape[2] != B.shape[1]:
+        raise ValueError(f"incompatible operand shapes {A.shape} x {B.shape}")
+    batch = max(A.shape[0], B.shape[0])
+    if A.shape[0] not in (1, batch) or B.shape[0] not in (1, batch):
+        raise ValueError(
+            f"batch counts disagree: A has {A.shape[0]}, B has {B.shape[0]}"
+        )
+    dt = _compute_dtype(A, B, dtype=dtype)
+    m, k, n = A.shape[1], A.shape[2], B.shape[2]
+    A = np.ascontiguousarray(np.broadcast_to(A, (batch, m, k)), dtype=dt)
+    B = np.ascontiguousarray(np.broadcast_to(B, (batch, k, n)), dtype=dt)
+    if engine == "auto":
+        from repro.core.selection import auto_config
+
+        algorithm, levels, variant, engine = auto_config(m, k, n)
+    if C is None:
+        C = np.zeros((batch, m, n), dtype=dt)
+    elif C.shape != (batch, m, n):
+        raise ValueError(f"C has shape {C.shape}, expected {(batch, m, n)}")
+    cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
+    if engine == "direct":
+        DirectEngine().execute(cplan, A, B, C)
+    elif engine == "blocked":
+        eng = BlockedEngine(params=params, variant=cplan.variant,
+                            threads=threads, mode=mode)
+        for b in range(batch):
+            eng.execute(cplan, A[b], B[b], C[b])
     else:
         raise ValueError(f"unknown engine {engine!r}")
     return C
 
 
-def _vsum(idx, coef, views, shape, dtype):
+def _vsum(terms, views, shape, dtype):
+    """Sparse weighted sum of views; coefficients stay python floats so
+    NEP-50 scalar promotion cannot upcast float32 intermediates."""
     out = None
-    for i, c in zip(idx, coef):
-        v = views[int(i)]
+    for i, c in terms:
+        v = views[i]
         if out is None:
-            out = v * c if c != 1 else v.astype(dtype, copy=True)
+            if c == 1 or c == -1:
+                out = v.astype(dtype, copy=True)
+                if c == -1:
+                    np.negative(out, out)
+            else:
+                out = v * c
         elif c == 1:
             out += v
         elif c == -1:
@@ -261,4 +470,17 @@ def _check_mult_shapes(A, B, C):
     if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
         raise ValueError(
             f"inconsistent shapes: A {A.shape}, B {B.shape}, C {C.shape}"
+        )
+
+
+def _check_exec_shapes(cplan: CompiledPlan, A, B, C):
+    m, k, n = cplan.shape
+    if A.shape[-2:] != (m, k) or B.shape[-2:] != (k, n) or C.shape[-2:] != (m, n):
+        raise ValueError(
+            f"operands A {A.shape}, B {B.shape}, C {C.shape} do not match "
+            f"compiled plan shape {(m, k, n)}"
+        )
+    if not (A.shape[:-2] == B.shape[:-2] == C.shape[:-2]):
+        raise ValueError(
+            f"batch dims disagree: A {A.shape}, B {B.shape}, C {C.shape}"
         )

@@ -134,7 +134,9 @@ class FMMAlgorithm:
 
         Block sizes must divide evenly; multi-level and fringe handling live
         in :mod:`repro.core.executor`.  This method is the executable
-        definition of eq. (3), used as the semantic oracle in tests.
+        definition of eq. (3), used as the semantic oracle in tests; like
+        every other execution path it is a thin interpreter of the
+        (cached) compiled plan for this one-level algorithm.
         """
         m, k, n = self.dims
         if A.shape[0] % m or A.shape[1] % k or B.shape[1] % n:
@@ -143,50 +145,20 @@ class FMMAlgorithm:
             )
         if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
             raise ValueError("inconsistent operand shapes")
-        bm, bk, bn = A.shape[0] // m, A.shape[1] // k, B.shape[1] // n
-        Ab = [
-            A[i1 * bm : (i1 + 1) * bm, i2 * bk : (i2 + 1) * bk]
-            for i1 in range(m)
-            for i2 in range(k)
-        ]
-        Bb = [
-            B[j1 * bk : (j1 + 1) * bk, j2 * bn : (j2 + 1) * bn]
-            for j1 in range(k)
-            for j2 in range(n)
-        ]
-        Cb = [
-            C[p1 * bm : (p1 + 1) * bm, p2 * bn : (p2 + 1) * bn]
-            for p1 in range(m)
-            for p2 in range(n)
-        ]
-        for r in range(self.rank):
-            S = _weighted_sum(self.U[:, r], Ab, (bm, bk), A.dtype)
-            T = _weighted_sum(self.V[:, r], Bb, (bk, bn), B.dtype)
-            M = S @ T
-            for p in range(m * n):
-                w = self.W[p, r]
-                if w:
-                    Cb[p] += w * M
-        return C
+        # Lazy imports: executor/compile sit above this module in the stack.
+        from repro.core import compile as plancache
+        from repro.core.executor import DirectEngine
+
+        dt = np.result_type(A, B)
+        if dt not in plancache.SUPPORTED_DTYPES:
+            dt = np.dtype(np.float64)
+        cplan = plancache.compile(
+            (A.shape[0], A.shape[1], B.shape[1]), self, levels=1, dtype=dt
+        )
+        return DirectEngine().execute(cplan, A, B, C)
 
     def __str__(self) -> str:
         return (
             f"FMMAlgorithm(<{self.m},{self.k},{self.n}>, R={self.rank}, "
             f"name={self.name!r})"
         )
-
-
-def _weighted_sum(coeffs, blocks, shape, dtype):
-    out = None
-    for c, blk in zip(coeffs, blocks):
-        if not c:
-            continue
-        if out is None:
-            out = blk * c if c != 1 else blk.astype(dtype, copy=True)
-        elif c == 1:
-            out += blk
-        else:
-            out += c * blk
-    if out is None:
-        out = np.zeros(shape, dtype=dtype)
-    return out

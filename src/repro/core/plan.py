@@ -4,18 +4,40 @@ The paper's code generator has two stages (§4.1): build the skeleton
 (composed coefficients, partition indexing, peeling) and emit the typical
 operations (fused packing, specialized micro-kernel updates).  Our analog
 lowers a (multi-level algorithm, variant) pair into a flat list of steps —
-one :class:`ProductStep` per ``M_r`` plus fringe GEMMs — that both the code
-emitter (:mod:`repro.core.codegen`) and tests consume.
+one :class:`ProductStep` per ``M_r`` plus fringe GEMMs.
+
+Since the compiled-plan refactor this IR is the *single* execution
+artifact: :func:`repro.core.compile.compile` wraps it (with dtype-cast
+coefficient matrices and an LRU cache) into a
+:class:`~repro.core.compile.CompiledPlan`, and ``DirectEngine``,
+``BlockedEngine``, ``FMMAlgorithm.apply_once`` and the code emitter
+(:mod:`repro.core.codegen`) are all thin interpreters of that one object.
+Every step therefore precomputes its gather indices and coefficients as
+NumPy vectors, and the plan carries the per-level grid metadata (block
+tables) the engines need, so nothing is re-derived per call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
+
+import numpy as np
 
 from repro.core.kronecker import MultiLevelFMM
+from repro.core.morton import recursive_to_rowmajor
 from repro.core.peeling import PeelPlan, peel
 
-__all__ = ["ProductStep", "ExecutionPlan", "build_plan"]
+__all__ = ["ProductStep", "ExecutionPlan", "build_plan", "grid_table"]
+
+
+def _gather_arrays(terms):
+    """Split ``((index, coeff), ...)`` into read-only index/coeff vectors."""
+    idx = np.array([i for i, _ in terms], dtype=np.intp)
+    coef = np.array([c for _, c in terms], dtype=np.float64)
+    idx.setflags(write=False)
+    coef.setflags(write=False)
+    return idx, coef
 
 
 @dataclass(frozen=True)
@@ -26,6 +48,13 @@ class ProductStep:
     recursive-block operand indices; ``c_terms`` are the W-weighted
     destinations.  The variant dictates whether the sums are fused into
     packing (ab/abc) and whether the update is fused into the kernel (abc).
+
+    The paired ``*_idx``/``*_coef`` properties expose the same data as
+    NumPy gather vectors (``intp`` indices, ``float64`` coefficients),
+    computed once per step and cached, for array-level consumers (sparse
+    or offloaded backends, analysis tools).  The loop interpreters walk
+    the plain-tuple forms instead: python-float coefficients keep float32
+    operands from being upcast by NEP-50 scalar promotion.
     """
 
     r: int
@@ -33,10 +62,68 @@ class ProductStep:
     b_terms: tuple[tuple[int, float], ...]
     c_terms: tuple[tuple[int, float], ...]
 
+    @cached_property
+    def _a_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return _gather_arrays(self.a_terms)
+
+    @cached_property
+    def _b_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return _gather_arrays(self.b_terms)
+
+    @cached_property
+    def _c_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return _gather_arrays(self.c_terms)
+
+    @property
+    def a_idx(self) -> np.ndarray:
+        return self._a_arrays[0]
+
+    @property
+    def a_coef(self) -> np.ndarray:
+        return self._a_arrays[1]
+
+    @property
+    def b_idx(self) -> np.ndarray:
+        return self._b_arrays[0]
+
+    @property
+    def b_coef(self) -> np.ndarray:
+        return self._b_arrays[1]
+
+    @property
+    def c_idx(self) -> np.ndarray:
+        return self._c_arrays[0]
+
+    @property
+    def c_coef(self) -> np.ndarray:
+        return self._c_arrays[1]
+
+
+@lru_cache(maxsize=512)
+def grid_table(grids: tuple[tuple[int, int], ...]) -> tuple[tuple[int, int], ...]:
+    """``(row, col)`` block-grid position for each recursive block index.
+
+    ``grids`` is the per-level ``(rows, cols)`` partition stack of one
+    operand; the result maps recursive (Morton-like) index -> position in
+    the flat ``prod(rows) x prod(cols)`` block grid.  Cached globally: the
+    recursive permutation is pure metadata shared by every plan with the
+    same partition stack.
+    """
+    perm = recursive_to_rowmajor(list(grids))
+    tot_cols = int(np.prod([c for _, c in grids]))
+    return tuple(divmod(int(p), tot_cols) for p in perm)
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
-    """Everything needed to execute/emit one generated implementation."""
+    """Everything needed to execute/emit one generated implementation.
+
+    Beyond the step list, the plan exposes the per-level grid metadata of
+    each operand (:meth:`grids`) and the derived block tables
+    (:meth:`block_table`) that interpreters use to slice operands into
+    recursive-block views without consulting :mod:`repro.core.morton`
+    per call.
+    """
 
     ml: MultiLevelFMM
     variant: str
@@ -49,6 +136,19 @@ class ExecutionPlan:
     @property
     def rank_total(self) -> int:
         return len(self.steps)
+
+    @property
+    def dims_total(self) -> tuple[int, int, int]:
+        """Total partition dims ``(M~_L, K~_L, N~_L)``."""
+        return self.ml.dims_total
+
+    def grids(self, operand: str) -> tuple[tuple[int, int], ...]:
+        """Per-level partition grid stack for operand ``'A'|'B'|'C'``."""
+        return tuple(self.ml.grids(operand))
+
+    def block_table(self, operand: str) -> tuple[tuple[int, int], ...]:
+        """Recursive-index -> ``(row, col)`` grid position for one operand."""
+        return grid_table(self.grids(operand))
 
     def operation_counts(self) -> dict[str, int]:
         """Totals used in generator reports: products, adds per operand."""

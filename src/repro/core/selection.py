@@ -11,15 +11,27 @@ chosen.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterable, Sequence
 
 from repro.algorithms.catalog import FIG2_SHAPES, get_algorithm
 from repro.blis.simulator import simulate_time
 from repro.core.kronecker import MultiLevelFMM
 from repro.model.machines import MachineParams
-from repro.model.perfmodel import ModelPrediction, effective_gflops, predict_fmm
+from repro.model.perfmodel import (
+    ModelPrediction,
+    effective_gflops,
+    predict_fmm,
+    predict_gemm,
+)
 
-__all__ = ["Candidate", "enumerate_candidates", "rank_candidates", "select"]
+__all__ = [
+    "Candidate",
+    "enumerate_candidates",
+    "rank_candidates",
+    "select",
+    "auto_config",
+]
 
 #: Default hybrid building blocks (§5.2 evaluates hybrids of these shapes).
 _DEFAULT_HYBRID_SHAPES = ((2, 2, 2), (2, 3, 2), (3, 2, 3), (3, 3, 3))
@@ -115,6 +127,39 @@ def select(
             return simulate_time(m, k, n, c.multilevel(), c.variant, machine)
     winner = min(finalists, key=measure)
     return winner, ranked
+
+
+@lru_cache(maxsize=1024)
+def auto_config(
+    m: int,
+    k: int,
+    n: int,
+    machine: MachineParams | None = None,
+    max_levels: int = 2,
+) -> tuple:
+    """Model-guided configuration for ``multiply(engine="auto")``.
+
+    Ranks the generated family with the §4.4 performance model and returns
+    ``(algorithm, levels, variant, engine)`` ready for the plan compiler:
+    the winning per-level shape stack and variant when the model predicts
+    FMM beats the GEMM baseline, else the classical ``<1,1,1>`` plan (a
+    single plain matmul).  The execution engine is the direct NumPy
+    interpreter — the wall-clock-fast path of this substrate; callers
+    wanting the instrumented blocked substrate ask for it explicitly.
+
+    Decisions are memoized per ``(m, k, n, machine, max_levels)``, so the
+    enumeration cost is paid once per problem shape.
+    """
+    from repro.model.machines import generic_laptop
+
+    machine = machine or generic_laptop()
+    candidates = enumerate_candidates(m, k, n, machine, max_levels=max_levels)
+    if not candidates:
+        return ("classical", 1, "abc", "direct")
+    best = rank_candidates(candidates)[0]
+    if best.prediction.time >= predict_gemm(m, k, n, machine).time:
+        return ("classical", 1, "abc", "direct")
+    return (best.shapes, len(best.shapes), best.variant, "direct")
 
 
 def best_gflops_series(

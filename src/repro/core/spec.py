@@ -1,0 +1,122 @@
+"""Algorithm-spec normalization: the single parser for every spec form.
+
+Every layer that accepts an "algorithm" argument — :func:`repro.multiply`,
+the plan compiler (:mod:`repro.core.compile`), and the CLI — routes it
+through :func:`normalize_spec`, so the accepted grammar is defined exactly
+once:
+
+====================================  =========================================
+spec form                             meaning
+====================================  =========================================
+``FMMAlgorithm``                      that algorithm, replicated ``levels`` x
+``"strassen"`` / ``"winograd"`` /     named catalog entry, replicated
+``"classical"``                       ``levels`` x
+``"<m,k,n>"`` or ``"m,k,n"``          catalog shape, replicated ``levels`` x
+``(m, k, n)`` (all ints)              catalog shape, replicated ``levels`` x
+``"a+b+..."``                         hybrid stack, one atom per level
+                                      (``levels`` is ignored)
+``[a, b, ...]`` / non-int tuple       hybrid stack, one atom per level
+                                      (``levels`` is ignored)
+``MultiLevelFMM``                     passed through unchanged
+====================================  =========================================
+
+:func:`normalize_spec` returns the flat per-level atom tuple;
+:func:`resolve_levels` materializes it as a :class:`MultiLevelFMM`;
+:func:`spec_key` derives the hashable cache key the plan cache is keyed on.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.core.fmm import FMMAlgorithm
+from repro.core.kronecker import MultiLevelFMM
+
+__all__ = ["normalize_spec", "resolve_levels", "spec_key"]
+
+#: Atom forms accepted inside a hybrid stack.
+_ATOM_TYPES = (str, FMMAlgorithm)
+
+
+def _is_shape(spec) -> bool:
+    """True for a ``(m, k, n)`` tuple of plain integers."""
+    return (
+        isinstance(spec, tuple)
+        and len(spec) == 3
+        and all(isinstance(x, numbers.Integral) for x in spec)
+    )
+
+
+def normalize_spec(algorithm, levels: int = 1) -> tuple:
+    """Flatten any accepted spec form into the per-level atom tuple.
+
+    Atoms are left unresolved (names, shape tuples, or
+    :class:`FMMAlgorithm` objects); catalog lookup happens in
+    :func:`resolve_levels`.  Raises ``TypeError`` for unrecognized forms
+    and ``ValueError`` for ``levels < 1`` or an empty stack.
+    """
+    if isinstance(algorithm, MultiLevelFMM):
+        return algorithm.levels
+    if isinstance(algorithm, str) and "+" in algorithm:
+        atoms = tuple(s.strip() for s in algorithm.split("+") if s.strip())
+        if not atoms:
+            raise ValueError(f"empty hybrid spec {algorithm!r}")
+        return atoms
+    if _is_shape(algorithm) or isinstance(algorithm, _ATOM_TYPES):
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        return (algorithm,) * int(levels)
+    if isinstance(algorithm, (list, tuple)):
+        atoms = tuple(algorithm)
+        if not atoms:
+            raise ValueError("empty algorithm stack")
+        for a in atoms:
+            if not (_is_shape(a) or isinstance(a, _ATOM_TYPES)):
+                raise TypeError(f"cannot interpret per-level atom {a!r}")
+        return atoms
+    raise TypeError(f"cannot interpret algorithm spec {algorithm!r}")
+
+
+def resolve_levels(algorithm, levels: int = 1) -> MultiLevelFMM:
+    """Normalize an algorithm spec into a :class:`MultiLevelFMM`.
+
+    Accepts every form of the grammar above; ``levels`` replicates a
+    single-atom spec homogeneously and is ignored for explicit stacks.
+    """
+    from repro.algorithms.catalog import get_algorithm
+
+    if isinstance(algorithm, MultiLevelFMM):
+        return algorithm
+    return MultiLevelFMM(
+        [get_algorithm(a) for a in normalize_spec(algorithm, levels)]
+    )
+
+
+def _atom_key(atom):
+    """Canonical hashable key for one per-level atom.
+
+    Named shapes and shape tuples that denote the same catalog entry map to
+    the same key (``"<2,3,2>"``, ``"2,3,2"`` and ``(2, 3, 2)`` coincide).
+    Ad-hoc :class:`FMMAlgorithm` objects are keyed by identity; the plan
+    cache holds a strong reference to the algorithm for the lifetime of the
+    entry, so an id cannot be recycled while its key is live.
+    """
+    if isinstance(atom, FMMAlgorithm):
+        return ("obj", id(atom))
+    if _is_shape(atom):
+        return ("shape", tuple(int(x) for x in atom))
+    if isinstance(atom, str):
+        low = atom.strip().lower()
+        stripped = low.strip("<>").replace(" ", "")
+        parts = stripped.split(",")
+        if len(parts) == 3 and all(p.lstrip("-").isdigit() for p in parts):
+            return ("shape", tuple(int(p) for p in parts))
+        return ("name", low)
+    raise TypeError(f"cannot key atom {atom!r}")
+
+
+def spec_key(algorithm, levels: int = 1) -> tuple:
+    """Hashable cache key for a spec: the tuple of per-level atom keys."""
+    if isinstance(algorithm, MultiLevelFMM):
+        return tuple(("obj", id(a)) for a in algorithm.levels)
+    return tuple(_atom_key(a) for a in normalize_spec(algorithm, levels))

@@ -34,8 +34,26 @@ __all__ = ["VARIANTS", "run_fmm_blocked"]
 VARIANTS = ("naive", "ab", "abc")
 
 
-def _weighted_views(idx, coef, views):
-    return [(float(c), views[int(i)]) for i, c in zip(idx, coef)]
+def _step_operands(source):
+    """Yield ``(a_ops, b_ops, c_ops)`` weighted-view builders per product.
+
+    ``source`` is a compiled/execution plan (anything exposing ``steps`` of
+    :class:`~repro.core.plan.ProductStep`) or, for backwards compatibility,
+    a bare :class:`MultiLevelFMM` whose composed columns are walked
+    directly.  Coefficients are python floats throughout so float32 views
+    are never upcast by scalar promotion.
+    """
+    steps = getattr(source, "steps", None)
+    if steps is not None:
+        for s in steps:
+            yield s.a_terms, s.b_terms, s.c_terms
+    else:
+        for ai, ac, bi, bc, ci, cc in source.columns:
+            yield (
+                tuple((int(i), float(c)) for i, c in zip(ai, ac)),
+                tuple((int(i), float(c)) for i, c in zip(bi, bc)),
+                tuple((int(i), float(c)) for i, c in zip(ci, cc)),
+            )
 
 
 def _scatter_temp(
@@ -62,7 +80,7 @@ def run_fmm_blocked(
     A_views: list[np.ndarray],
     B_views: list[np.ndarray],
     C_views: list[np.ndarray],
-    ml: MultiLevelFMM,
+    plan,
     variant: str = "abc",
     params: BlockingParams = BlockingParams(),
     counters: OpCounters | None = None,
@@ -71,18 +89,23 @@ def run_fmm_blocked(
 ) -> None:
     """Execute the ``R_L`` products of eq. (5) in the chosen variant.
 
-    The views lists must be in recursive-block order matching ``ml``'s
-    composed coefficients (see :func:`repro.core.morton.block_views`).
+    ``plan`` is the compiled step source — an
+    :class:`~repro.core.plan.ExecutionPlan` /
+    :class:`~repro.core.compile.CompiledPlan` (or a bare
+    :class:`MultiLevelFMM` for backwards compatibility).  The views lists
+    must be in recursive-block order matching its composed coefficients
+    (see :func:`repro.core.morton.block_views`).
     """
     if variant not in VARIANTS:
         raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
     sub_m, sub_k = A_views[0].shape
     sub_n = B_views[0].shape[1]
+    work_dtype = np.result_type(A_views[0], B_views[0])
 
-    for ai, ac, bi, bc, ci, cc in ml.columns:
-        a_ops = _weighted_views(ai, ac, A_views)
-        b_ops = _weighted_views(bi, bc, B_views)
-        c_ops = _weighted_views(ci, cc, C_views)
+    for a_terms, b_terms, c_terms in _step_operands(plan):
+        a_ops = [(c, A_views[i]) for i, c in a_terms]
+        b_ops = [(c, B_views[i]) for i, c in b_terms]
+        c_ops = [(c, C_views[i]) for i, c in c_terms]
 
         if variant == "abc":
             packed_gemm(a_ops, b_ops, c_ops, params, counters, mode=mode, pool=pool)
@@ -90,18 +113,20 @@ def run_fmm_blocked(
 
         if variant == "naive":
             # Explicit A/B sum temporaries (one DRAM round trip each).
-            S = _explicit_sum(a_ops, (sub_m, sub_k), counters, "A")
-            T = _explicit_sum(b_ops, (sub_k, sub_n), counters, "B")
+            S = _explicit_sum(a_ops, (sub_m, sub_k), counters, "A", work_dtype)
+            T = _explicit_sum(b_ops, (sub_k, sub_n), counters, "B", work_dtype)
             a_ops = [(1.0, S)]
             b_ops = [(1.0, T)]
 
-        M = np.zeros((sub_m, sub_n))
+        M = np.zeros((sub_m, sub_n), dtype=work_dtype)
         packed_gemm(a_ops, b_ops, [(1.0, M)], params, counters, mode=mode, pool=pool)
         _scatter_temp(M, c_ops, counters)
 
 
-def _explicit_sum(ops, shape, counters: OpCounters | None, which: str) -> np.ndarray:
-    out = np.zeros(shape)
+def _explicit_sum(
+    ops, shape, counters: OpCounters | None, which: str, dtype=np.float64
+) -> np.ndarray:
+    out = np.zeros(shape, dtype=dtype)
     for c, view in ops:
         if c == 1:
             out += view

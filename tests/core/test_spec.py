@@ -1,0 +1,87 @@
+"""Tests for the shared algorithm-spec normalizer."""
+
+import pytest
+
+from repro.algorithms.strassen import strassen
+from repro.core.kronecker import MultiLevelFMM
+from repro.core.spec import normalize_spec, resolve_levels, spec_key
+
+
+class TestNormalizeSpec:
+    def test_name_replicates_levels(self):
+        assert normalize_spec("strassen", 3) == ("strassen",) * 3
+
+    def test_shape_tuple_is_one_atom(self):
+        assert normalize_spec((2, 3, 4), 2) == ((2, 3, 4), (2, 3, 4))
+
+    def test_plus_string_splits_per_level(self):
+        assert normalize_spec("strassen+<3,3,3>") == ("strassen", "<3,3,3>")
+
+    def test_plus_string_ignores_levels(self):
+        # Explicit stacks fix the level count; `levels` is documented as
+        # ignored (matching the historical CLI behavior).
+        assert normalize_spec("strassen+classical", levels=5) == (
+            "strassen",
+            "classical",
+        )
+
+    def test_list_is_per_level_stack(self):
+        spec = ["strassen", (3, 3, 3)]
+        assert normalize_spec(spec) == ("strassen", (3, 3, 3))
+
+    def test_algorithm_object_atom(self):
+        s = strassen()
+        assert normalize_spec(s, 2) == (s, s)
+
+    def test_multilevel_passthrough(self):
+        ml = MultiLevelFMM([strassen(), strassen()])
+        assert normalize_spec(ml) == ml.levels
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError):
+            normalize_spec("strassen", 0)
+
+    def test_empty_stack(self):
+        with pytest.raises(ValueError):
+            normalize_spec([])
+
+    def test_unknown_form(self):
+        with pytest.raises(TypeError):
+            normalize_spec(3.14)
+
+    def test_bad_atom_in_stack(self):
+        with pytest.raises(TypeError):
+            normalize_spec(["strassen", 7])
+
+
+class TestResolveLevels:
+    def test_hybrid_plus_string(self):
+        ml = resolve_levels("strassen+<3,2,3>")
+        assert ml.L == 2
+        assert ml.dims_total == (6, 4, 6)
+
+    def test_matches_list_form(self):
+        a = resolve_levels("strassen+<3,3,3>")
+        b = resolve_levels(["strassen", "<3,3,3>"])
+        assert a.dims_total == b.dims_total
+        assert a.rank_total == b.rank_total
+
+
+class TestSpecKey:
+    def test_equivalent_shape_spellings_coincide(self):
+        assert (
+            spec_key("<2,3,2>")
+            == spec_key((2, 3, 2))
+            == spec_key("2,3,2")
+        )
+
+    def test_names_are_case_insensitive(self):
+        assert spec_key("Strassen") == spec_key("strassen")
+
+    def test_levels_change_key(self):
+        assert spec_key("strassen", 1) != spec_key("strassen", 2)
+
+    def test_object_atoms_keyed_by_identity(self):
+        s1, s2 = strassen(), strassen()
+        assert spec_key(s1) != spec_key(s2)
+        assert spec_key(s1) == spec_key(s1)

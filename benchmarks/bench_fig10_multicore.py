@@ -102,26 +102,42 @@ def test_fig10_bandwidth_ceiling(paper_machine_10core, benchmark):
     assert g_small < g_square < 248.0
 
 
-def test_fig10_threaded_engine_speedup(benchmark, rng):
-    """Real thread-parallel loop-3 on this machine: >1.3x at 4 threads."""
-    import numpy as np
+def test_fig10_modeled_vs_measured_scaling(benchmark):
+    """Modeled and measured strong scaling side by side on this machine.
 
-    from repro.bench.runner import measure_wall
+    The modeled curve is the paper's machine model; the measured curve is
+    the real task-graph runtime (:mod:`repro.core.runtime`) executing the
+    same configuration at each thread count.  On shared 1-2 core CI the
+    measured curve carries little signal, so the assertion is only that
+    threading never catastrophically degrades; run
+    ``benchmarks/bench_parallel_runtime.py`` on a >= 4-core box for the
+    2x acceptance bar.
+    """
+    import os
+
     from repro.core.executor import resolve_levels
+    from repro.core.parallel import measured_scaling_curve, scaling_curve
 
-    ml = resolve_levels("strassen", 1)
-    m = k = n = 1536
+    m = k = n = 768
+    threads = tuple(t for t in (1, 2, 4) if t <= (os.cpu_count() or 1)) or (1,)
 
-    def measure():
-        t1 = measure_wall(m, k, n, ml, "abc", engine="blocked", threads=1, repeats=2)
-        t4 = measure_wall(m, k, n, ml, "abc", engine="blocked", threads=4, repeats=2)
-        return t1, t4
-
-    t1, t4 = benchmark.pedantic(measure, rounds=1, iterations=1)
-    print(f"\nblocked engine wall: 1 thread {t1:.3f}s, 4 threads {t4:.3f}s "
-          f"(speedup {t1 / t4:.2f}x)")
-    # NumPy's own BLAS threading already parallelizes the slab matmuls, so
-    # loop-3 threads may not add speedup on this substrate; require only
-    # that they do not catastrophically degrade (correctness is asserted in
-    # the unit suite).
-    assert t4 < t1 * 3.0
+    measured = benchmark.pedantic(
+        measured_scaling_curve, args=(m, k, n),
+        kwargs=dict(algorithm="strassen", levels=1, variant="abc",
+                    threads_list=threads, repeats=2),
+        rounds=1, iterations=1,
+    )
+    modeled = {
+        p.cores: p
+        for p in scaling_curve(m, k, n, resolve_levels("strassen", 1), "abc",
+                               max_cores=max(threads))
+    }
+    print(f"\n{'threads':>7} {'measured s':>11} {'meas spdup':>11} "
+          f"{'model spdup':>12}")
+    for p in measured:
+        mp = modeled.get(p.cores)
+        print(f"{p.cores:7d} {p.time:11.4f} {p.speedup:10.2f}x "
+              f"{mp.speedup if mp else 1.0:11.2f}x")
+    assert measured[0].speedup == 1.0
+    # Threading must never catastrophically degrade the runtime.
+    assert all(p.time < measured[0].time * 3.0 for p in measured)

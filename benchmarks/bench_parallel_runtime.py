@@ -1,0 +1,141 @@
+"""Parallel-runtime benchmark: measured thread scaling of the task DAG.
+
+The tentpole acceptance bench for the task-graph runtime
+(:mod:`repro.core.runtime`): a 1024x1024x1024 one-level Strassen multiply
+is executed at 1/2/4 threads through the real runtime (gather/product/
+scatter tasks over the arena workspace) and the measured speedups are
+reported next to the machine model's prediction.  On a >= 4-core machine
+``threads=4`` must reach >= 2x the serial wall-clock; on smaller hosts the
+speedup assertions are skipped and the run is report-only.
+
+Run standalone (``python benchmarks/bench_parallel_runtime.py``) for a
+table plus a machine-readable ``benchmarks/results/
+BENCH_parallel_runtime.json`` record (shape, threads, GFLOPS, speedup),
+or through pytest for the regression-tracked assertions (correctness,
+zero per-call workspace allocation, and — where the cores exist — the 2x
+speedup bar).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+SHAPE = (1024, 1024, 1024)
+ALGORITHM = "strassen"
+LEVELS = 1
+THREADS = (1, 2, 4)
+
+
+def _threads_here(limit: int | None = None) -> tuple[int, ...]:
+    """The benchmark thread counts, never exceeding this host's cores."""
+    avail = limit or os.cpu_count() or 1
+    picked = [t for t in THREADS if t <= avail]
+    return tuple(picked) or (1,)
+
+
+def measure(shape=SHAPE, threads=None, repeats: int = 3):
+    """Measured ScalingPoints for the runtime at each thread count."""
+    from repro.core.parallel import measured_scaling_curve
+
+    m, k, n = shape
+    return measured_scaling_curve(
+        m, k, n,
+        algorithm=ALGORITHM, levels=LEVELS, variant="abc",
+        threads_list=threads or _threads_here(), repeats=repeats,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# pytest mode
+# ---------------------------------------------------------------------- #
+def test_parallel_matches_serial():
+    """threads in {1,2,4} all agree with the classical oracle."""
+    from repro.core.executor import multiply
+
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((192, 192))
+    B = rng.standard_normal((192, 192))
+    ref = A @ B
+    C1 = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS, threads=1)
+    for t in (2, 4):
+        Ct = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS, threads=t)
+        assert np.abs(Ct - ref).max() < 1e-9
+        assert np.abs(Ct - C1).max() < 1e-10
+    assert np.abs(C1 - ref).max() < 1e-9
+
+
+def test_workspace_arena_zero_alloc():
+    """Repeated same-plan multiplies allocate no new workspace buffers."""
+    from repro.core.executor import multiply
+    from repro.core.workspace import arena_stats
+
+    rng = np.random.default_rng(11)
+    A = rng.standard_normal((128, 128))
+    B = rng.standard_normal((128, 128))
+    C = np.zeros((128, 128))
+    for t in (1, 2):
+        multiply(A, B, C, algorithm=ALGORITHM, levels=LEVELS, threads=t)  # warm
+        allocated = arena_stats().allocations
+        reused = arena_stats().reuses
+        for _ in range(5):
+            multiply(A, B, C, algorithm=ALGORITHM, levels=LEVELS, threads=t)
+        stats = arena_stats()
+        assert stats.allocations == allocated, "hot path allocated a workspace"
+        assert stats.reuses >= reused + 5
+
+
+def test_parallel_speedup_on_multicore():
+    """Acceptance: >= 2x at 4 threads for 1024^3 Strassen (>= 4 cores only)."""
+    import pytest
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs a >= 4-core machine (acceptance criterion scope)")
+    pts = measure(threads=(1, 4), repeats=3)
+    t1, t4 = pts[0].time, pts[-1].time
+    print(f"\n1024^3 strassen L1: 1 thread {t1:.3f}s, 4 threads {t4:.3f}s "
+          f"({t1 / t4:.2f}x)")
+    assert t1 / t4 >= 2.0, (
+        f"parallel runtime speedup {t1 / t4:.2f}x below the 2x bar"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode
+# ---------------------------------------------------------------------- #
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+    from repro.core.parallel import scaling_curve
+    from repro.core.spec import resolve_levels
+
+    m, k, n = SHAPE
+    threads = _threads_here()
+    print(f"parallel-runtime benchmark: {m}x{k}x{n} {ALGORITHM} L{LEVELS} "
+          f"(host has {os.cpu_count()} cores)")
+    pts = measure(threads=threads)
+    ml = resolve_levels(ALGORITHM, LEVELS)
+    modeled = {p.cores: p for p in
+               scaling_curve(m, k, n, ml, "abc", max_cores=max(threads))}
+    print(f"{'threads':>7} {'time s':>9} {'GFLOPS':>8} {'speedup':>8} "
+          f"{'modeled':>8}")
+    rows = []
+    for p in pts:
+        mp = modeled.get(p.cores)
+        print(f"{p.cores:7d} {p.time:9.3f} {p.gflops:8.2f} "
+              f"{p.speedup:7.2f}x {mp.speedup if mp else 1.0:7.2f}x")
+        rows.append({
+            "shape": [m, k, n],
+            "algorithm": f"{ALGORITHM}-L{LEVELS}",
+            "threads": p.cores,
+            "time_s": p.time,
+            "gflops": p.gflops,
+            "speedup": p.speedup,
+            "modeled_speedup": mp.speedup if mp else 1.0,
+        })
+    out = write_bench_json("parallel_runtime", {"points": rows})
+    print(f"[saved {out}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -81,14 +81,25 @@ def test_cache_hits_accumulate():
 
 
 def main() -> None:
+    from repro.bench.reporting import write_bench_json
+
     print(f"plan-cache benchmark: repeated {N}x{N} Strassen multiplies")
     print(f"{'config':<14} {'cached us':>10} {'uncached us':>12} {'speedup':>8}")
+    rows = []
     for levels in (1, 2):
         cached, uncached, ratio = measure(levels)
         print(
             f"strassen L{levels:<4} {cached * 1e6:10.1f} "
             f"{uncached * 1e6:12.1f} {ratio:7.2f}x"
         )
+        rows.append({
+            "shape": [N, N, N],
+            "algorithm": f"strassen-L{levels}",
+            "threads": 1,
+            "cached_us": cached * 1e6,
+            "uncached_us": uncached * 1e6,
+            "speedup": ratio,
+        })
     # Batched amortization: one compiled plan + chunked vectorized passes
     # for the whole stack vs. one multiply() call per element.
     from repro.core.executor import multiply, multiply_batched
@@ -111,6 +122,16 @@ def main() -> None:
             f"{label:<22} {t_batched / batch * 1e6:10.1f} "
             f"{t_looped / batch * 1e6:10.1f} {t_looped / t_batched:7.2f}x"
         )
+        rows.append({
+            "shape": [size, size, size],
+            "algorithm": f"strassen-L{levels}",
+            "batch": batch,
+            "batched_us_per_elem": t_batched / batch * 1e6,
+            "looped_us_per_elem": t_looped / batch * 1e6,
+            "speedup": t_looped / t_batched,
+        })
+    out = write_bench_json("plan_cache", {"points": rows})
+    print(f"[saved {out}]")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,6 @@ clock at reduced scale on this machine.
 Run:  python examples/rank_k_update.py
 """
 
-import numpy as np
 
 import repro
 from repro.bench.runner import measure_wall, run_series

@@ -17,9 +17,14 @@ Public surface
 * :func:`get_algorithm` / :func:`fig2_family` — the generated family.
 * :class:`FMMAlgorithm` / :class:`MultiLevelFMM` — the ``[[U,V,W]]`` algebra.
 * :class:`DirectEngine` / :class:`BlockedEngine` — execution engines, thin
-  interpreters of the cached :class:`CompiledPlan` artifact
-  (:mod:`repro.core.compile`; inspect the cache with
+  clients of the task-graph runtime over the cached :class:`CompiledPlan`
+  artifact (:mod:`repro.core.compile`; inspect the cache with
   :func:`plan_cache_info` / :func:`plan_cache_clear`).
+* :func:`execute_plan` / :func:`lower_plan` — the parallel runtime
+  (:mod:`repro.core.runtime`): task DAG + reusable worker pools +
+  workspace arena (:func:`arena_stats` / :func:`arena_clear`).
+* :func:`measured_scaling_curve` / :func:`pick_threads` — measured vs
+  modeled multicore scaling (:mod:`repro.core.parallel`).
 * :func:`predict_fmm` / :func:`predict_gemm` — the Fig.-5 performance model.
 * :func:`select` — model-guided poly-algorithm selection (Fig. 8).
 * :func:`build_plan` / :func:`generate_source` — the code generator.
@@ -51,9 +56,12 @@ from repro.core.executor import (
 )
 from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
+from repro.core.parallel import measured_scaling_curve, pick_threads, scaling_curve
 from repro.core.plan import build_plan
+from repro.core.runtime import TaskGraph, execute_plan, get_pool, lower_plan
 from repro.core.selection import Candidate, auto_config, select
-from repro.core.spec import normalize_spec
+from repro.core.spec import normalize_spec, normalize_threads
+from repro.core.workspace import arena_clear, arena_stats
 from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
 from repro.model.perfmodel import (
     calibrate_lambda,
@@ -71,6 +79,16 @@ __all__ = [
     "plan_cache_info",
     "plan_cache_clear",
     "normalize_spec",
+    "normalize_threads",
+    "execute_plan",
+    "lower_plan",
+    "TaskGraph",
+    "get_pool",
+    "arena_stats",
+    "arena_clear",
+    "scaling_curve",
+    "measured_scaling_curve",
+    "pick_threads",
     "auto_config",
     "get_algorithm",
     "get_entry",

@@ -1,31 +1,69 @@
 """Rendering of benchmark series and tables, plus result-file dumps.
 
 The harness prints the same rows/series the paper reports (Effective
-GFLOPS per sweep point), renders compact markdown for EXPERIMENTS.md, and
-writes CSVs under ``benchmarks/results/`` so runs are diffable.
+GFLOPS per sweep point), renders compact markdown for EXPERIMENTS.md,
+writes CSVs under ``benchmarks/results/`` so runs are diffable, and emits
+machine-readable ``BENCH_*.json`` telemetry (:func:`write_bench_json`) so
+the perf trajectory is tracked across PRs.
 """
 
 from __future__ import annotations
 
 import csv
+import json
+import os
+import platform
+import time
 from pathlib import Path
 
 from repro.bench.runner import Series
 
-__all__ = ["format_table", "series_table", "write_csv", "results_dir"]
+__all__ = [
+    "format_table",
+    "series_table",
+    "write_csv",
+    "write_bench_json",
+    "results_dir",
+]
 
 
 def results_dir() -> Path:
     """benchmarks/results/ relative to the repository root (created lazily)."""
     here = Path(__file__).resolve()
     for parent in here.parents:
-        if (parent / "pyproject.toml").exists():
+        if (parent / "pyproject.toml").exists() or (parent / "setup.py").exists():
             d = parent / "benchmarks" / "results"
             d.mkdir(parents=True, exist_ok=True)
             return d
     d = Path.cwd() / "benchmark-results"
     d.mkdir(exist_ok=True)
     return d
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Dump one benchmark run as ``benchmarks/results/BENCH_<name>.json``.
+
+    Wraps ``payload`` (benchmark-specific: shapes, threads, GFLOPS,
+    speedups, ...) in a common envelope — benchmark name, UTC timestamp
+    and the host fingerprint (python/numpy versions, cpu count) — so runs
+    from different PRs/machines are comparable records.
+    """
+    import numpy as np
+
+    doc = {
+        "bench": name,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        **payload,
+    }
+    path = results_dir() / f"BENCH_{name}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return path
 
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:

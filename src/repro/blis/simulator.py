@@ -16,7 +16,6 @@ curves.
 
 from __future__ import annotations
 
-import math
 
 from repro.blis.counters import OpCounters
 from repro.blis.params import BlockingParams

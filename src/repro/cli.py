@@ -61,6 +61,7 @@ def cmd_multiply(args) -> int:
             variant=args.variant, engine=args.engine, threads=args.threads,
         )
     elif args.engine == "blocked":
+        # BlockedEngine normalizes threads itself (None -> 1, 0/neg raise).
         eng = BlockedEngine(variant=args.variant, threads=args.threads)
         C = np.zeros((args.m, args.n), dtype=dtype)
         eng.multiply(A, B, C, ml)
@@ -157,7 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
     p.add_argument("--engine", choices=("direct", "blocked", "auto"),
                    default="direct")
-    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--threads", type=int, default=None,
+                   help="runtime worker threads (default: 1; with "
+                        "--engine auto the machine model picks)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--dtype", choices=("float32", "float64"), default="float64")
     p.add_argument("--batch", type=int, default=1,

@@ -2,22 +2,27 @@
 
 Every multiply flows through one compiled artifact: the
 :class:`~repro.core.compile.CompiledPlan` produced (and LRU-cached) by
-:func:`repro.core.compile.compile`.  The engines are thin interpreters of
-that object — they re-derive nothing per call:
+:func:`repro.core.compile.compile`.  Since the task-graph refactor the
+engines are thin *clients of the runtime*
+(:mod:`repro.core.runtime`) — they re-derive nothing per call and own no
+execution loop of their own:
 
-* :class:`DirectEngine` — vectorized NumPy execution of eq. (5).  Small
-  cores run the *batched* path (all ``R`` operand sums via one tensordot
-  against the compiled ``Ut``/``Vt`` operators, one stacked matmul, one
-  ``W`` scatter); large cores fall back to a memory-light per-step gather
-  loop.  Fast and simple; the correctness oracle for everything else.
+* :class:`DirectEngine` — hands the compiled plan to
+  :func:`repro.core.runtime.execute_plan`: the plan's task DAG
+  (gather/product/scatter over arena workspace) runs on ``threads``
+  workers from the shared pool; ``threads=1`` executes the identical
+  schedule inline.  Fast and simple; the correctness oracle for
+  everything else.
 * :class:`BlockedEngine` — the simulated-BLIS path: every product runs
   through the packed five-loop GEMM with variant-specific fusion
   (:mod:`repro.core.variants`), instrumented with the counters the
-  performance model prices.  Optionally thread-parallel over the 3rd loop.
+  performance model prices.  Thread-parallel over the 3rd loop using the
+  same shared runtime pools.
 
 Public API on top: :func:`multiply` (with model-guided
-``engine="auto"`` dispatch), :func:`multiply_batched` (one compiled plan
-amortized over a stack of same-shape multiplies), and dtype generality —
+``engine="auto"`` dispatch, which also picks a thread count from the
+machine model), :func:`multiply_batched` (one compiled plan amortized
+over a stack of same-shape multiplies), and dtype generality —
 float32/float64 operands are preserved end-to-end, everything else is
 promoted to float64.  Peeling for non-divisible sizes (paper §4.1) and
 per-level hybrid algorithms (§5.2) come with the plan.
@@ -25,17 +30,17 @@ per-level hybrid algorithms (§5.2) come with the plan.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-
 import numpy as np
 
 from repro.blis.counters import OpCounters
 from repro.blis.gemm import packed_gemm
 from repro.blis.params import BlockingParams
 from repro.core import compile as plancache
+from repro.core import runtime
 from repro.core.compile import SUPPORTED_DTYPES, CompiledPlan
 from repro.core.kronecker import MultiLevelFMM
-from repro.core.spec import resolve_levels
+from repro.core.runtime import check_exec_shapes as _check_exec_shapes
+from repro.core.spec import normalize_threads, resolve_levels
 from repro.core.variants import run_fmm_blocked
 
 __all__ = [
@@ -73,20 +78,30 @@ def _compile_for(A: np.ndarray, B: np.ndarray, algorithm, variant: str) -> Compi
 
 
 class DirectEngine:
-    """Vectorized NumPy interpreter of :class:`CompiledPlan`.
+    """Thin client of the task-graph runtime (:mod:`repro.core.runtime`).
 
     Parameters
     ----------
+    threads:
+        Worker count for the task DAG; 1 (default) executes the same
+        schedule inline with no pool involved.
     vector_cap:
         Per-element workload bound (elements across the stacked S/T/M
-        intermediates) under which the fully vectorized path is used;
-        larger cores use the per-step gather loop to bound workspace.
+        intermediates) under which the arena task-graph path is used;
+        larger cores use the serial per-step gather loop to bound
+        workspace.
     chunk_target:
         Intermediate-size target (elements) for slicing a batch into
-        cache-resident chunks on the vectorized path.
+        cache-resident chunks on the task-graph path.
     """
 
-    def __init__(self, vector_cap: int = 1 << 24, chunk_target: int = 1 << 17) -> None:
+    def __init__(
+        self,
+        threads: int = 1,
+        vector_cap: int = runtime.DEFAULT_VECTOR_CAP,
+        chunk_target: int = runtime.DEFAULT_CHUNK_TARGET,
+    ) -> None:
+        self.threads = normalize_threads(threads) or 1
         self.vector_cap = int(vector_cap)
         self.chunk_target = int(chunk_target)
         self.last_peel = None
@@ -110,94 +125,19 @@ class DirectEngine:
     def execute(
         self, cplan: CompiledPlan, A: np.ndarray, B: np.ndarray, C: np.ndarray
     ) -> np.ndarray:
-        """Interpret a compiled plan: ``C += A @ B``.
+        """Run a compiled plan through the runtime: ``C += A @ B``.
 
         Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
         trailing dims match the plan's ``(m, k, n)``.
         """
-        _check_exec_shapes(cplan, A, B, C)
-        pp = cplan.peel_plan
-        self.last_peel = pp
+        self.last_peel = cplan.peel_plan
         self.last_plan = cplan
-
-        if pp.has_core:
-            mp, kp, np_ = pp.core
-            Mt, Kt, Nt = cplan.dims_total
-            bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
-            Ac = A[..., :mp, :kp]
-            Bc = B[..., :kp, :np_]
-            Cc = C[..., :mp, :np_]
-            work = cplan.rank_total * (bm * bk + bk * bn + bm * bn)
-            # The fused path computes in the plan dtype; when C cannot
-            # absorb that (e.g. integer operands fed straight to the
-            # engine), the per-step loop preserves the operand dtype for
-            # +-1-coefficient algorithms exactly like the classic engine.
-            vectorizable = np.can_cast(cplan.dtype, C.dtype, casting="same_kind")
-            if vectorizable and work <= self.vector_cap:
-                self._run_vectorized(cplan, Ac, Bc, Cc, bm, bk, bn, work)
-            else:
-                self._run_steps(cplan, Ac, Bc, Cc, bm, bk, bn)
-        for f in pp.fringes:
-            if 0 in f.shape:
-                continue
-            C[..., f.c_rows, f.c_cols] += (
-                A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
-            )
-        return C
-
-    def _run_vectorized(self, cplan, Ac, Bc, Cc, bm, bk, bn, work) -> None:
-        """All R products through the compiled operators.
-
-        Batched stacks are sliced into chunks whose S/T/M intermediates
-        stay near cache size — one huge fused pass is bandwidth-bound.
-        """
-        if Ac.ndim != 3:  # plain 2-D multiply (or exotic leading dims)
-            self._vectorized_chunk(cplan, Ac, Bc, Cc, bm, bk, bn)
-            return
-        batch = Ac.shape[0]
-        chunk = max(1, min(batch, self.chunk_target // max(work, 1)))
-        for i in range(0, batch, chunk):
-            self._vectorized_chunk(
-                cplan, Ac[i : i + chunk], Bc[i : i + chunk], Cc[i : i + chunk],
-                bm, bk, bn,
-            )
-
-    def _vectorized_chunk(self, cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
-        """One fused pass: every operand sum, product and C update of
-        eq. (5) as a handful of large contiguous matmuls."""
-        Ablk = np.stack(cplan.block_views(Ac, "A", bm, bk))
-        Bblk = np.stack(cplan.block_views(Bc, "B", bk, bn))
-        R = cplan.rank_total
-        # (R, P) @ (P, batch*br*bc): all R operand sums in one matmul, then
-        # merge the (R, batch) leading dims so the product matmul runs over
-        # one flat stack of blocks.
-        S = (cplan.Ut @ Ablk.reshape(Ablk.shape[0], -1)).reshape(-1, bm, bk)
-        T = (cplan.Vt @ Bblk.reshape(Bblk.shape[0], -1)).reshape(-1, bk, bn)
-        M = S @ T  # (R*batch, bm, bn)
-        upd = (cplan.W @ M.reshape(R, -1)).reshape(
-            (-1,) + Cc.shape[:-2] + (bm, bn)
+        return runtime.execute_plan(
+            cplan, A, B, C,
+            threads=self.threads,
+            vector_cap=self.vector_cap,
+            chunk_target=self.chunk_target,
         )
-        for p, view in enumerate(cplan.block_views(Cc, "C", bm, bn)):
-            view += upd[p]
-
-    def _run_steps(self, cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
-        """Memory-light per-product loop over the plan's gather lists."""
-        Av = cplan.block_views(Ac, "A", bm, bk)
-        Bv = cplan.block_views(Bc, "B", bk, bn)
-        Cv = cplan.block_views(Cc, "C", bm, bn)
-        lead = Ac.shape[:-2]
-        dt = np.result_type(Ac, Bc)
-        for s in cplan.steps:
-            S = _vsum(s.a_terms, Av, lead + (bm, bk), dt)
-            T = _vsum(s.b_terms, Bv, lead + (bk, bn), dt)
-            M = S @ T
-            for i, w in s.c_terms:
-                if w == 1:
-                    Cv[i] += M
-                elif w == -1:
-                    Cv[i] -= M
-                else:
-                    Cv[i] += w * M
 
 
 class BlockedEngine:
@@ -213,6 +153,8 @@ class BlockedEngine:
         honors the variant baked into the plan.
     threads:
         Worker count for the 3rd-loop data parallelism; 1 = sequential.
+        Workers come from the shared runtime pools
+        (:func:`repro.core.runtime.get_pool`) — no per-call pool churn.
     mode:
         Macro-kernel granularity, ``"slab"`` (fast) or ``"micro"`` (faithful
         register-tile loop).
@@ -227,11 +169,14 @@ class BlockedEngine:
     ) -> None:
         self.params = params or BlockingParams()
         self.variant = variant
-        self.threads = int(threads)
+        self.threads = normalize_threads(threads) or 1
         self.mode = mode
         self.counters = OpCounters()
         self.last_peel = None
         self.last_plan: CompiledPlan | None = None
+
+    def _pool(self):
+        return runtime.get_pool(self.threads) if self.threads > 1 else None
 
     def multiply(
         self,
@@ -258,58 +203,49 @@ class BlockedEngine:
         self.last_peel = pp
         self.last_plan = cplan
 
-        pool = ThreadPoolExecutor(self.threads) if self.threads > 1 else None
-        try:
-            if pp.has_core:
-                mp, kp, np_ = pp.core
-                Mt, Kt, Nt = cplan.dims_total
-                bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
-                run_fmm_blocked(
-                    cplan.block_views(A[:mp, :kp], "A", bm, bk),
-                    cplan.block_views(B[:kp, :np_], "B", bk, bn),
-                    cplan.block_views(C[:mp, :np_], "C", bm, bn),
-                    cplan.plan,
-                    variant=cplan.variant,
-                    params=self.params,
-                    counters=self.counters,
-                    pool=pool,
-                    mode=self.mode,
-                )
-            for f in pp.fringes:
-                if 0 in f.shape:
-                    continue
-                packed_gemm(
-                    [(1.0, A[f.a_rows, f.a_cols])],
-                    [(1.0, B[f.b_rows, f.b_cols])],
-                    [(1.0, C[f.c_rows, f.c_cols])],
-                    self.params,
-                    self.counters,
-                    mode=self.mode,
-                    pool=pool,
-                )
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        pool = self._pool()
+        if pp.has_core:
+            mp, kp, np_ = pp.core
+            Mt, Kt, Nt = cplan.dims_total
+            bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
+            run_fmm_blocked(
+                cplan.block_views(A[:mp, :kp], "A", bm, bk),
+                cplan.block_views(B[:kp, :np_], "B", bk, bn),
+                cplan.block_views(C[:mp, :np_], "C", bm, bn),
+                cplan.plan,
+                variant=cplan.variant,
+                params=self.params,
+                counters=self.counters,
+                pool=pool,
+                mode=self.mode,
+            )
+        for f in pp.fringes:
+            if 0 in f.shape:
+                continue
+            packed_gemm(
+                [(1.0, A[f.a_rows, f.a_cols])],
+                [(1.0, B[f.b_rows, f.b_cols])],
+                [(1.0, C[f.c_rows, f.c_cols])],
+                self.params,
+                self.counters,
+                mode=self.mode,
+                pool=pool,
+            )
         return C
 
     def gemm(self, A: np.ndarray, B: np.ndarray, C: np.ndarray) -> np.ndarray:
         """Plain packed GEMM (the BLIS baseline the paper compares against)."""
         _check_mult_shapes(A, B, C)
-        pool = ThreadPoolExecutor(self.threads) if self.threads > 1 else None
-        try:
-            packed_gemm(
-                [(1.0, A)], [(1.0, B)], [(1.0, C)],
-                self.params, self.counters, mode=self.mode, pool=pool,
-            )
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        packed_gemm(
+            [(1.0, A)], [(1.0, B)], [(1.0, C)],
+            self.params, self.counters, mode=self.mode, pool=self._pool(),
+        )
         return C
 
 
 def _dispatch(engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode):
     if engine == "direct":
-        DirectEngine().execute(cplan, A, B, C)
+        DirectEngine(threads=threads).execute(cplan, A, B, C)
     elif engine == "blocked":
         BlockedEngine(
             params=params, variant=cplan.variant, threads=threads, mode=mode
@@ -327,7 +263,7 @@ def multiply(
     variant: str = "abc",
     engine: str = "direct",
     params: BlockingParams | None = None,
-    threads: int = 1,
+    threads: int | None = None,
     mode: str = "slab",
     dtype=None,
 ) -> np.ndarray:
@@ -338,9 +274,15 @@ def multiply(
     ``algorithm=["strassen", "<3,3,3>"]``, or a ``"+"``-joined string);
     ``engine`` picks the NumPy reference path (``"direct"``), the
     instrumented simulated-BLIS path (``"blocked"``), or model-guided
-    auto-dispatch (``"auto"``, which selects algorithm stack, levels and
-    variant from the §4.4 performance model and falls back to classical
-    GEMM when the model says FMM will not pay off).
+    auto-dispatch (``"auto"``, which selects algorithm stack, levels,
+    variant *and thread count* from the §4.4 performance model and falls
+    back to classical GEMM when the model says FMM will not pay off).
+
+    ``threads`` runs the task-graph runtime on that many workers
+    (``threads=1`` executes the same schedule serially).  Left unset it
+    defaults to 1 for explicit engines and to the model's pick under
+    ``engine="auto"``.  ``threads=0`` or a negative count raises
+    ``ValueError`` up front, at spec-normalization time.
 
     float32/float64 operands are preserved end-to-end (pass ``dtype`` to
     force one); other input types promote to float64.
@@ -350,10 +292,11 @@ def multiply(
     >>> import numpy as np
     >>> from repro import multiply
     >>> A = np.random.rand(64, 64); B = np.random.rand(64, 64)
-    >>> C = multiply(A, B, algorithm="strassen", levels=2)
+    >>> C = multiply(A, B, algorithm="strassen", levels=2, threads=2)
     >>> np.allclose(C, A @ B)
     True
     """
+    threads = normalize_threads(threads)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
@@ -366,7 +309,11 @@ def multiply(
     if engine == "auto":
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine = auto_config(m, k, n)
+        algorithm, levels, variant, engine, auto_threads = auto_config(m, k, n)
+        if threads is None:
+            threads = auto_threads
+    if threads is None:
+        threads = 1
     if C is None:
         C = np.zeros((m, n), dtype=dt)
     cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
@@ -383,7 +330,7 @@ def multiply_batched(
     variant: str = "abc",
     engine: str = "direct",
     params: BlockingParams | None = None,
-    threads: int = 1,
+    threads: int | None = None,
     mode: str = "slab",
     dtype=None,
 ) -> np.ndarray:
@@ -392,12 +339,14 @@ def multiply_batched(
     ``A`` is ``(batch, m, k)`` and ``B`` ``(batch, k, n)``; either may be
     2-D to share one operand across the batch.  The configuration is
     compiled **once** and amortized over the whole batch: the direct path
-    executes all batch elements through stacked 3-D operands (one
-    tensordot/matmul sequence covers every product of every element), the
-    blocked path interprets the same plan per element.
+    executes all batch elements through stacked 3-D operands (the runtime
+    folds the batch into its gather/product/scatter slabs and fans tasks
+    out over ``threads`` workers), the blocked path interprets the same
+    plan per element.
 
     Returns the ``(batch, m, n)`` result stack.
     """
+    threads = normalize_threads(threads)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim == 2 and B.ndim == 2:
@@ -422,16 +371,30 @@ def multiply_batched(
     A = np.ascontiguousarray(np.broadcast_to(A, (batch, m, k)), dtype=dt)
     B = np.ascontiguousarray(np.broadcast_to(B, (batch, k, n)), dtype=dt)
     if engine == "auto":
+        from repro.core.parallel import pick_threads
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine = auto_config(m, k, n)
+        algorithm, levels, variant, engine, _ = auto_config(m, k, n)
+        if threads is None:
+            # Re-pick with the whole batch in view: the runtime folds the
+            # batch into its task slabs, so the parallelism threshold is
+            # the batch total's flops, not one element's.
+            ml = None if algorithm == "classical" else resolve_levels(
+                algorithm, levels
+            )
+            threads = pick_threads(
+                m, k, n, ml, variant,
+                min_flops=2.0 * 256**3 / max(batch, 1),
+            )
+    if threads is None:
+        threads = 1
     if C is None:
         C = np.zeros((batch, m, n), dtype=dt)
     elif C.shape != (batch, m, n):
         raise ValueError(f"C has shape {C.shape}, expected {(batch, m, n)}")
     cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
     if engine == "direct":
-        DirectEngine().execute(cplan, A, B, C)
+        DirectEngine(threads=threads).execute(cplan, A, B, C)
     elif engine == "blocked":
         eng = BlockedEngine(params=params, variant=cplan.variant,
                             threads=threads, mode=mode)
@@ -442,45 +405,8 @@ def multiply_batched(
     return C
 
 
-def _vsum(terms, views, shape, dtype):
-    """Sparse weighted sum of views; coefficients stay python floats so
-    NEP-50 scalar promotion cannot upcast float32 intermediates."""
-    out = None
-    for i, c in terms:
-        v = views[i]
-        if out is None:
-            if c == 1 or c == -1:
-                out = v.astype(dtype, copy=True)
-                if c == -1:
-                    np.negative(out, out)
-            else:
-                out = v * c
-        elif c == 1:
-            out += v
-        elif c == -1:
-            out -= v
-        else:
-            out += c * v
-    if out is None:
-        out = np.zeros(shape, dtype=dtype)
-    return out
-
-
 def _check_mult_shapes(A, B, C):
     if A.shape[1] != B.shape[0] or C.shape != (A.shape[0], B.shape[1]):
         raise ValueError(
             f"inconsistent shapes: A {A.shape}, B {B.shape}, C {C.shape}"
-        )
-
-
-def _check_exec_shapes(cplan: CompiledPlan, A, B, C):
-    m, k, n = cplan.shape
-    if A.shape[-2:] != (m, k) or B.shape[-2:] != (k, n) or C.shape[-2:] != (m, n):
-        raise ValueError(
-            f"operands A {A.shape}, B {B.shape}, C {C.shape} do not match "
-            f"compiled plan shape {(m, k, n)}"
-        )
-    if not (A.shape[:-2] == B.shape[:-2] == C.shape[:-2]):
-        raise ValueError(
-            f"batch dims disagree: A {A.shape}, B {B.shape}, C {C.shape}"
         )

@@ -1,16 +1,29 @@
 """Parallel execution analysis: the paper's §5.1/§5.3 multicore story.
 
-The generated implementations parallelize the 3rd loop around the
-micro-kernel with simple data parallelism [20] — implemented in
-:class:`~repro.core.executor.BlockedEngine` via ``threads=N``.  This module
-adds the *analysis* side: modeled scaling curves (arithmetic divides by
-cores, DRAM bandwidth saturates at the socket), parallel efficiency, and a
-measured thread-scaling probe for the Python engine.
+Two sides of the same figures:
+
+* **Modeled** — :func:`scaling_curve` / :func:`parallel_efficiency` price
+  the generated implementations with the machine model (arithmetic divides
+  by cores, DRAM bandwidth saturates at the socket), reproducing the
+  flattened curves of Figs. 9–10 without touching hardware.
+* **Measured** — :func:`measured_scaling_curve` drives the real task-graph
+  runtime (:mod:`repro.core.runtime`) at each thread count and reports
+  wall-clock speedup on *this* machine, so modeled and measured scaling
+  can finally be plotted side by side
+  (``benchmarks/bench_parallel_runtime.py`` /
+  ``benchmarks/bench_fig10_multicore.py``).
+
+:func:`pick_threads` turns the modeled curve into the thread count that
+``multiply(engine="auto")`` uses.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.blis.simulator import simulate_time
 from repro.core.kronecker import MultiLevelFMM
@@ -20,7 +33,9 @@ from repro.model.perfmodel import effective_gflops
 __all__ = [
     "ScalingPoint",
     "scaling_curve",
+    "measured_scaling_curve",
     "parallel_efficiency",
+    "pick_threads",
     "bandwidth_bound_fraction",
 ]
 
@@ -63,6 +78,90 @@ def scaling_curve(
             )
         )
     return out
+
+
+def measured_scaling_curve(
+    m: int,
+    k: int,
+    n: int,
+    algorithm="strassen",
+    levels: int = 1,
+    variant: str = "abc",
+    threads_list=(1, 2, 4),
+    engine: str = "direct",
+    repeats: int = 3,
+    dtype=np.float64,
+    seed: int = 0,
+) -> list[ScalingPoint]:
+    """Measured strong-scaling of the task-graph runtime on this machine.
+
+    Runs ``multiply(..., threads=t)`` for each ``t`` in ``threads_list``
+    (best-of-``repeats`` wall-clock; the first entry — conventionally 1 —
+    is the speedup baseline).  Unlike :func:`scaling_curve` nothing here is
+    modeled: this is the real runtime on real cores, including one warm-up
+    call per thread count so plan compilation and arena allocation stay
+    out of the timings.
+    """
+    from repro.core.executor import multiply
+
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k)).astype(dtype, copy=False)
+    B = rng.standard_normal((k, n)).astype(dtype, copy=False)
+    C = np.zeros((m, n), dtype=dtype)
+    out: list[ScalingPoint] = []
+    base = None
+    for t in threads_list:
+        multiply(A, B, C, algorithm=algorithm, levels=levels,
+                 variant=variant, engine=engine, threads=t)  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            multiply(A, B, C, algorithm=algorithm, levels=levels,
+                     variant=variant, engine=engine, threads=t)
+            best = min(best, time.perf_counter() - t0)
+        if base is None:
+            base = best
+        out.append(
+            ScalingPoint(
+                cores=int(t),
+                time=best,
+                gflops=effective_gflops(m, k, n, best),
+                speedup=base / best,
+                efficiency=base / best / int(t),
+            )
+        )
+    return out
+
+
+def pick_threads(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM | None,
+    variant: str = "abc",
+    max_threads: int | None = None,
+    machine_factory=ivy_bridge_e5_2680_v2,
+    min_efficiency: float = 0.6,
+    min_flops: float = 2.0 * 256**3,
+) -> int:
+    """Model-guided thread count for one problem (used by auto-dispatch).
+
+    Walks the modeled scaling curve up to ``min(os.cpu_count(),
+    max_threads)`` cores and returns the largest count whose modeled
+    parallel efficiency stays above ``min_efficiency`` — adding cores past
+    the bandwidth knee buys nothing.  Problems under ``min_flops`` total
+    flops stay serial: at that scale Python-side task overhead would eat
+    any modeled gain.
+    """
+    avail = os.cpu_count() or 1
+    cap = min(avail, max_threads) if max_threads else avail
+    if cap <= 1 or 2.0 * m * k * n < min_flops:
+        return 1
+    best = 1
+    for p in scaling_curve(m, k, n, ml, variant, cap, machine_factory):
+        if p.efficiency >= min_efficiency:
+            best = p.cores
+    return best
 
 
 def parallel_efficiency(

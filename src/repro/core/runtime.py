@@ -1,0 +1,446 @@
+"""Task-graph parallel runtime over the :class:`CompiledPlan` IR.
+
+The paper's multicore results (§5.1/§5.3, Figs. 9–10) come from *running*
+the generated implementations on real cores; until this module the repo
+only modeled that scaling (:mod:`repro.core.parallel`).  Here a compiled
+plan is lowered once into an explicit task DAG and executed on a reusable
+worker pool, so ``multiply(..., threads=N)`` uses N cores for real:
+
+* **gather** tasks copy the recursive blocks of ``A``/``B`` into the
+  contiguous arena slabs ``A~``/``B~`` (a range of blocks per task);
+* **product** tasks compute a range of coefficient products ``M_r``:
+  ``S = Ut A~``, ``T = Vt B~`` (row-sliced matmuls into the arena) and the
+  batched ``M = S @ T``;
+* **scatter** tasks own disjoint ranges of destination blocks of ``C`` —
+  each computes ``upd = W M`` for its rows and accumulates into its own
+  blocks, so C updates are write-conflict-free by construction;
+* **fringe** tasks run the dynamic-peeling GEMMs (their C regions are
+  mutually disjoint; they run after the core barrier because the k-fringe
+  overlaps the core's output).
+
+Phases are separated by barriers; tasks within a phase are independent.
+``threads=1`` executes the *same* schedule inline — the serial engines are
+just the 1-worker special case, not a separate code path.  Worker pools
+are process-wide and reused across calls (:func:`get_pool`), and every
+temporary lives in the recycling workspace arena
+(:mod:`repro.core.workspace`), so repeated same-plan multiplies allocate
+nothing on the hot path.
+
+Fallbacks (both serial, both documented limits of the arena path): cores
+whose stacked intermediates exceed ``vector_cap`` run the memory-light
+per-step loop, as does a destination dtype that cannot absorb the plan
+dtype (e.g. integer ``C``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compile import CompiledPlan
+from repro.core.workspace import workspace_arena
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "lower_plan",
+    "execute_plan",
+    "get_pool",
+    "pool_info",
+    "shutdown_pools",
+    "DEFAULT_VECTOR_CAP",
+    "DEFAULT_CHUNK_TARGET",
+]
+
+#: Per-element stacked-intermediate bound for the arena path (elements).
+DEFAULT_VECTOR_CAP = 1 << 24
+#: Intermediate-size target for slicing batches into cache-resident chunks.
+DEFAULT_CHUNK_TARGET = 1 << 17
+
+
+# ---------------------------------------------------------------------- #
+# Reusable worker pools
+# ---------------------------------------------------------------------- #
+_pool_lock = threading.Lock()
+_pools: dict[int, ThreadPoolExecutor] = {}
+
+
+def get_pool(workers: int) -> ThreadPoolExecutor:
+    """The process-wide pool with ``workers`` threads (created on first use).
+
+    Pools persist for the life of the process and are shared by every
+    execution requesting the same worker count — no per-call pool spin-up
+    or teardown.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    with _pool_lock:
+        pool = _pools.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"repro-rt{workers}"
+            )
+            _pools[workers] = pool
+        return pool
+
+
+def pool_info() -> dict[int, int]:
+    """``{workers: max_workers}`` of every live pool (for tests/telemetry)."""
+    with _pool_lock:
+        return {w: p._max_workers for w, p in _pools.items()}
+
+
+def shutdown_pools() -> None:
+    """Shut down and drop every pooled executor."""
+    with _pool_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for p in pools:
+        p.shutdown(wait=True)
+
+
+# ---------------------------------------------------------------------- #
+# Lowering: CompiledPlan -> TaskGraph
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a half-open ``[lo, hi)`` range of one kind.
+
+    Kinds: ``gather_a``/``gather_b`` (operand block ranges), ``product``
+    (step ranges over ``r``), ``scatter`` (destination block ranges),
+    ``fringe`` (peel-fringe indices).
+    """
+
+    kind: str
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """The lowered schedule of one plan for one worker count.
+
+    ``phases`` are executed in order with a barrier between consecutive
+    phases; tasks inside a phase are mutually independent (disjoint writes)
+    and may run concurrently.
+    """
+
+    key: tuple
+    workers: int
+    phases: tuple[tuple[Task, ...], ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return sum(len(p) for p in self.phases)
+
+
+def _split(total: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced half-open ranges covering ``[0, total)`` (no empty ranges)."""
+    parts = max(1, min(parts, total))
+    step, rem = divmod(total, parts)
+    ranges, lo = [], 0
+    for i in range(parts):
+        hi = lo + step + (1 if i < rem else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+_graph_lock = threading.Lock()
+_graphs: dict[tuple, TaskGraph] = {}
+_GRAPH_CACHE_MAX = 256
+
+
+def lower_plan(cplan: CompiledPlan, workers: int = 1) -> TaskGraph:
+    """Lower a compiled plan to its task DAG for ``workers`` workers.
+
+    Pure metadata (index ranges only — no arrays), memoized per
+    ``(plan key, workers)``.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    key = (cplan.key, workers)
+    with _graph_lock:
+        hit = _graphs.get(key)
+        if hit is not None:
+            return hit
+
+    Pa = len(cplan.a_table)
+    Pb = len(cplan.b_table)
+    Pc = len(cplan.c_table)
+    R = cplan.rank_total
+    phases: list[tuple[Task, ...]] = []
+    if cplan.peel_plan.has_core:
+        gather = [Task("gather_a", lo, hi) for lo, hi in _split(Pa, workers)]
+        gather += [Task("gather_b", lo, hi) for lo, hi in _split(Pb, workers)]
+        phases.append(tuple(gather))
+        phases.append(tuple(Task("product", lo, hi) for lo, hi in _split(R, workers)))
+        phases.append(tuple(Task("scatter", lo, hi) for lo, hi in _split(Pc, workers)))
+    fringes = [
+        Task("fringe", i, i + 1)
+        for i, f in enumerate(cplan.peel_plan.fringes)
+        if 0 not in f.shape
+    ]
+    if fringes:
+        phases.append(tuple(fringes))
+    graph = TaskGraph(key=key, workers=workers, phases=tuple(phases))
+    with _graph_lock:
+        graph = _graphs.setdefault(key, graph)
+        while len(_graphs) > _GRAPH_CACHE_MAX:
+            _graphs.pop(next(iter(_graphs)))
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
+class _CoreBinding:
+    """Binds one task graph to concrete operand views and arena buffers.
+
+    All reshapes below are views of C-contiguous arena slabs, and every
+    matmul writes through ``out=`` — the hot path performs no temporary
+    allocation.
+    """
+
+    __slots__ = (
+        "cplan", "Av", "Bv", "Cv", "L",
+        "Ablk", "Bblk", "A2", "B2", "S2", "T2", "S3", "T3", "M3", "M2",
+        "upd", "upd2",
+    )
+
+    def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws):
+        self.cplan = cplan
+        self.Av = cplan.block_views(Ac, "A", bm, bk)
+        self.Bv = cplan.block_views(Bc, "B", bk, bn)
+        self.Cv = cplan.block_views(Cc, "C", bm, bn)
+        self.L = math.prod(Ac.shape[:-2])
+        R = cplan.rank_total
+        self.Ablk = ws["Ablk"]
+        self.Bblk = ws["Bblk"]
+        self.A2 = self.Ablk.reshape(len(self.Av), -1)
+        self.B2 = self.Bblk.reshape(len(self.Bv), -1)
+        S, T, M = ws["S"], ws["T"], ws["M"]
+        self.S2 = S.reshape(R, -1)
+        self.T2 = T.reshape(R, -1)
+        self.S3 = S.reshape(-1, bm, bk)
+        self.T3 = T.reshape(-1, bk, bn)
+        self.M3 = M.reshape(-1, bm, bn)
+        self.M2 = M.reshape(R, -1)
+        self.upd = ws["upd"]
+        self.upd2 = self.upd.reshape(self.upd.shape[0], -1)
+
+    def run(self, task: Task) -> None:
+        kind, lo, hi = task.kind, task.lo, task.hi
+        if kind == "gather_a":
+            np.stack(self.Av[lo:hi], out=self.Ablk[lo:hi])
+        elif kind == "gather_b":
+            np.stack(self.Bv[lo:hi], out=self.Bblk[lo:hi])
+        elif kind == "product":
+            cp, L = self.cplan, self.L
+            np.matmul(cp.Ut[lo:hi], self.A2, out=self.S2[lo:hi])
+            np.matmul(cp.Vt[lo:hi], self.B2, out=self.T2[lo:hi])
+            np.matmul(
+                self.S3[lo * L : hi * L],
+                self.T3[lo * L : hi * L],
+                out=self.M3[lo * L : hi * L],
+            )
+        elif kind == "scatter":
+            np.matmul(self.cplan.W[lo:hi], self.M2, out=self.upd2[lo:hi])
+            for p in range(lo, hi):
+                self.Cv[p] += self.upd[p]
+        else:  # pragma: no cover - lowering emits only the kinds above
+            raise ValueError(f"unknown task kind {kind!r}")
+
+
+def _run_fringe(f, A, B, C) -> None:
+    C[..., f.c_rows, f.c_cols] += (
+        A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
+    )
+
+
+class _FringeBinding:
+    """Binds fringe tasks to the full operands (no arena buffers needed)."""
+
+    __slots__ = ("fringes", "A", "B", "C")
+
+    def __init__(self, fringes, A, B, C):
+        self.fringes = fringes
+        self.A, self.B, self.C = A, B, C
+
+    def run(self, task: Task) -> None:
+        _run_fringe(self.fringes[task.lo], self.A, self.B, self.C)
+
+
+def _run_phase(binding, tasks, pool) -> None:
+    if pool is None or len(tasks) == 1:
+        for t in tasks:
+            binding.run(t)
+    else:
+        # list() is the barrier: it drains the map and re-raises worker
+        # exceptions before the next phase may start.
+        list(pool.map(binding.run, tasks))
+
+
+def _workspace_spec(cplan, lead, bm, bk, bn):
+    dt = cplan.dtype
+    R = cplan.rank_total
+    return {
+        "Ablk": ((len(cplan.a_table),) + lead + (bm, bk), dt),
+        "Bblk": ((len(cplan.b_table),) + lead + (bk, bn), dt),
+        "S": ((R,) + lead + (bm, bk), dt),
+        "T": ((R,) + lead + (bk, bn), dt),
+        "M": ((R,) + lead + (bm, bn), dt),
+        "upd": ((len(cplan.c_table),) + lead + (bm, bn), dt),
+    }
+
+
+def check_exec_shapes(cplan: CompiledPlan, A, B, C) -> None:
+    """Validate (possibly batched) operands against a compiled plan."""
+    m, k, n = cplan.shape
+    if A.shape[-2:] != (m, k) or B.shape[-2:] != (k, n) or C.shape[-2:] != (m, n):
+        raise ValueError(
+            f"operands A {A.shape}, B {B.shape}, C {C.shape} do not match "
+            f"compiled plan shape {(m, k, n)}"
+        )
+    if not (A.shape[:-2] == B.shape[:-2] == C.shape[:-2]):
+        raise ValueError(
+            f"batch dims disagree: A {A.shape}, B {B.shape}, C {C.shape}"
+        )
+
+
+def execute_plan(
+    cplan: CompiledPlan,
+    A: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    threads: int = 1,
+    vector_cap: int = DEFAULT_VECTOR_CAP,
+    chunk_target: int = DEFAULT_CHUNK_TARGET,
+    arena=None,
+) -> np.ndarray:
+    """Execute ``C += A @ B`` under a compiled plan on ``threads`` workers.
+
+    Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
+    trailing dims match the plan.  ``threads=1`` runs the same task
+    schedule inline; ``threads>1`` fans phases out over the shared worker
+    pool.  ``arena`` overrides the global workspace arena (tests).
+    """
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    check_exec_shapes(cplan, A, B, C)
+    arena = arena if arena is not None else workspace_arena
+    pp = cplan.peel_plan
+
+    core_on_graph = False
+    if pp.has_core:
+        mp, kp, np_ = pp.core
+        Mt, Kt, Nt = cplan.dims_total
+        bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
+        Ac = A[..., :mp, :kp]
+        Bc = B[..., :kp, :np_]
+        Cc = C[..., :mp, :np_]
+        work = cplan.rank_total * (bm * bk + bk * bn + bm * bn)
+        # The arena path computes in the plan dtype; when C cannot absorb
+        # that (e.g. integer operands fed straight to the engine), the
+        # per-step loop preserves the operand dtype for +-1-coefficient
+        # algorithms exactly like the classic engine did.
+        core_on_graph = (
+            np.can_cast(cplan.dtype, C.dtype, casting="same_kind")
+            and work <= vector_cap
+        )
+        if core_on_graph:
+            graph = lower_plan(cplan, threads)
+            pool = get_pool(threads) if threads > 1 else None
+            core_phases = [p for p in graph.phases if p[0].kind != "fringe"]
+            if Ac.ndim == 3:
+                batch = Ac.shape[0]
+                chunk = max(1, min(batch, chunk_target // max(work, 1)))
+                for i in range(0, batch, chunk):
+                    _run_core(
+                        cplan, Ac[i : i + chunk], Bc[i : i + chunk],
+                        Cc[i : i + chunk], bm, bk, bn,
+                        core_phases, pool, arena,
+                    )
+            else:
+                _run_core(cplan, Ac, Bc, Cc, bm, bk, bn, core_phases, pool, arena)
+            # Fringe C regions are mutually disjoint (see peeling), so the
+            # fringe phase parallelizes like any other.
+            fb = _FringeBinding(pp.fringes, A, B, C)
+            for phase in (p for p in graph.phases if p[0].kind == "fringe"):
+                _run_phase(fb, phase, pool)
+        else:
+            _run_steps(cplan, Ac, Bc, Cc, bm, bk, bn)
+    if not core_on_graph:
+        for f in pp.fringes:
+            if 0 in f.shape:
+                continue
+            _run_fringe(f, A, B, C)
+    return C
+
+
+def _run_core(cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena):
+    lead = Ac.shape[:-2]
+    ws = arena.acquire(
+        (cplan.key, lead),
+        lambda: _workspace_spec(cplan, lead, bm, bk, bn),
+    )
+    try:
+        binding = _CoreBinding(cplan, Ac, Bc, Cc, bm, bk, bn, ws)
+        for phase in phases:
+            _run_phase(binding, phase, pool)
+    finally:
+        arena.release(ws)
+
+
+# ---------------------------------------------------------------------- #
+# Serial memory-light fallback (huge cores / non-castable C)
+# ---------------------------------------------------------------------- #
+def _run_steps(cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
+    """Per-product loop over the plan's gather lists (bounded workspace)."""
+    Av = cplan.block_views(Ac, "A", bm, bk)
+    Bv = cplan.block_views(Bc, "B", bk, bn)
+    Cv = cplan.block_views(Cc, "C", bm, bn)
+    lead = Ac.shape[:-2]
+    dt = np.result_type(Ac, Bc)
+    for s in cplan.steps:
+        S = _vsum(s.a_terms, Av, lead + (bm, bk), dt)
+        T = _vsum(s.b_terms, Bv, lead + (bk, bn), dt)
+        M = S @ T
+        for i, w in s.c_terms:
+            if w == 1:
+                Cv[i] += M
+            elif w == -1:
+                Cv[i] -= M
+            else:
+                Cv[i] += w * M
+
+
+def _vsum(terms, views, shape, dtype):
+    """Sparse weighted sum of views; coefficients stay python floats so
+    NEP-50 scalar promotion cannot upcast float32 intermediates."""
+    out = None
+    for i, c in terms:
+        v = views[i]
+        if out is None:
+            if c == 1 or c == -1:
+                out = v.astype(dtype, copy=True)
+                if c == -1:
+                    np.negative(out, out)
+            else:
+                out = v * c
+        elif c == 1:
+            out += v
+        elif c == -1:
+            out -= v
+        else:
+            out += c * v
+    if out is None:
+        out = np.zeros(shape, dtype=dtype)
+    return out

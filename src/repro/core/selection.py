@@ -140,26 +140,32 @@ def auto_config(
     """Model-guided configuration for ``multiply(engine="auto")``.
 
     Ranks the generated family with the §4.4 performance model and returns
-    ``(algorithm, levels, variant, engine)`` ready for the plan compiler:
-    the winning per-level shape stack and variant when the model predicts
-    FMM beats the GEMM baseline, else the classical ``<1,1,1>`` plan (a
-    single plain matmul).  The execution engine is the direct NumPy
-    interpreter — the wall-clock-fast path of this substrate; callers
-    wanting the instrumented blocked substrate ask for it explicitly.
+    ``(algorithm, levels, variant, engine, threads)`` ready for the plan
+    compiler and runtime: the winning per-level shape stack and variant
+    when the model predicts FMM beats the GEMM baseline, else the
+    classical ``<1,1,1>`` plan (a single plain matmul).  The execution
+    engine is the direct task-graph runtime — the wall-clock-fast path of
+    this substrate; callers wanting the instrumented blocked substrate ask
+    for it explicitly.  ``threads`` comes from the canonical multicore
+    scaling model (:func:`repro.core.parallel.pick_threads`, which walks
+    the paper-testbed ``machine_factory`` since ``machine`` here is a
+    single configuration point, not a cores->bandwidth family), capped by
+    the cores this host actually has.
 
     Decisions are memoized per ``(m, k, n, machine, max_levels)``, so the
     enumeration cost is paid once per problem shape.
     """
+    from repro.core.parallel import pick_threads
     from repro.model.machines import generic_laptop
 
     machine = machine or generic_laptop()
     candidates = enumerate_candidates(m, k, n, machine, max_levels=max_levels)
-    if not candidates:
-        return ("classical", 1, "abc", "direct")
-    best = rank_candidates(candidates)[0]
-    if best.prediction.time >= predict_gemm(m, k, n, machine).time:
-        return ("classical", 1, "abc", "direct")
-    return (best.shapes, len(best.shapes), best.variant, "direct")
+    best = rank_candidates(candidates)[0] if candidates else None
+    if best is None or best.prediction.time >= predict_gemm(m, k, n, machine).time:
+        threads = pick_threads(m, k, n, None, "abc")
+        return ("classical", 1, "abc", "direct", threads)
+    threads = pick_threads(m, k, n, best.multilevel(), best.variant)
+    return (best.shapes, len(best.shapes), best.variant, "direct", threads)
 
 
 def best_gflops_series(

@@ -22,7 +22,9 @@ spec form                             meaning
 
 :func:`normalize_spec` returns the flat per-level atom tuple;
 :func:`resolve_levels` materializes it as a :class:`MultiLevelFMM`;
-:func:`spec_key` derives the hashable cache key the plan cache is keyed on.
+:func:`spec_key` derives the hashable cache key the plan cache is keyed on;
+:func:`normalize_threads` validates the ``threads`` execution knob so bad
+values fail here, up front, rather than deep inside the runtime.
 """
 
 from __future__ import annotations
@@ -32,7 +34,7 @@ import numbers
 from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 
-__all__ = ["normalize_spec", "resolve_levels", "spec_key"]
+__all__ = ["normalize_spec", "normalize_threads", "resolve_levels", "spec_key"]
 
 #: Atom forms accepted inside a hybrid stack.
 _ATOM_TYPES = (str, FMMAlgorithm)
@@ -75,6 +77,24 @@ def normalize_spec(algorithm, levels: int = 1) -> tuple:
                 raise TypeError(f"cannot interpret per-level atom {a!r}")
         return atoms
     raise TypeError(f"cannot interpret algorithm spec {algorithm!r}")
+
+
+def normalize_threads(threads) -> int | None:
+    """Validate the ``threads`` knob of the execution API.
+
+    Returns ``None`` unchanged (meaning "unspecified — resolve later", e.g.
+    from the auto-dispatch machine model) and a positive int for explicit
+    requests.  ``threads=0`` or a negative/non-integer count raises here,
+    at spec-normalization time, with a message naming the knob — never
+    deep inside the executor.
+    """
+    if threads is None:
+        return None
+    if isinstance(threads, bool) or not isinstance(threads, numbers.Integral):
+        raise TypeError(f"threads must be a positive integer, got {threads!r}")
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    return int(threads)
 
 
 def resolve_levels(algorithm, levels: int = 1) -> MultiLevelFMM:

@@ -27,7 +27,6 @@ import numpy as np
 from repro.blis.counters import OpCounters
 from repro.blis.gemm import packed_gemm
 from repro.blis.params import BlockingParams
-from repro.core.kronecker import MultiLevelFMM
 
 __all__ = ["VARIANTS", "run_fmm_blocked"]
 

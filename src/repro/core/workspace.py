@@ -1,0 +1,159 @@
+"""Workspace arena: preallocated, recycled buffers for the parallel runtime.
+
+The task-graph runtime (:mod:`repro.core.runtime`) stages every core
+multiply through six temporary slabs — the gathered operand blocks
+``A~``/``B~``, the operand sums ``S``/``T``, the products ``M`` and the
+scatter staging ``upd``.  Allocating ~100 MB of temporaries per call would
+dominate the serve-many-multiplies workload the ROADMAP targets, so this
+module provides an arena: workspaces are built once per
+``(plan, lead-shape)`` configuration, checked out for the duration of one
+execution, and returned to a free list for the next call.  Repeated
+same-plan multiplies therefore perform **zero** per-call temporary
+allocations on the hot path (verified by ``tests/core/test_workspace.py``
+and ``benchmarks/bench_parallel_runtime.py``).
+
+Checkout is thread-safe: concurrent executions of the same plan each get
+their own workspace (the arena grows to the high-water mark of concurrent
+use and then stops allocating).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import namedtuple
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Workspace",
+    "WorkspaceArena",
+    "workspace_arena",
+    "arena_stats",
+    "arena_clear",
+]
+
+ArenaStats = namedtuple(
+    "ArenaStats", "allocations reuses bytes_allocated bytes_pooled free in_use"
+)
+
+
+@dataclass(eq=False)
+class Workspace:
+    """One checked-out set of named buffers for a single execution.
+
+    Buffers are plain C-contiguous ndarrays; the runtime takes reshaped
+    views of them (always views, never copies) and writes via ``out=`` /
+    ``copyto``, so a workspace is reusable with no clearing between calls.
+    """
+
+    key: tuple
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.buffers[name]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self.buffers.values())
+
+
+class WorkspaceArena:
+    """Keyed pools of reusable :class:`Workspace` objects.
+
+    ``acquire(key, spec_factory)`` returns a free workspace for ``key`` or
+    builds one; ``release`` returns it to the pool.  Pooled (idle) memory
+    is bounded by ``max_bytes``: a release that would push the pool past
+    the bound drops the workspace instead (hot configurations simply
+    re-pool on their next release), so a long-running server cycling
+    through many shapes cannot grow without limit.  :meth:`clear` drops
+    every pooled buffer immediately (tests do this between cases).
+    """
+
+    #: Default bound on idle pooled bytes (1 GiB).
+    DEFAULT_MAX_BYTES = 1 << 30
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self._lock = threading.Lock()
+        self._free: dict[tuple, list[Workspace]] = {}
+        self.max_bytes = int(max_bytes)
+        self._allocations = 0
+        self._reuses = 0
+        self._bytes_allocated = 0
+        self._bytes_pooled = 0
+        self._in_use = 0
+
+    def acquire(self, key: tuple, spec_factory) -> Workspace:
+        """Check out a workspace for ``key``.
+
+        ``spec_factory`` is only called on a pool miss — it must return a
+        ``name -> (shape, dtype)`` mapping describing the buffers to
+        build.  Keeping it a callable keeps the reuse hot path free of
+        per-call spec construction.
+        """
+        with self._lock:
+            pool = self._free.get(key)
+            if pool:
+                ws = pool.pop()
+                self._bytes_pooled -= ws.nbytes
+                self._reuses += 1
+                self._in_use += 1
+                return ws
+            self._allocations += 1
+            self._in_use += 1
+        # Build outside the lock: allocation can be slow and concurrent
+        # acquires of other keys should not serialize behind it.
+        ws = Workspace(
+            key=key,
+            buffers={
+                name: np.empty(shape, dtype=dtype)
+                for name, (shape, dtype) in spec_factory().items()
+            },
+        )
+        with self._lock:
+            self._bytes_allocated += ws.nbytes
+        return ws
+
+    def release(self, ws: Workspace) -> None:
+        with self._lock:
+            self._in_use -= 1
+            if self._bytes_pooled + ws.nbytes > self.max_bytes:
+                return  # over the idle bound: let this workspace go
+            self._bytes_pooled += ws.nbytes
+            self._free.setdefault(ws.key, []).append(ws)
+
+    def stats(self) -> ArenaStats:
+        with self._lock:
+            free = sum(len(v) for v in self._free.values())
+            return ArenaStats(
+                allocations=self._allocations,
+                reuses=self._reuses,
+                bytes_allocated=self._bytes_allocated,
+                bytes_pooled=self._bytes_pooled,
+                free=free,
+                in_use=self._in_use,
+            )
+
+    def clear(self) -> None:
+        """Drop every pooled workspace and reset the counters."""
+        with self._lock:
+            self._free.clear()
+            self._allocations = 0
+            self._reuses = 0
+            self._bytes_allocated = 0
+            self._bytes_pooled = 0
+            self._in_use = 0
+
+
+#: The process-wide arena the runtime allocates from.
+workspace_arena = WorkspaceArena()
+
+
+def arena_stats() -> ArenaStats:
+    """Counters of the global arena (allocations, reuses, bytes, pool sizes)."""
+    return workspace_arena.stats()
+
+
+def arena_clear() -> None:
+    """Empty the global arena (drops pooled buffers, resets counters)."""
+    workspace_arena.clear()

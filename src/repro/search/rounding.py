@@ -21,7 +21,6 @@ wrong snap can never produce a corrupt algorithm.
 from __future__ import annotations
 
 from fractions import Fraction
-from itertools import permutations
 
 import numpy as np
 

@@ -11,7 +11,6 @@ from repro.algorithms.catalog import (
     get_algorithm,
     get_entry,
 )
-from repro.core.fmm import FMMAlgorithm
 
 
 class TestFamily:

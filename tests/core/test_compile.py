@@ -237,18 +237,22 @@ class TestAutoDispatch:
         assert np.abs(C - A @ B).max() < 1e-9
 
     def test_auto_config_large_problem_uses_fmm(self):
+        import os
+
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine = auto_config(1536, 1536, 1536)
+        algorithm, levels, variant, engine, threads = auto_config(1536, 1536, 1536)
         assert engine == "direct"
         assert variant in ("naive", "ab", "abc")
         assert algorithm != "classical" and levels >= 1
+        assert 1 <= threads <= (os.cpu_count() or 1)
 
     def test_auto_config_tiny_problem_falls_back(self):
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine = auto_config(4, 4, 4)
+        algorithm, levels, variant, engine, threads = auto_config(4, 4, 4)
         assert algorithm == "classical"
+        assert threads == 1  # too small for thread-level parallelism
 
     def test_apply_once_uses_plan_cache(self, rng):
         from repro.algorithms.strassen import strassen

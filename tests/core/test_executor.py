@@ -9,7 +9,6 @@ from repro.core.executor import (
     multiply,
     resolve_levels,
 )
-from repro.core.kronecker import MultiLevelFMM
 
 
 class TestResolveLevels:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.algorithms.classical import classical
-from repro.algorithms.strassen import strassen, winograd
+from repro.algorithms.strassen import strassen
 from repro.core.fmm import FMMAlgorithm, nnz
 
 

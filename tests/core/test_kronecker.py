@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.algorithms.classical import classical
-from repro.algorithms.strassen import strassen
-from repro.core.fmm import nnz
 from repro.core.kronecker import MultiLevelFMM
 
 

@@ -1,11 +1,13 @@
-"""Tests for the parallel-scaling analysis."""
+"""Tests for the parallel-scaling analysis (modeled and measured)."""
 
 import pytest
 
 from repro.core.executor import resolve_levels
 from repro.core.parallel import (
     bandwidth_bound_fraction,
+    measured_scaling_curve,
     parallel_efficiency,
+    pick_threads,
     scaling_curve,
 )
 from repro.model.machines import ivy_bridge_e5_2680_v2
@@ -29,6 +31,35 @@ class TestScalingCurve:
     def test_gemm_baseline_supported(self):
         pts = scaling_curve(4096, 4096, 4096, None, "abc", max_cores=2)
         assert all(p.time > 0 for p in pts)
+
+
+class TestMeasuredScaling:
+    def test_measured_curve_drives_real_runtime(self):
+        # Small problem, 1 and 2 threads: the probe must return wall-clock
+        # points with the baseline normalized to speedup 1.0.
+        pts = measured_scaling_curve(
+            64, 64, 64, algorithm="strassen", levels=1,
+            threads_list=(1, 2), repeats=1,
+        )
+        assert [p.cores for p in pts] == [1, 2]
+        assert pts[0].speedup == pytest.approx(1.0)
+        assert all(p.time > 0 and p.gflops > 0 for p in pts)
+
+
+class TestPickThreads:
+    def test_small_problems_stay_serial(self):
+        assert pick_threads(32, 32, 32, None) == 1
+
+    def test_capped_by_max_threads(self):
+        ml = resolve_levels("strassen", 1)
+        assert pick_threads(4096, 4096, 4096, ml, max_threads=1) == 1
+
+    def test_never_exceeds_host_cores(self):
+        import os
+
+        ml = resolve_levels("strassen", 1)
+        t = pick_threads(4096, 4096, 4096, ml)
+        assert 1 <= t <= (os.cpu_count() or 1)
 
 
 class TestEfficiencyAndBoundness:

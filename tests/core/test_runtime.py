@@ -1,0 +1,193 @@
+"""Tests for the task-graph parallel runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile as plancache
+from repro.core.runtime import (
+    execute_plan,
+    get_pool,
+    lower_plan,
+    pool_info,
+)
+from repro.core.workspace import WorkspaceArena
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    plancache.plan_cache_clear()
+    yield
+    plancache.plan_cache_clear()
+
+
+class TestLowering:
+    def test_phase_structure(self):
+        cplan = plancache.compile((64, 64, 64), "strassen", levels=1)
+        g = lower_plan(cplan, workers=2)
+        kinds = [p[0].kind for p in g.phases]
+        assert kinds == ["gather_a", "product", "scatter"]  # no fringes
+        # gather phase holds both operands' tasks
+        assert {t.kind for t in g.phases[0]} == {"gather_a", "gather_b"}
+
+    def test_tasks_cover_index_spaces_exactly_once(self):
+        cplan = plancache.compile((96, 96, 96), "strassen", levels=2)
+        for workers in (1, 2, 3, 8):
+            g = lower_plan(cplan, workers)
+            for kind, total in (
+                ("gather_a", len(cplan.a_table)),
+                ("gather_b", len(cplan.b_table)),
+                ("product", cplan.rank_total),
+                ("scatter", len(cplan.c_table)),
+            ):
+                covered = sorted(
+                    i
+                    for p in g.phases
+                    for t in p
+                    if t.kind == kind
+                    for i in range(t.lo, t.hi)
+                )
+                assert covered == list(range(total)), (kind, workers)
+
+    def test_scatter_tasks_are_write_disjoint(self):
+        """Each destination block of C is owned by exactly one scatter task."""
+        cplan = plancache.compile((64, 64, 64), "strassen", levels=2)
+        g = lower_plan(cplan, workers=4)
+        owned = [
+            i
+            for p in g.phases
+            for t in p
+            if t.kind == "scatter"
+            for i in range(t.lo, t.hi)
+        ]
+        assert len(owned) == len(set(owned))
+
+    def test_fringe_tasks_emitted_for_peeled_shapes(self):
+        cplan = plancache.compile((17, 19, 23), "strassen", levels=1)
+        g = lower_plan(cplan, workers=2)
+        assert any(t.kind == "fringe" for p in g.phases for t in p)
+
+    def test_lowering_is_memoized(self):
+        cplan = plancache.compile((64, 64, 64), "strassen")
+        assert lower_plan(cplan, 2) is lower_plan(cplan, 2)
+        assert lower_plan(cplan, 2) is not lower_plan(cplan, 3)
+
+    def test_workers_validated(self):
+        cplan = plancache.compile((8, 8, 8), "strassen")
+        with pytest.raises(ValueError):
+            lower_plan(cplan, 0)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "spec,levels,shape",
+        [
+            ("strassen", 1, (32, 32, 32)),
+            ("strassen", 2, (36, 40, 44)),
+            ((3, 2, 3), 1, (33, 22, 33)),
+            (["strassen", "<3,3,3>"], 1, (48, 48, 48)),
+        ],
+    )
+    def test_matches_numpy(self, rng, threads, spec, levels, shape):
+        m, k, n = shape
+        cplan = plancache.compile(shape, spec, levels=levels)
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        C = execute_plan(cplan, A, B, np.zeros((m, n)), threads=threads)
+        assert np.abs(C - A @ B).max() < 1e-9
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_peeled_shapes(self, rng, threads):
+        for shape in [(17, 19, 23), (4, 100, 4), (101, 3, 57)]:
+            m, k, n = shape
+            cplan = plancache.compile(shape, "strassen", levels=2)
+            A = rng.standard_normal((m, k))
+            B = rng.standard_normal((k, n))
+            C = execute_plan(cplan, A, B, np.zeros((m, n)), threads=threads)
+            assert np.abs(C - A @ B).max() < 1e-9, shape
+
+    def test_threads_agree_with_serial(self, rng):
+        cplan = plancache.compile((96, 96, 96), "strassen", levels=2)
+        A = rng.standard_normal((96, 96))
+        B = rng.standard_normal((96, 96))
+        C1 = execute_plan(cplan, A, B, np.zeros((96, 96)), threads=1)
+        for t in (2, 4):
+            Ct = execute_plan(cplan, A, B, np.zeros((96, 96)), threads=t)
+            assert np.abs(Ct - C1).max() < 1e-10
+
+    def test_batched_stack(self, rng):
+        cplan = plancache.compile((24, 24, 24), "strassen", levels=1)
+        A = rng.standard_normal((9, 24, 24))
+        B = rng.standard_normal((9, 24, 24))
+        C = execute_plan(cplan, A, B, np.zeros((9, 24, 24)), threads=2)
+        assert np.abs(C - A @ B).max() < 1e-10
+
+    def test_accumulates_into_c(self, rng):
+        cplan = plancache.compile((8, 8, 8), "strassen")
+        A = rng.standard_normal((8, 8))
+        C = execute_plan(cplan, A, A, np.ones((8, 8)), threads=2)
+        assert np.allclose(C, 1.0 + A @ A)
+
+    def test_step_fallback_when_workspace_capped(self, rng):
+        cplan = plancache.compile((52, 52, 52), "strassen", levels=2)
+        A = rng.standard_normal((52, 52))
+        B = rng.standard_normal((52, 52))
+        C_graph = execute_plan(cplan, A, B, np.zeros((52, 52)))
+        C_steps = execute_plan(cplan, A, B, np.zeros((52, 52)), vector_cap=0)
+        assert np.abs(C_graph - C_steps).max() < 1e-10
+
+    def test_integer_c_preserved_via_step_path(self, rng):
+        cplan = plancache.compile((8, 8, 8), "strassen")
+        A = rng.integers(-5, 5, size=(8, 8))
+        B = rng.integers(-5, 5, size=(8, 8))
+        C = np.zeros((8, 8), dtype=np.int64)
+        execute_plan(cplan, A, B, C, threads=2)
+        assert C.dtype == np.int64
+        assert np.array_equal(C, A @ B)
+
+    def test_shape_mismatch_raises(self, rng):
+        cplan = plancache.compile((16, 16, 16), "strassen")
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            execute_plan(cplan, A, A, np.zeros((8, 8)))
+
+    def test_bad_threads_raise(self, rng):
+        cplan = plancache.compile((8, 8, 8), "strassen")
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            execute_plan(cplan, A, A, np.zeros((8, 8)), threads=0)
+
+
+class TestArenaIntegration:
+    def test_private_arena_reused_across_calls(self, rng):
+        arena = WorkspaceArena()
+        cplan = plancache.compile((32, 32, 32), "strassen")
+        A = rng.standard_normal((32, 32))
+        execute_plan(cplan, A, A, np.zeros((32, 32)), arena=arena)
+        first = arena.stats().allocations
+        for _ in range(4):
+            execute_plan(cplan, A, A, np.zeros((32, 32)), arena=arena)
+        st = arena.stats()
+        assert st.allocations == first
+        assert st.reuses == 4
+        assert st.in_use == 0
+
+    def test_distinct_plans_get_distinct_workspaces(self, rng):
+        arena = WorkspaceArena()
+        for size in (16, 32):
+            cplan = plancache.compile((size, size, size), "strassen")
+            A = rng.standard_normal((size, size))
+            execute_plan(cplan, A, A, np.zeros((size, size)), arena=arena)
+        assert arena.stats().allocations == 2
+
+
+class TestPools:
+    def test_pools_are_reused(self):
+        assert get_pool(2) is get_pool(2)
+        assert get_pool(2) is not get_pool(3)
+        info = pool_info()
+        assert info[2] == 2 and info[3] == 3
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            get_pool(0)

@@ -1,10 +1,16 @@
 """Tests for the shared algorithm-spec normalizer."""
 
+import numpy as np
 import pytest
 
 from repro.algorithms.strassen import strassen
 from repro.core.kronecker import MultiLevelFMM
-from repro.core.spec import normalize_spec, resolve_levels, spec_key
+from repro.core.spec import (
+    normalize_spec,
+    normalize_threads,
+    resolve_levels,
+    spec_key,
+)
 
 
 class TestNormalizeSpec:
@@ -52,6 +58,44 @@ class TestNormalizeSpec:
     def test_bad_atom_in_stack(self):
         with pytest.raises(TypeError):
             normalize_spec(["strassen", 7])
+
+
+class TestNormalizeThreads:
+    def test_valid_counts_pass_through(self):
+        assert normalize_threads(1) == 1
+        assert normalize_threads(4) == 4
+        assert normalize_threads(np.int64(2)) == 2
+
+    def test_none_means_unspecified(self):
+        assert normalize_threads(None) is None
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_nonpositive_raise_value_error(self, bad):
+        with pytest.raises(ValueError, match="threads"):
+            normalize_threads(bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "4", True])
+    def test_non_integers_raise_type_error(self, bad):
+        with pytest.raises(TypeError, match="threads"):
+            normalize_threads(bad)
+
+    def test_multiply_rejects_bad_threads_up_front(self):
+        # The satellite fix: multiply(threads=0) must fail at
+        # spec-normalization time, before any compilation or execution.
+        from repro.core.executor import multiply
+
+        A = np.ones((4, 4))
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="threads"):
+                multiply(A, A, threads=bad)
+
+    def test_multiply_rejects_negative_levels_up_front(self):
+        from repro.core.executor import multiply
+
+        A = np.ones((4, 4))
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="levels"):
+                multiply(A, A, algorithm="strassen", levels=bad)
 
 
 class TestResolveLevels:

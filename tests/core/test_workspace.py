@@ -1,0 +1,116 @@
+"""Tests for the workspace arena allocator."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.workspace import WorkspaceArena, arena_clear, arena_stats
+
+
+@pytest.fixture
+def arena():
+    return WorkspaceArena()
+
+
+def spec_small():
+    return {"x": ((4, 4), np.dtype(np.float64)), "y": ((2, 8), np.dtype(np.float32))}
+
+
+class TestArena:
+    def test_acquire_builds_buffers(self, arena):
+        ws = arena.acquire(("k",), spec_small)
+        assert ws["x"].shape == (4, 4) and ws["x"].dtype == np.float64
+        assert ws["y"].shape == (2, 8) and ws["y"].dtype == np.float32
+        assert ws.nbytes == 4 * 4 * 8 + 2 * 8 * 4
+
+    def test_release_then_reacquire_reuses(self, arena):
+        ws = arena.acquire(("k",), spec_small)
+        arena.release(ws)
+        again = arena.acquire(("k",), spec_small)
+        assert again is ws
+        st = arena.stats()
+        assert st.allocations == 1 and st.reuses == 1
+
+    def test_spec_factory_not_called_on_reuse(self, arena):
+        calls = []
+
+        def spec():
+            calls.append(1)
+            return spec_small()
+
+        arena.release(arena.acquire(("k",), spec))
+        arena.release(arena.acquire(("k",), spec))
+        assert len(calls) == 1
+
+    def test_distinct_keys_do_not_share(self, arena):
+        w1 = arena.acquire(("a",), spec_small)
+        w2 = arena.acquire(("b",), spec_small)
+        assert w1 is not w2
+        arena.release(w1)
+        assert arena.acquire(("b",), spec_small) is not w1
+
+    def test_concurrent_acquires_get_distinct_workspaces(self, arena):
+        """Two in-flight checkouts of one key never alias."""
+        w1 = arena.acquire(("k",), spec_small)
+        w2 = arena.acquire(("k",), spec_small)
+        assert w1 is not w2
+        assert arena.stats().allocations == 2
+        arena.release(w1)
+        arena.release(w2)
+        assert arena.stats().free == 2
+
+    def test_clear_resets(self, arena):
+        arena.release(arena.acquire(("k",), spec_small))
+        arena.clear()
+        st = arena.stats()
+        assert st == (0, 0, 0, 0, 0, 0)
+
+    def test_idle_pool_bounded_by_max_bytes(self):
+        nbytes = 4 * 4 * 8 + 2 * 8 * 4
+        arena = WorkspaceArena(max_bytes=nbytes)  # room for exactly one
+        w1 = arena.acquire(("a",), spec_small)
+        w2 = arena.acquire(("b",), spec_small)
+        arena.release(w1)
+        arena.release(w2)  # over the idle bound -> dropped, not pooled
+        st = arena.stats()
+        assert st.free == 1
+        assert st.bytes_pooled == nbytes <= arena.max_bytes
+        # The hot config still reuses its pooled workspace.
+        assert arena.acquire(("a",), spec_small) is w1
+
+    def test_thread_safety_smoke(self, arena):
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    ws = arena.acquire(("k",), spec_small)
+                    ws["x"][0, 0] = 1.0
+                    arena.release(ws)
+            except Exception as e:  # pragma: no cover
+                errors.append(e)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        st = arena.stats()
+        assert st.in_use == 0
+        assert st.allocations + st.reuses == 200
+
+
+class TestGlobalArena:
+    def test_stats_and_clear_roundtrip(self):
+        from repro.core.executor import multiply
+
+        arena_clear()
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((32, 32))
+        multiply(A, A, algorithm="strassen", levels=1)
+        st = arena_stats()
+        assert st.allocations >= 1 and st.in_use == 0
+        arena_clear()
+        assert arena_stats().allocations == 0

@@ -1,6 +1,5 @@
 """Tests for the benchmark support package (workloads/runner/reporting)."""
 
-import numpy as np
 
 from repro.bench.paper_data import FIG2_ROWS, PRACTICAL1_SHAPE, PRACTICAL2_SHAPE
 from repro.bench.reporting import format_table, series_table, write_csv

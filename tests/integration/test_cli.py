@@ -35,6 +35,19 @@ class TestCommands:
         assert rc == 0
         assert "counters" in capsys.readouterr().out
 
+    def test_multiply_threads(self, capsys):
+        rc = main(["multiply", "-m", "32", "-k", "32", "-n", "32",
+                   "--threads", "2"])
+        assert rc == 0
+        assert "max |C - AB|" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["direct", "blocked"])
+    def test_multiply_rejects_zero_threads(self, engine):
+        # Both engine paths must honor the spec-level threads validation.
+        with pytest.raises(ValueError, match="threads"):
+            main(["multiply", "-m", "8", "-k", "8", "-n", "8",
+                  "--engine", engine, "--threads", "0"])
+
     def test_select(self, capsys):
         rc = main(["select", "-m", "4800", "-k", "480", "-n", "4800"])
         assert rc == 0

@@ -111,6 +111,35 @@ class TestMultiplyProperties:
         assert np.abs(C - A @ B).max() < 1e-8
 
     @given(
+        st.integers(min_value=1, max_value=33),
+        st.integers(min_value=1, max_value=33),
+        st.integers(min_value=1, max_value=33),
+        st.sampled_from([np.float64, np.float32]),
+        st.sampled_from(["naive", "ab", "abc"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_thread_invariance(self, m, k, n, dtype, variant):
+        """multiply(..., threads=t) for t in {1, 2, 4} agrees with the
+        classical oracle to the same tolerance, and the parallel results
+        agree with the serial ones bit-for-tolerance."""
+        from repro.core.executor import multiply
+
+        rng = np.random.default_rng(m * 10000 + k * 100 + n)
+        A = rng.standard_normal((m, k)).astype(dtype)
+        B = rng.standard_normal((k, n)).astype(dtype)
+        ref = A.astype(np.float64) @ B.astype(np.float64)
+        scale = max(1.0, float(np.abs(ref).max()))
+        tol = 1e-9 if dtype == np.float64 else 200 * np.finfo(np.float32).eps
+        results = {}
+        for t in (1, 2, 4):
+            C = multiply(A, B, algorithm="strassen", variant=variant, threads=t)
+            assert C.dtype == dtype
+            assert np.abs(C - ref).max() / scale < tol, f"threads={t}"
+            results[t] = C
+        for t in (2, 4):
+            assert np.abs(results[t] - results[1]).max() / scale < tol
+
+    @given(
         st.integers(min_value=1, max_value=20),
         st.integers(min_value=1, max_value=20),
         st.integers(min_value=1, max_value=20),

@@ -5,7 +5,7 @@ import pytest
 
 from repro.algorithms.strassen import strassen
 from repro.search.als import als_decompose, khatri_rao, lm_polish
-from repro.search.brent import brent_max_residual, matmul_tensor
+from repro.search.brent import brent_max_residual
 
 
 class TestKhatriRao:

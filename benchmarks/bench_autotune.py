@@ -1,0 +1,158 @@
+"""Autotuned vs cold-model dispatch on the repeated-multiply workload.
+
+The wisdom store exists for one reason: a serving process restarts, and
+every restart used to pay the model's candidate enumeration again for
+every problem class it dispatches.  This benchmark measures that directly.
+The workload is the bench-suite's repeated-multiply serve pattern — a mix
+of square, rank-k and outer-panel shapes, several ``multiply`` calls per
+shape — executed per "process epoch": before each epoch the in-process
+model cache is cleared and the wisdom store re-loaded from disk, exactly
+the state a fresh process starts in.  ``tune="off"`` pays cold model
+enumeration per shape per epoch; ``tune="readonly"`` pays one JSON read.
+
+Run standalone for a table + ``BENCH_autotune.json``, or through pytest
+for the acceptance assertion: tuned dispatch is no slower overall and
+strictly faster on at least two shapes.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+#: One problem class per row: squares at three size bins, a rank-k
+#: update and an outer-panel shape (distinct wisdom buckets).
+SHAPES = [
+    (64, 64, 64),
+    (128, 128, 128),
+    (256, 256, 256),
+    (256, 32, 256),
+    (96, 384, 96),
+]
+EPOCHS = 3          # simulated process restarts per shape
+CALLS_PER_EPOCH = 4  # repeated multiplies after each restart
+
+
+def _operands(shapes):
+    rng = np.random.default_rng(2017)
+    ops = {}
+    for (m, k, n) in shapes:
+        ops[(m, k, n)] = (rng.standard_normal((m, k)),
+                          rng.standard_normal((k, n)))
+    return ops
+
+
+def _fresh_process_state(store) -> None:
+    """Reset everything that does NOT survive a process restart — and
+    re-load the one thing that does (the wisdom file, from disk)."""
+    from repro.core import selection
+
+    selection._model_config.cache_clear()
+    store.load()
+
+
+def run_workload(tune_mode: str, store, shapes=SHAPES,
+                 epochs: int = EPOCHS, calls: int = CALLS_PER_EPOCH) -> dict:
+    """Total seconds per shape for the restart-heavy serve workload."""
+    from repro.core.executor import multiply
+
+    ops = _operands(shapes)
+    totals = {}
+    for shape in shapes:
+        A, B = ops[shape]
+        multiply(A, B, engine="auto", tune=tune_mode)  # warm plans/arena
+        total = 0.0
+        for _ in range(epochs):
+            _fresh_process_state(store)
+            t0 = time.perf_counter()
+            for _ in range(calls):
+                multiply(A, B, engine="auto", tune=tune_mode)
+            total += time.perf_counter() - t0
+        totals[shape] = total
+    return totals
+
+
+def _tuned_store(path: Path):
+    """A wisdom store populated for every workload shape."""
+    from repro.tune import WisdomStore, set_default_store, tune_sweep
+
+    store = WisdomStore(path)
+    set_default_store(store)
+    tune_sweep(SHAPES, budget_s=8.0, store=store, top=2)
+    return store
+
+
+def compare(path: Path) -> tuple[dict, dict]:
+    """(model_only_totals, tuned_totals) over the same workload."""
+    store = _tuned_store(path)
+    model = run_workload("off", store)
+    tuned = run_workload("readonly", store)
+    return model, tuned
+
+
+def test_tuned_dispatch_beats_cold_model(tmp_path):
+    """Acceptance: tuned is no slower overall, faster on >= 2 shapes."""
+    from repro.tune import set_default_store
+
+    try:
+        model, tuned = compare(tmp_path / "wisdom.json")
+    finally:
+        set_default_store(None)
+    total_model = sum(model.values())
+    total_tuned = sum(tuned.values())
+    faster = [s for s in SHAPES if tuned[s] < model[s]]
+    print(f"\nmodel-only {total_model * 1e3:.1f} ms, "
+          f"tuned {total_tuned * 1e3:.1f} ms, "
+          f"faster on {len(faster)}/{len(SHAPES)} shapes")
+    assert total_tuned <= total_model * 1.05, (
+        f"tuned workload slower: {total_tuned:.3f}s vs {total_model:.3f}s"
+    )
+    assert len(faster) >= 2, (
+        f"tuned faster on only {len(faster)} shapes: "
+        f"{ {s: (model[s], tuned[s]) for s in SHAPES} }"
+    )
+
+
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+    from repro.tune import set_default_store
+
+    with tempfile.TemporaryDirectory() as td:
+        try:
+            model, tuned = compare(Path(td) / "wisdom.json")
+        finally:
+            set_default_store(None)
+    print(f"repeated-multiply serve workload: {EPOCHS} restarts x "
+          f"{CALLS_PER_EPOCH} calls per shape")
+    print(f"{'shape':<14} {'model-only ms':>14} {'tuned ms':>10} {'speedup':>8}")
+    rows = []
+    for s in SHAPES:
+        label = "x".join(str(d) for d in s)
+        ratio = model[s] / tuned[s] if tuned[s] > 0 else float("inf")
+        print(f"{label:<14} {model[s] * 1e3:14.2f} {tuned[s] * 1e3:10.2f} "
+              f"{ratio:7.2f}x")
+        rows.append({
+            "shape": list(s),
+            "model_only_s": model[s],
+            "tuned_s": tuned[s],
+            "speedup": ratio,
+        })
+    total_m, total_t = sum(model.values()), sum(tuned.values())
+    print(f"{'TOTAL':<14} {total_m * 1e3:14.2f} {total_t * 1e3:10.2f} "
+          f"{total_m / total_t:7.2f}x")
+    out = write_bench_json("autotune", {
+        "epochs": EPOCHS,
+        "calls_per_epoch": CALLS_PER_EPOCH,
+        "points": rows,
+        "total_model_only_s": total_m,
+        "total_tuned_s": total_t,
+        "total_speedup": total_m / total_t,
+    })
+    print(f"[saved {out}]")
+
+
+if __name__ == "__main__":
+    main()

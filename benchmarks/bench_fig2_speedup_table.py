@@ -14,7 +14,7 @@ import pytest
 
 from repro.algorithms.catalog import fig2_family
 from repro.bench.paper_data import FIG2_ROWS, PRACTICAL1_SHAPE, PRACTICAL2_SHAPE
-from repro.bench.reporting import format_table, results_dir
+from repro.bench.reporting import format_table, results_dir, write_bench_json
 from repro.blis.simulator import simulate_time
 from repro.core.kronecker import MultiLevelFMM
 
@@ -73,6 +73,26 @@ def test_fig2_table(paper_machine, benchmark):
     print()
     print(table)
     (results_dir() / "fig2_table.txt").write_text(table + "\n")
+    write_bench_json("fig2_speedup_table", {
+        "practical1_shape": list(PRACTICAL1_SHAPE),
+        "practical2_shape": list(PRACTICAL2_SHAPE),
+        "rows": [
+            {
+                "shape": row[0],
+                "rank_paper": int(row[1]),
+                "rank_ours": int(row[2]),
+                "theory_pct_paper": float(row[3]),
+                "theory_pct_ours": float(row[4]),
+                "p1_pct_paper": float(row[5]),
+                "p1_pct_ours": float(row[6].split("/")[0]),
+                "p1_variant": row[6].split("/")[1],
+                "p2_pct_paper": float(row[7]),
+                "p2_pct_ours": float(row[8].split("/")[0]),
+                "p2_variant": row[8].split("/")[1],
+            }
+            for row in rows
+        ],
+    })
 
     # Shape assertions: near-square speedups must be positive for every
     # exact-rank entry (the paper's p2 column is positive everywhere).

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_and_save
+from repro.bench.reporting import write_bench_json
 from repro.bench.runner import Series, SeriesPoint
 from repro.bench.workloads import (
     fig7_fixed_k_sweep,
@@ -66,6 +67,20 @@ def test_fig8_selection_tracks_best(paper_machine, benchmark, regime):
     print_and_save(f"fig8_{regime}", [gemm, best, selected])
     print(f"selection regret vs best ({regime}):",
           " ".join(f"{r * 100:.1f}%" for r in regret))
+    write_bench_json(f"fig8_selection_{regime}", {
+        "regime": regime,
+        "max_regret": max(regret),
+        "points": [
+            {
+                "shape": list(shape),
+                "gemm_gflops": gemm.points[i].gflops,
+                "best_fmm_gflops": best.points[i].gflops,
+                "selected_fmm_gflops": selected.points[i].gflops,
+                "regret": regret[i],
+            }
+            for i, shape in enumerate(gemm.shapes())
+        ],
+    })
 
     # The paper's headline: top-2 selection is within a few percent of the
     # exhaustive best everywhere (model is accurate in *relative* terms).

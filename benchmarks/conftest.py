@@ -13,6 +13,20 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_wisdom(tmp_path_factory):
+    """Benchmarks must not read or write the developer's real wisdom store."""
+    from repro.tune import set_default_store
+
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_WISDOM",
+              str(tmp_path_factory.mktemp("wisdom") / "wisdom.json"))
+    set_default_store(None)
+    yield
+    mp.undo()
+    set_default_store(None)
+
+
 @pytest.fixture(scope="session")
 def paper_machine():
     from repro.model.machines import ivy_bridge_e5_2680_v2

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Empirical autotuning with persistent wisdom: cold model vs tuned dispatch.
+
+``multiply(engine="auto")`` normally prices every candidate implementation
+with the performance model on the first call for each problem shape — the
+cold-model cost a fresh process pays again and again.  The tune subsystem
+measures the model's favorites once, persists the verdicts in a wisdom
+file (ATLAS/FFTW style), and from then on every process dispatches on a
+dict probe: ``tune="readonly"`` consults wisdom first and falls back to
+the model.
+
+Run:  python examples/autotune.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.core import selection
+from repro.tune import WisdomStore, set_default_store, tune_problem
+
+SHAPES = [(64, 64, 64), (128, 128, 128), (256, 32, 256)]
+
+rng = np.random.default_rng(0)
+ops = {s: (rng.standard_normal(s[:2]), rng.standard_normal(s[1:])) for s in SHAPES}
+
+
+def cold_dispatch_ms(tune_mode: str, store: WisdomStore) -> dict:
+    """Per-shape first-call latency as a fresh process would see it."""
+    out = {}
+    for shape, (A, B) in ops.items():
+        selection._model_config.cache_clear()  # what a restart forgets
+        store.load()                           # what a restart remembers
+        t0 = time.perf_counter()
+        repro.multiply(A, B, engine="auto", tune=tune_mode)
+        out[shape] = (time.perf_counter() - t0) * 1e3
+    return out
+
+
+with tempfile.TemporaryDirectory() as td:
+    store = WisdomStore(Path(td) / "wisdom.json")
+    set_default_store(store)
+    try:
+        # Warm the plan cache so both paths time pure dispatch + execute.
+        for A, B in ops.values():
+            repro.multiply(A, B, engine="auto", tune="off")
+
+        cold = cold_dispatch_ms("off", store)
+
+        print("tuning each problem class once (measures model top-2 + GEMM)...")
+        for m, k, n in SHAPES:
+            rep = tune_problem(m, k, n, store=store, top=2, budget_s=1.0)
+            note = "  <- measurement overturned the model" if rep.beat_model else ""
+            print(f"  {m}x{k}x{n}: winner {rep.winner.label} "
+                  f"({rep.winner.gflops:.2f} GF){note}")
+
+        tuned = cold_dispatch_ms("readonly", store)
+
+        print(f"\n{'shape':<14} {'cold model ms':>14} {'tuned ms':>10} {'speedup':>8}")
+        for s in SHAPES:
+            label = "x".join(str(d) for d in s)
+            print(f"{label:<14} {cold[s]:14.2f} {tuned[s]:10.2f} "
+                  f"{cold[s] / tuned[s]:7.1f}x")
+        print(f"\nwisdom file ({len(store)} entries) survives restarts: "
+              f"{store.path.name}")
+    finally:
+        set_default_store(None)

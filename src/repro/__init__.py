@@ -27,6 +27,9 @@ Public surface
   modeled multicore scaling (:mod:`repro.core.parallel`).
 * :func:`predict_fmm` / :func:`predict_gemm` — the Fig.-5 performance model.
 * :func:`select` — model-guided poly-algorithm selection (Fig. 8).
+* :func:`tune_problem` / :func:`tune_sweep` / :class:`WisdomStore` —
+  empirical autotuning with persistent wisdom (:mod:`repro.tune`);
+  ``multiply(engine="auto", tune="readonly")`` dispatches on it.
 * :func:`build_plan` / :func:`generate_source` — the code generator.
 """
 
@@ -60,7 +63,7 @@ from repro.core.parallel import measured_scaling_curve, pick_threads, scaling_cu
 from repro.core.plan import build_plan
 from repro.core.runtime import TaskGraph, execute_plan, get_pool, lower_plan
 from repro.core.selection import Candidate, auto_config, select
-from repro.core.spec import normalize_spec, normalize_threads
+from repro.core.spec import normalize_spec, normalize_threads, normalize_tune
 from repro.core.workspace import arena_clear, arena_stats
 from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
 from repro.model.perfmodel import (
@@ -68,6 +71,18 @@ from repro.model.perfmodel import (
     effective_gflops,
     predict_fmm,
     predict_gemm,
+)
+from repro.tune import (
+    MeasureConfig,
+    Measurement,
+    TuneReport,
+    WisdomStore,
+    calibrate_machine,
+    default_store,
+    measure_candidate,
+    set_default_store,
+    tune_problem,
+    tune_sweep,
 )
 
 __version__ = "1.0.0"
@@ -80,6 +95,7 @@ __all__ = [
     "plan_cache_clear",
     "normalize_spec",
     "normalize_threads",
+    "normalize_tune",
     "execute_plan",
     "lower_plan",
     "TaskGraph",
@@ -114,6 +130,16 @@ __all__ = [
     "calibrate_lambda",
     "select",
     "Candidate",
+    "MeasureConfig",
+    "Measurement",
+    "measure_candidate",
+    "WisdomStore",
+    "default_store",
+    "set_default_store",
+    "TuneReport",
+    "tune_problem",
+    "tune_sweep",
+    "calibrate_machine",
     "build_plan",
     "generate_source",
     "compile_plan",

@@ -5,6 +5,8 @@ Commands
 ``catalog``   Print the Fig.-2 family with achieved vs. paper ranks.
 ``multiply``  Multiply random matrices with a chosen algorithm and verify.
 ``select``    Model-guided implementation selection for a problem size.
+``tune``      Measure the model's favorites; persist the winner as wisdom.
+``wisdom``    Inspect or clear the persistent autotuning wisdom store.
 ``codegen``   Emit generated Python source for an algorithm/variant.
 ``model``     Print modeled Effective GFLOPS for a configuration sweep.
 ``discover``  Run the ALS search for a (m, k, n, rank) target.
@@ -13,6 +15,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -59,6 +62,7 @@ def cmd_multiply(args) -> int:
         C = multiply_batched(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
+            tune=args.tune,
         )
     elif args.engine == "blocked":
         # BlockedEngine normalizes threads itself (None -> 1, 0/neg raise).
@@ -70,6 +74,7 @@ def cmd_multiply(args) -> int:
         C = multiply(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
+            tune=args.tune,
         )
     err = float(np.abs(C - A @ B).max())
     scale = max(1.0, float(np.abs(C).max()))
@@ -86,12 +91,169 @@ def cmd_select(args) -> int:
 
     mach = ivy_bridge_e5_2680_v2(args.cores)
     winner, ranked = select(args.m, args.k, args.n, mach, top=args.top)
+    if args.json:
+        doc = {
+            "problem": [args.m, args.k, args.n],
+            "machine": mach.name,
+            "selected": {
+                "label": winner.label,
+                "shapes": [list(s) for s in winner.shapes],
+                "levels": winner.levels,
+                "variant": winner.variant,
+                "predicted_gflops": winner.prediction.effective_gflops,
+                "predicted_time_s": winner.prediction.time,
+            },
+            "ranked": [
+                {
+                    "label": c.label,
+                    "predicted_gflops": c.prediction.effective_gflops,
+                    "predicted_time_s": c.prediction.time,
+                }
+                for c in ranked[: max(args.top, 5)]
+            ],
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
     print(f"problem {args.m}x{args.k}x{args.n} on {mach.name}")
     print(f"selected: {winner.label} "
           f"(predicted {winner.prediction.effective_gflops:.2f} GFLOPS)")
     print("model top-5:")
     for c in ranked[:5]:
         print(f"  {c.label:<28} {c.prediction.effective_gflops:8.2f} GF")
+    return 0
+
+
+def _parse_budget(text: str) -> float:
+    """Parse a tuning budget: plain seconds, or with an s/ms suffix."""
+    t = text.strip().lower()
+    try:
+        if t.endswith("ms"):
+            val = float(t[:-2]) / 1e3
+        elif t.endswith("s"):
+            val = float(t[:-1])
+        else:
+            val = float(t)
+    except ValueError:
+        raise SystemExit(f"invalid --budget {text!r} (try 5, 5s or 500ms)")
+    if val <= 0:
+        raise SystemExit(f"--budget must be positive, got {text!r}")
+    return val
+
+
+def _wisdom_store(args):
+    from repro.tune.wisdom import WisdomStore, default_store
+
+    return WisdomStore(args.store) if args.store else default_store()
+
+
+#: Problem classes covered by ``repro tune --sweep small`` — one square,
+#: one rank-k and one outer-panel class at serve-friendly sizes.
+SWEEP_PRESETS = {
+    "small": [(64, 64, 64), (128, 128, 128), (256, 256, 256),
+              (256, 32, 256), (96, 384, 96)],
+}
+
+
+def cmd_tune(args) -> int:
+    from repro.tune.tuner import calibrate_machine, tune_problem, tune_sweep
+
+    store = _wisdom_store(args)
+    budget = _parse_budget(args.budget)
+    dtype = np.float32 if args.dtype == "float32" else np.float64
+
+    if args.calibrate or (store.machine_params() is None and not args.no_calibrate):
+        mp = calibrate_machine(store=store)
+        if not args.json:
+            print(f"calibrated machine: {mp.name} "
+                  f"(peak {mp.peak_gflops_per_core:.1f} GF/core, "
+                  f"bw {mp.bandwidth_gbs:.1f} GB/s, lambda {mp.lam:.2f})")
+
+    if args.sweep:
+        problems = SWEEP_PRESETS[args.sweep]
+        reports = tune_sweep(problems, budget_s=budget, dtype=dtype,
+                             threads=args.threads, top=args.top, store=store)
+    else:
+        reports = [tune_problem(args.m, args.k, args.n, dtype=dtype,
+                                threads=args.threads, top=args.top,
+                                store=store, budget_s=budget)]
+
+    if args.json:
+        print(json.dumps([
+            {
+                "problem": list(r.problem),
+                "dtype": r.dtype,
+                "winner": r.winner.label,
+                "gflops": r.winner.gflops,
+                "time_s": r.winner.time_s,
+                "beat_model": r.beat_model,
+                "bucket": r.bucket,
+                "measured": [
+                    {"label": ms.label, "time_s": ms.time_s,
+                     "gflops": ms.gflops, "samples": ms.samples}
+                    for ms in r.measurements
+                ],
+            }
+            for r in reports
+        ], indent=2))
+        return 0
+    for r in reports:
+        m, k, n = r.problem
+        note = " (overturned the model's pick)" if r.beat_model else ""
+        print(f"{m}x{k}x{n} [{r.dtype}]: winner {r.winner.label} "
+              f"{r.winner.gflops:.2f} GF over {len(r.measurements)} "
+              f"finalists in {r.elapsed_s:.2f}s{note}")
+    print(f"wisdom: {len(store)} entr{'y' if len(store) == 1 else 'ies'} "
+          f"at {store.path}")
+    return 0
+
+
+def cmd_wisdom(args) -> int:
+    store = _wisdom_store(args)
+    if args.action == "path":
+        print(store.path)
+        return 0
+    if args.action == "clear":
+        n = len(store)
+        store.clear()
+        print(f"cleared {n} entr{'y' if n == 1 else 'ies'} from {store.path}")
+        return 0
+    entries = store.entries()
+    mp = store.machine_params()
+    if args.json:
+        print(json.dumps({
+            "path": str(store.path),
+            "entries": entries,
+            "machine": None if mp is None else {
+                "name": mp.name,
+                "peak_gflops_per_core": mp.peak_gflops_per_core,
+                "bandwidth_gbs": mp.bandwidth_gbs,
+                "cores": mp.cores,
+                "lam": mp.lam,
+            },
+            "recovered_corrupt": store.recovered_corrupt,
+            "ignored_stale": store.ignored_stale,
+        }, indent=2))
+        return 0
+    print(f"wisdom store: {store.path}")
+    if store.recovered_corrupt:
+        print("  (previous file was corrupt; set aside as *.corrupt)")
+    if store.ignored_stale:
+        print("  (file was tuned on a different machine; entries ignored)")
+    if mp is not None:
+        print(f"  machine: {mp.name} peak {mp.peak_gflops_per_core:.1f} GF/core"
+              f" bw {mp.bandwidth_gbs:.1f} GB/s lambda {mp.lam:.2f}")
+    if not entries:
+        print("  (no tuned entries; run `repro tune`)")
+        return 0
+    for bucket, e in sorted(entries.items()):
+        cfg = e["config"]
+        algo = cfg["algorithm"]
+        label = algo if algo == "classical" else "+".join(
+            "<%d,%d,%d>" % tuple(s) for s in algo
+        )
+        m, k, n = e["problem"]
+        print(f"  {bucket:<32} {label}/{cfg['variant']} t{cfg['threads']} "
+              f"{e['gflops']:.2f} GF (tuned at {m}x{k}x{n})")
     return 0
 
 
@@ -166,11 +328,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=1,
                    help="multiply a stack of N same-shape problems "
                         "through one compiled plan")
+    p.add_argument("--tune", choices=("off", "readonly", "on"),
+                   default="readonly",
+                   help="autotuning-wisdom use under --engine auto "
+                        "(default: readonly)")
 
     p = sub.add_parser("select", help="model-guided selection")
     _add_shape(p)
     p.add_argument("--cores", type=int, default=1)
     p.add_argument("--top", type=int, default=2)
+    p.add_argument("--json", action="store_true",
+                   help="emit the selection as machine-readable JSON")
+
+    p = sub.add_parser("tune", help="measure candidates, persist wisdom")
+    _add_shape(p)
+    p.add_argument("--budget", default="2s",
+                   help="wall-clock budget, e.g. 5, 5s or 500ms (default 2s)")
+    p.add_argument("--top", type=int, default=3,
+                   help="model finalists to measure (plus the GEMM baseline)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="tune for an explicit thread count "
+                        "(default: the model picks per candidate)")
+    p.add_argument("--dtype", choices=("float32", "float64"), default="float64")
+    p.add_argument("--store", default=None,
+                   help="wisdom file (default: $REPRO_WISDOM or "
+                        "~/.cache/repro/wisdom.json)")
+    p.add_argument("--sweep", choices=sorted(SWEEP_PRESETS), default=None,
+                   help="tune a preset problem sweep instead of one shape")
+    p.add_argument("--calibrate", action="store_true",
+                   help="force re-measuring the machine model back-fit")
+    p.add_argument("--no-calibrate", action="store_true",
+                   help="skip machine calibration even on first tune")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("wisdom", help="inspect the autotuning wisdom store")
+    p.add_argument("action", nargs="?", choices=("show", "clear", "path"),
+                   default="show")
+    p.add_argument("--store", default=None,
+                   help="wisdom file (default: $REPRO_WISDOM or "
+                        "~/.cache/repro/wisdom.json)")
+    p.add_argument("--json", action="store_true")
 
     p = sub.add_parser("codegen", help="emit generated Python source")
     _add_shape(p)
@@ -202,6 +399,8 @@ def main(argv=None) -> int:
         "catalog": cmd_catalog,
         "multiply": cmd_multiply,
         "select": cmd_select,
+        "tune": cmd_tune,
+        "wisdom": cmd_wisdom,
         "codegen": cmd_codegen,
         "model": cmd_model,
         "discover": cmd_discover,

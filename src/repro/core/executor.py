@@ -40,7 +40,7 @@ from repro.core import runtime
 from repro.core.compile import SUPPORTED_DTYPES, CompiledPlan
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.runtime import check_exec_shapes as _check_exec_shapes
-from repro.core.spec import normalize_threads, resolve_levels
+from repro.core.spec import normalize_threads, normalize_tune, resolve_levels
 from repro.core.variants import run_fmm_blocked
 
 __all__ = [
@@ -266,6 +266,7 @@ def multiply(
     threads: int | None = None,
     mode: str = "slab",
     dtype=None,
+    tune: str = "readonly",
 ) -> np.ndarray:
     """Fast matrix multiplication: returns ``C + A @ B``.
 
@@ -278,11 +279,18 @@ def multiply(
     variant *and thread count* from the §4.4 performance model and falls
     back to classical GEMM when the model says FMM will not pay off).
 
+    ``tune`` governs how auto-dispatch uses persisted autotuning wisdom
+    (:mod:`repro.tune`): ``"readonly"`` (default) dispatches on the
+    measured-best configuration when this machine has been tuned for the
+    problem class, falling back to the model; ``"on"`` runs a budgeted
+    tuning pass on a wisdom miss (slow once, fast forever); ``"off"``
+    never touches the store.  Ignored for explicit engines.
+
     ``threads`` runs the task-graph runtime on that many workers
     (``threads=1`` executes the same schedule serially).  Left unset it
-    defaults to 1 for explicit engines and to the model's pick under
-    ``engine="auto"``.  ``threads=0`` or a negative count raises
-    ``ValueError`` up front, at spec-normalization time.
+    defaults to 1 for explicit engines and to the model's (or wisdom's)
+    pick under ``engine="auto"``.  ``threads=0`` or a negative count
+    raises ``ValueError`` up front, at spec-normalization time.
 
     float32/float64 operands are preserved end-to-end (pass ``dtype`` to
     force one); other input types promote to float64.
@@ -297,6 +305,7 @@ def multiply(
     True
     """
     threads = normalize_threads(threads)
+    tune = normalize_tune(tune)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
@@ -309,7 +318,9 @@ def multiply(
     if engine == "auto":
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, auto_threads = auto_config(m, k, n)
+        algorithm, levels, variant, engine, auto_threads = auto_config(
+            m, k, n, dtype=dt.name, threads=threads, tune=tune
+        )
         if threads is None:
             threads = auto_threads
     if threads is None:
@@ -333,6 +344,7 @@ def multiply_batched(
     threads: int | None = None,
     mode: str = "slab",
     dtype=None,
+    tune: str = "readonly",
 ) -> np.ndarray:
     """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
 
@@ -342,11 +354,13 @@ def multiply_batched(
     executes all batch elements through stacked 3-D operands (the runtime
     folds the batch into its gather/product/scatter slabs and fans tasks
     out over ``threads`` workers), the blocked path interprets the same
-    plan per element.
+    plan per element.  ``tune`` is the auto-dispatch wisdom knob of
+    :func:`multiply`.
 
     Returns the ``(batch, m, n)`` result stack.
     """
     threads = normalize_threads(threads)
+    tune = normalize_tune(tune)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim == 2 and B.ndim == 2:
@@ -374,7 +388,9 @@ def multiply_batched(
         from repro.core.parallel import pick_threads
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, _ = auto_config(m, k, n)
+        algorithm, levels, variant, engine, _ = auto_config(
+            m, k, n, dtype=dt.name, threads=threads, tune=tune
+        )
         if threads is None:
             # Re-pick with the whole batch in view: the runtime folds the
             # batch into its task slabs, so the parallelism threshold is

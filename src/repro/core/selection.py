@@ -122,22 +122,24 @@ def select(
     if not ranked:
         raise ValueError(f"no candidate fits problem {(m, k, n)}")
     finalists = ranked[: max(1, top)]
-    if measure is None:
-        def measure(c: Candidate) -> float:
-            return simulate_time(m, k, n, c.multilevel(), c.variant, machine)
-    winner = min(finalists, key=measure)
+
+    def _simulated_measure(c: Candidate) -> float:
+        return simulate_time(m, k, n, c.multilevel(), c.variant, machine)
+
+    measure_fn = measure if measure is not None else _simulated_measure
+    winner = min(finalists, key=measure_fn)
     return winner, ranked
 
 
 @lru_cache(maxsize=1024)
-def auto_config(
+def _model_config(
     m: int,
     k: int,
     n: int,
     machine: MachineParams | None = None,
     max_levels: int = 2,
 ) -> tuple:
-    """Model-guided configuration for ``multiply(engine="auto")``.
+    """Pure model-guided configuration (the cold path of :func:`auto_config`).
 
     Ranks the generated family with the §4.4 performance model and returns
     ``(algorithm, levels, variant, engine, threads)`` ready for the plan
@@ -153,7 +155,8 @@ def auto_config(
     the cores this host actually has.
 
     Decisions are memoized per ``(m, k, n, machine, max_levels)``, so the
-    enumeration cost is paid once per problem shape.
+    enumeration cost is paid once per problem shape *per process* — the
+    wisdom store is what survives restarts.
     """
     from repro.core.parallel import pick_threads
     from repro.model.machines import generic_laptop
@@ -166,6 +169,56 @@ def auto_config(
         return ("classical", 1, "abc", "direct", threads)
     threads = pick_threads(m, k, n, best.multilevel(), best.variant)
     return (best.shapes, len(best.shapes), best.variant, "direct", threads)
+
+
+def auto_config(
+    m: int,
+    k: int,
+    n: int,
+    machine: MachineParams | None = None,
+    max_levels: int = 2,
+    *,
+    dtype="float64",
+    threads: int | None = None,
+    tune: str = "readonly",
+) -> tuple:
+    """Configuration for ``multiply(engine="auto")``: wisdom first, model second.
+
+    With ``tune="readonly"`` (the default) the persistent wisdom store
+    (:mod:`repro.tune.wisdom`) is consulted for this problem class —
+    a hit returns the *measured-best* configuration in a dict probe,
+    without enumerating or pricing a single candidate.  On a miss the
+    model path runs (:func:`_model_config`), using the back-fit
+    calibrated machine from the wisdom file when one exists and no
+    explicit ``machine`` was given.  ``tune="on"`` additionally runs a
+    short budgeted tuning pass on a miss and returns (and records) its
+    winner; ``tune="off"`` is the pure cold-model path.
+
+    ``dtype`` and ``threads`` scope the wisdom bucket (``threads=None``
+    is the ``auto`` thread class); they do not affect the model path,
+    whose thread pick is derived from the scaling model either way.
+    """
+    from repro.core.spec import normalize_tune
+
+    tune = normalize_tune(tune)
+    if tune != "off":
+        from repro.tune.wisdom import default_store
+
+        store = default_store()
+        hit = store.lookup_tuple(m, k, n, dtype=dtype, threads=threads)
+        if hit is not None:
+            return hit
+        if tune == "on":
+            from repro.tune.tuner import tune_problem
+
+            report = tune_problem(
+                m, k, n, dtype=dtype, threads=threads,
+                max_levels=max_levels, machine=machine, store=store,
+            )
+            return report.config
+        if machine is None:
+            machine = store.machine_params()
+    return _model_config(m, k, n, machine, max_levels)
 
 
 def best_gflops_series(

@@ -23,8 +23,9 @@ spec form                             meaning
 :func:`normalize_spec` returns the flat per-level atom tuple;
 :func:`resolve_levels` materializes it as a :class:`MultiLevelFMM`;
 :func:`spec_key` derives the hashable cache key the plan cache is keyed on;
-:func:`normalize_threads` validates the ``threads`` execution knob so bad
-values fail here, up front, rather than deep inside the runtime.
+:func:`normalize_threads` validates the ``threads`` execution knob and
+:func:`normalize_tune` the autotuning-wisdom knob, so bad values fail
+here, up front, rather than deep inside the runtime.
 """
 
 from __future__ import annotations
@@ -34,7 +35,17 @@ import numbers
 from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 
-__all__ = ["normalize_spec", "normalize_threads", "resolve_levels", "spec_key"]
+__all__ = [
+    "TUNE_MODES",
+    "normalize_spec",
+    "normalize_threads",
+    "normalize_tune",
+    "resolve_levels",
+    "spec_key",
+]
+
+#: Accepted values of the ``tune`` knob on the auto-dispatch path.
+TUNE_MODES = ("off", "readonly", "on")
 
 #: Atom forms accepted inside a hybrid stack.
 _ATOM_TYPES = (str, FMMAlgorithm)
@@ -95,6 +106,21 @@ def normalize_threads(threads) -> int | None:
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
     return int(threads)
+
+
+def normalize_tune(tune) -> str:
+    """Validate the ``tune`` knob of the auto-dispatch path.
+
+    ``"off"`` never touches the wisdom store (pure model dispatch);
+    ``"readonly"`` consults persisted wisdom and falls back to the model;
+    ``"on"`` additionally runs a budgeted tuning pass on a wisdom miss.
+    Anything else raises here, at spec-normalization time.
+    """
+    if not isinstance(tune, str) or tune.lower() not in TUNE_MODES:
+        raise ValueError(
+            f"tune must be one of {TUNE_MODES}, got {tune!r}"
+        )
+    return tune.lower()
 
 
 def resolve_levels(algorithm, levels: int = 1) -> MultiLevelFMM:

@@ -1,0 +1,55 @@
+"""repro.tune — empirical autotuning with persistent wisdom.
+
+The layer between the machine model and the runtime: measure real
+compiled plans (:mod:`repro.tune.measure`), persist the verdicts in a
+machine-fingerprinted wisdom database (:mod:`repro.tune.wisdom`), and
+drive budgeted tuning loops that also back-fit the machine model itself
+(:mod:`repro.tune.tuner`).  ``multiply(engine="auto", tune="readonly")``
+consults this wisdom before falling back to the cold model; ``tune="on"``
+fills it on first miss; the ``repro tune`` / ``repro wisdom`` CLI manage
+it from the shell.
+"""
+
+from repro.tune.measure import (
+    Measurement,
+    MeasureConfig,
+    measure_candidate,
+    measure_plan,
+)
+from repro.tune.tuner import (
+    TuneReport,
+    calibrate_machine,
+    fit_machine_params,
+    tune_problem,
+    tune_sweep,
+)
+from repro.tune.wisdom import (
+    SCHEMA_VERSION,
+    WisdomStore,
+    default_store,
+    default_wisdom_path,
+    fingerprint_digest,
+    machine_fingerprint,
+    problem_bucket,
+    set_default_store,
+)
+
+__all__ = [
+    "MeasureConfig",
+    "Measurement",
+    "measure_plan",
+    "measure_candidate",
+    "WisdomStore",
+    "SCHEMA_VERSION",
+    "machine_fingerprint",
+    "fingerprint_digest",
+    "problem_bucket",
+    "default_store",
+    "default_wisdom_path",
+    "set_default_store",
+    "TuneReport",
+    "tune_problem",
+    "tune_sweep",
+    "calibrate_machine",
+    "fit_machine_params",
+]

@@ -1,0 +1,262 @@
+"""Budgeted empirical tuning: measure the model's favorites, write wisdom.
+
+:func:`tune_problem` is the paper's §4.4 poly-algorithm made persistent:
+the performance model ranks the generated family, the top-K candidates
+*plus the classical baseline* are measured through the real runtime
+(:mod:`repro.tune.measure`), and the measured winner is recorded in the
+wisdom store (:mod:`repro.tune.wisdom`) so every later
+``multiply(engine="auto")`` in any process dispatches on evidence instead
+of a cold model.  :func:`tune_sweep` amortizes one budget across many
+problems; :func:`calibrate_machine` closes the loop in the other
+direction, back-fitting the machine model's effective peak and bandwidth
+from measurements so even wisdom *misses* rank candidates with calibrated
+constants.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection import enumerate_candidates, rank_candidates
+from repro.core.spec import normalize_threads
+from repro.model.machines import MachineParams, generic_laptop
+from repro.model.perfmodel import calibrate_lambda, effective_gflops
+from repro.tune.measure import MeasureConfig, Measurement, measure_candidate
+from repro.tune.wisdom import WisdomStore, default_store, fingerprint_digest
+
+__all__ = [
+    "TuneReport",
+    "tune_problem",
+    "tune_sweep",
+    "calibrate_machine",
+    "fit_machine_params",
+]
+
+
+@dataclass(frozen=True)
+class TuneReport:
+    """Outcome of tuning one problem."""
+
+    problem: tuple[int, int, int]
+    dtype: str
+    config: tuple          #: winner as an ``auto_config`` result tuple
+    winner: Measurement
+    measurements: tuple[Measurement, ...]
+    model_rank1: str       #: the cold model's favorite label, for the record
+    bucket: str | None     #: wisdom bucket written (None when not recorded)
+    elapsed_s: float
+
+    @property
+    def beat_model(self) -> bool:
+        """Did measurement overturn the model's rank-1 pick?"""
+        return self.winner.label != self.model_rank1
+
+
+def _candidate_threads(threads, m, k, n, ml, variant) -> int:
+    from repro.core.parallel import pick_threads
+
+    if threads is not None:
+        return int(threads)
+    return pick_threads(m, k, n, ml, variant)
+
+
+def tune_problem(
+    m: int,
+    k: int,
+    n: int,
+    *,
+    dtype=np.float64,
+    threads: int | None = None,
+    top: int = 3,
+    max_levels: int = 2,
+    machine: MachineParams | None = None,
+    store: WisdomStore | None = None,
+    budget_s: float = 2.0,
+    measure_config: MeasureConfig | None = None,
+    record: bool = True,
+) -> TuneReport:
+    """Measure the model's top-``top`` candidates + GEMM baseline; record wisdom.
+
+    The wall-clock ``budget_s`` is split across the finalists — each
+    measurement gets the remaining budget divided by the remaining
+    finalists, so an expensive early candidate squeezes (never starves:
+    every finalist gets at least one timed sample) the later ones.
+    ``threads=None`` lets the machine model pick per candidate, and the
+    verdict is bucketed under the ``auto`` thread class.
+    """
+    t_start = time.perf_counter()
+    threads = normalize_threads(threads)  # bad counts fail before measuring
+    store = store if store is not None else default_store()
+    machine = machine or store.machine_params() or generic_laptop()
+    dt = np.dtype(dtype)
+
+    ranked = rank_candidates(
+        enumerate_candidates(m, k, n, machine, max_levels=max_levels)
+    )
+    finalists: list[tuple] = []  # (algorithm_spec, levels, variant, ml_or_None, label)
+    for c in ranked[: max(1, top)]:
+        finalists.append((c.shapes, len(c.shapes), c.variant, c.multilevel(),
+                          c.label))
+    finalists.append(("classical", 1, "abc", None, "classical/abc"))
+    model_rank1 = ranked[0].label if ranked else "classical/abc"
+
+    base_cfg = measure_config or MeasureConfig()
+    deadline = t_start + budget_s
+    measured: list[tuple[Measurement, tuple]] = []
+    for i, (spec, levels, variant, ml, _label) in enumerate(finalists):
+        remaining = max(deadline - time.perf_counter(), 1e-3)
+        slice_s = remaining / (len(finalists) - i)
+        t = _candidate_threads(threads, m, k, n, ml, variant)
+        meas = measure_candidate(
+            m, k, n, spec, levels=levels, variant=variant, dtype=dt,
+            engine="direct", threads=t,
+            config=MeasureConfig(
+                warmup=base_cfg.warmup, repeats=base_cfg.repeats,
+                inner=base_cfg.inner, budget_s=slice_s, pin_gc=base_cfg.pin_gc,
+            ),
+        )
+        algo_doc = ("classical" if spec == "classical"
+                    else [list(s) for s in spec])
+        cfg_doc = {
+            "algorithm": algo_doc,
+            "levels": int(levels),
+            "variant": variant,
+            "engine": "direct",
+            "threads": int(t),
+        }
+        measured.append((meas, cfg_doc))
+
+    winner, winner_cfg = min(measured, key=lambda mc: mc[0].time_s)
+    bucket = None
+    if record:
+        bucket = store.record(
+            m, k, n,
+            config=winner_cfg,
+            gflops=winner.gflops,
+            time_s=winner.time_s,
+            samples=winner.samples,
+            dtype=dt,
+            threads=threads,
+        )
+
+    from repro.tune.wisdom import config_tuple
+
+    return TuneReport(
+        problem=(int(m), int(k), int(n)),
+        dtype=dt.name,
+        config=config_tuple(winner_cfg),
+        winner=winner,
+        measurements=tuple(ms for ms, _ in measured),
+        model_rank1=model_rank1,
+        bucket=bucket,
+        elapsed_s=time.perf_counter() - t_start,
+    )
+
+
+def tune_sweep(
+    problems,
+    *,
+    budget_s: float = 10.0,
+    **kwargs,
+) -> list[TuneReport]:
+    """Tune several problems under one overall budget.
+
+    The budget is split evenly up front, with unspent time from fast
+    problems rolled into the remaining ones.
+    """
+    problems = [tuple(int(x) for x in p) for p in problems]
+    if not problems:
+        return []
+    deadline = time.perf_counter() + budget_s
+    reports = []
+    for i, (m, k, n) in enumerate(problems):
+        remaining = max(deadline - time.perf_counter(), 1e-3)
+        reports.append(
+            tune_problem(m, k, n, budget_s=remaining / (len(problems) - i),
+                         **kwargs)
+        )
+    return reports
+
+
+# ---------------------------------------------------------------------- #
+# Machine-model back-fit
+# ---------------------------------------------------------------------- #
+def _time_matmul(m: int, k: int, n: int, repeats: int = 3, seed: int = 0) -> float:
+    """Best-of-N wall-clock of one ``np.matmul`` (the real GEMM substrate)."""
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k))
+    B = rng.standard_normal((k, n))
+    C = np.empty((m, n))
+    np.matmul(A, B, out=C)  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.matmul(A, B, out=C)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def fit_machine_params(
+    compute_gflops: float,
+    bandwidth_gbs: float,
+    *,
+    cores: int | None = None,
+    headroom: float = 1.1,
+) -> MachineParams:
+    """Back-fit a :class:`MachineParams` from two measured rates.
+
+    ``compute_gflops`` is the sustained rate of a large compute-bound
+    GEMM on one core; the effective peak is set ``headroom`` above it and
+    the prefetch-efficiency lambda is then bisected
+    (:func:`repro.model.perfmodel.calibrate_lambda`) so the *model*
+    reproduces the measurement exactly.  ``bandwidth_gbs`` comes from a
+    memory-bound streaming measurement.
+    """
+    if compute_gflops <= 0 or bandwidth_gbs <= 0:
+        raise ValueError("measured rates must be positive")
+    cores = cores or os.cpu_count() or 1
+    fitted = MachineParams(
+        name=f"tuned-{fingerprint_digest()}",
+        peak_gflops_per_core=compute_gflops * headroom,
+        bandwidth_gbs=bandwidth_gbs,
+        cores=int(cores),
+        lam=0.7,
+    )
+    return calibrate_lambda(fitted, compute_gflops)
+
+
+def calibrate_machine(
+    *,
+    store: WisdomStore | None = None,
+    size: int = 384,
+    record: bool = True,
+) -> MachineParams:
+    """Measure this host and back-fit the machine model the selector prices with.
+
+    Two quick probes: a ``size``^3 matmul for the sustained compute rate,
+    and a wide rank-k update (``size x 8 x size``, traffic-dominated) for
+    the effective bandwidth.  The fitted params are persisted in the
+    wisdom file so future processes rank candidates with calibrated
+    constants even on wisdom misses.
+    """
+    store = store if store is not None else default_store()
+
+    t_c = _time_matmul(size, size, size)
+    compute = effective_gflops(size, size, size, t_c)
+
+    kk = 8
+    t_b = _time_matmul(size, kk, size)
+    bytes_moved = 8.0 * (size * kk + kk * size + 2 * size * size)
+    bandwidth = bytes_moved / t_b / 1e9
+    # A cache-resident probe can report absurd bandwidth; clamp to a sane
+    # window so the fitted model stays physical.
+    bandwidth = min(max(bandwidth, 1.0), 512.0)
+
+    params = fit_machine_params(compute, bandwidth)
+    if record:
+        store.record_machine(params)
+    return params

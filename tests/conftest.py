@@ -6,6 +6,27 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_wisdom(tmp_path_factory):
+    """Keep the whole suite away from the developer's real wisdom store.
+
+    ``multiply(engine="auto")`` defaults to ``tune="readonly"``, so any
+    auto-dispatch test would otherwise consult ``~/.cache/repro`` and a
+    previously tuned machine could flip model-path assertions.  Pointing
+    ``REPRO_WISDOM`` at a session temp file isolates even code that
+    resets the default store mid-test (it re-resolves from the env).
+    """
+    from repro.tune import set_default_store
+
+    mp = pytest.MonkeyPatch()
+    mp.setenv("REPRO_WISDOM",
+              str(tmp_path_factory.mktemp("wisdom") / "wisdom.json"))
+    set_default_store(None)
+    yield
+    mp.undo()
+    set_default_store(None)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -69,3 +69,41 @@ class TestRankAndSelect:
         winner, ranked = select(4800, 4800, 4800, MACH, top=3, measure=fake_measure)
         assert len(calls) == 3
         assert winner.label == ranked[0].label
+
+    def test_measurement_can_overturn_model_rank1(self):
+        # The §4.4 point of measuring at all: fringe effects invisible to
+        # the model can make the measured winner differ from its rank-1.
+        def contrarian(c):
+            return -c.prediction.time  # model's worst finalist "wins"
+
+        winner, ranked = select(4800, 4800, 4800, MACH, top=3,
+                                measure=contrarian)
+        assert winner.label == ranked[2].label
+        assert winner.label != ranked[0].label
+
+    def test_select_with_real_measuring_callable(self):
+        # Drive selection with actual wall-clock measurements through the
+        # runtime (the tune harness), not the simulator.
+        from repro.tune.measure import MeasureConfig, measure_candidate
+
+        measured = []
+
+        def real_measure(c):
+            meas = measure_candidate(
+                96, 96, 96, c.shapes, levels=c.levels, variant=c.variant,
+                config=MeasureConfig(warmup=1, repeats=2, inner=2),
+            )
+            measured.append(meas)
+            return meas.time_s
+
+        winner, ranked = select(96, 96, 96, MACH, top=2, max_levels=1,
+                                measure=real_measure)
+        assert len(measured) == 2
+        assert all(m.time_s > 0 for m in measured)
+        # The measured winner is whichever finalist clocked fastest —
+        # which may or may not be the model's rank-1.
+        finalists = {c.label for c in ranked[:2]}
+        assert winner.label in finalists
+        # measure runs in finalist order, so measured[i] <-> ranked[i].
+        fastest = min(measured, key=lambda m: m.time_s)
+        assert winner.label == ranked[measured.index(fastest)].label

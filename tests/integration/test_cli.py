@@ -54,6 +54,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "selected:" in out
 
+    def test_select_json(self, capsys):
+        import json
+
+        rc = main(["select", "-m", "4800", "-k", "480", "-n", "4800", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["problem"] == [4800, 480, 4800]
+        assert doc["selected"]["variant"] in ("naive", "ab", "abc")
+        assert doc["selected"]["predicted_gflops"] > 0
+        assert len(doc["ranked"]) >= 2
+        # ranked is sorted fastest-first
+        times = [c["predicted_time_s"] for c in doc["ranked"]]
+        assert times == sorted(times)
+
     def test_codegen(self, capsys):
         rc = main(["codegen", "-m", "64", "-k", "64", "-n", "64"])
         assert rc == 0
@@ -81,3 +95,111 @@ class TestCommands:
              "--restarts", "2", "--budget", "5"]
         )
         assert rc == 1
+
+
+class TestTuneAndWisdomCommands:
+    def _store_arg(self, tmp_path):
+        return ["--store", str(tmp_path / "wisdom.json")]
+
+    def test_tune_records_wisdom(self, tmp_path, capsys):
+        rc = main(["tune", "-m", "64", "-k", "64", "-n", "64",
+                   "--budget", "500ms", "--top", "1", "--no-calibrate",
+                   *self._store_arg(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "wisdom: 1 entry" in out
+        assert (tmp_path / "wisdom.json").exists()
+
+    def test_tune_json(self, tmp_path, capsys):
+        import json
+
+        rc = main(["tune", "-m", "64", "-k", "64", "-n", "64",
+                   "--budget", "500ms", "--top", "1", "--no-calibrate",
+                   "--json", *self._store_arg(tmp_path)])
+        assert rc == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert docs[0]["problem"] == [64, 64, 64]
+        assert docs[0]["gflops"] > 0
+        assert len(docs[0]["measured"]) == 2  # top-1 + classical baseline
+
+    def test_tune_budget_suffixes(self, tmp_path):
+        for budget in ("1", "1s", "1000ms"):
+            rc = main(["tune", "-m", "32", "-k", "32", "-n", "32",
+                       "--budget", budget, "--top", "1", "--no-calibrate",
+                       *self._store_arg(tmp_path)])
+            assert rc == 0
+
+    def test_tune_bad_budget_exits(self, tmp_path):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["tune", "-m", "32", "-k", "32", "-n", "32",
+                  "--budget", "soon", *self._store_arg(tmp_path)])
+
+    def test_wisdom_show_empty(self, tmp_path, capsys):
+        rc = main(["wisdom", *self._store_arg(tmp_path)])
+        assert rc == 0
+        assert "no tuned entries" in capsys.readouterr().out
+
+    def test_wisdom_show_after_tune(self, tmp_path, capsys):
+        main(["tune", "-m", "64", "-k", "64", "-n", "64", "--budget", "500ms",
+              "--top", "1", "--no-calibrate", *self._store_arg(tmp_path)])
+        capsys.readouterr()
+        rc = main(["wisdom", *self._store_arg(tmp_path)])
+        assert rc == 0
+        assert "float64" in capsys.readouterr().out
+
+    def test_wisdom_json(self, tmp_path, capsys):
+        import json
+
+        main(["tune", "-m", "64", "-k", "64", "-n", "64", "--budget", "500ms",
+              "--top", "1", "--no-calibrate", *self._store_arg(tmp_path)])
+        capsys.readouterr()
+        rc = main(["wisdom", "--json", *self._store_arg(tmp_path)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["entries"]) == 1
+        assert not doc["recovered_corrupt"]
+
+    def test_wisdom_clear_and_path(self, tmp_path, capsys):
+        main(["tune", "-m", "64", "-k", "64", "-n", "64", "--budget", "500ms",
+              "--top", "1", "--no-calibrate", *self._store_arg(tmp_path)])
+        rc = main(["wisdom", "clear", *self._store_arg(tmp_path)])
+        assert rc == 0
+        rc = main(["wisdom", "path", *self._store_arg(tmp_path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["wisdom", *self._store_arg(tmp_path)])
+        assert "no tuned entries" in capsys.readouterr().out
+
+    def test_wisdom_show_survives_partial_entries(self, tmp_path, capsys):
+        # Valid config but missing problem/gflops metadata: the store must
+        # treat the file as corrupt and the CLI must not traceback.
+        import json
+
+        from repro.tune.wisdom import SCHEMA_VERSION, machine_fingerprint
+
+        p = tmp_path / "wisdom.json"
+        p.write_text(json.dumps({
+            "version": SCHEMA_VERSION,
+            "fingerprint": machine_fingerprint(),
+            "entries": {"b": {"config": {
+                "algorithm": [[2, 2, 2]], "levels": 1, "variant": "abc",
+                "engine": "direct", "threads": 1,
+            }}},
+        }))
+        rc = main(["wisdom", "--store", str(p)])
+        assert rc == 0
+        assert "corrupt" in capsys.readouterr().out
+
+    def test_tune_rejects_zero_threads(self, tmp_path):
+        with pytest.raises(ValueError, match="threads"):
+            main(["tune", "-m", "32", "-k", "32", "-n", "32",
+                  "--threads", "0", "--no-calibrate",
+                  *self._store_arg(tmp_path)])
+
+    def test_multiply_auto_with_tune_off(self, capsys):
+        rc = main(["multiply", "-m", "64", "-k", "64", "-n", "64",
+                   "--engine", "auto", "--tune", "off"])
+        assert rc == 0
+        assert "max |C - AB|" in capsys.readouterr().out

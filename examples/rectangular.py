@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Mixed-level schedules on skewed shapes: the right family member wins.
+
+A tall-skinny x wide product (m, n >> k) is a bad fit for square <2,2,2>
+recursion: every Strassen level halves k too, and k is already small.
+Rectangular catalog entries like <3,2,3> cut m and n by 3 while touching
+k only by 2 — and mixed schedules place a rectangular split at the outer
+level with square recursion below it.  ``engine="auto"`` finds this by
+itself: ``hybrid_shapes_for`` widens the candidate schedules with the
+catalog shapes matching the problem's aspect ratio.
+
+Run:  PYTHONPATH=src python examples/rectangular.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+
+M, K, N = 1152, 384, 1152  # tall-skinny x wide: m = n = 3k
+
+rng = np.random.default_rng(0)
+A = rng.standard_normal((M, K))
+B = rng.standard_normal((K, N))
+
+
+def best_of(algorithm, levels=1, reps=5):
+    C = np.zeros((M, N))
+    repro.multiply(A, B, C, algorithm=algorithm, levels=levels)  # warm
+    best = float("inf")
+    for _ in range(reps):
+        C[:] = 0.0
+        t0 = time.perf_counter()
+        repro.multiply(A, B, C, algorithm=algorithm, levels=levels)
+        best = min(best, time.perf_counter() - t0)
+    return best, C
+
+
+# -- what does the model-guided selector pick for this skew? ----------- #
+algo, levels, variant, engine, threads = repro.auto_config(M, K, N, tune="off")
+schedule = repro.Schedule(tuple(tuple(s) for s in algo)) \
+    if algo != "classical" else repro.Schedule(("classical",))
+print(f"problem {M}x{K}x{N} (aspect m/k = {M / K:.1f})")
+print(f"auto pick: schedule {schedule.signature!r}, variant {variant!r}")
+print("hybrid shapes considered:",
+      ", ".join("<%d,%d,%d>" % s for s in repro.hybrid_shapes_for(M, K, N)))
+
+# -- measure the family members against each other --------------------- #
+configs = [
+    ("pure square  strassen@1", "strassen", 1),
+    ("pure square  strassen@2", "strassen", 2),
+    ("rectangular  <3,2,3>@1", "<3,2,3>", 1),
+    ("mixed        <3,2,3>@1,strassen@1", "<3,2,3>@1,strassen@1", 1),
+    ("auto's pick", algo, levels),
+]
+print(f"\n{'schedule':<36} {'time ms':>9} {'GFLOPS':>8} {'max err':>10}")
+flops = 2.0 * M * K * N
+times = {}
+for label, a, lv in configs:
+    t, C = best_of(a, lv)
+    times[label] = t
+    err = float(np.abs(C - A @ B).max())
+    print(f"{label:<36} {t * 1e3:9.1f} {flops / t / 1e9:8.2f} {err:10.2e}")
+
+square = min(times["pure square  strassen@1"], times["pure square  strassen@2"])
+rect = times["rectangular  <3,2,3>@1"]
+verdict = ("beat" if rect < square else
+           "matched" if rect <= square * 1.05 else "trailed")
+print(f"\nEvery schedule is exact; the rectangular family member {verdict} "
+      f"the best pure-square schedule here\n({rect * 1e3:.1f} ms vs "
+      f"{square * 1e3:.1f} ms) — the paper's point: pick the <m,k,n> whose "
+      f"aspect fits the problem.")
+print("Schedule strings accept any catalog atom: "
+      "repro.multiply(A, B, algorithm='strassen@2,smirnov333@1').")

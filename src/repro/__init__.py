@@ -13,8 +13,13 @@ True
 Public surface
 --------------
 * :func:`multiply` / :func:`multiply_batched` — one-call FMM (any catalog
-  algorithm, levels, hybrid; ``engine="auto"`` for model-guided dispatch).
-* :func:`get_algorithm` / :func:`fig2_family` — the generated family.
+  algorithm, levels, mixed per-level schedule such as
+  ``"strassen@2,smirnov333@1"``; ``engine="auto"`` for model-guided
+  dispatch).
+* :class:`Schedule` / :func:`schedule_signature` — first-class
+  heterogeneous per-level schedules and their canonical strings.
+* :func:`get_algorithm` / :func:`fig2_family` — the generated family
+  (rectangular ``<m,k,n>`` entries included; see ``docs/algorithms.md``).
 * :class:`FMMAlgorithm` / :class:`MultiLevelFMM` — the ``[[U,V,W]]`` algebra.
 * :class:`DirectEngine` / :class:`BlockedEngine` — execution engines, thin
   clients of the task-graph runtime over the cached :class:`CompiledPlan`
@@ -35,11 +40,13 @@ Public surface
 
 from repro.algorithms.catalog import (
     FIG2_SHAPES,
+    NAMED_ALGORITHMS,
     CatalogEntry,
     catalog_summary,
     fig2_family,
     get_algorithm,
     get_entry,
+    known_algorithm_names,
 )
 from repro.algorithms.classical import classical
 from repro.algorithms.strassen import strassen, winograd
@@ -62,8 +69,15 @@ from repro.core.kronecker import MultiLevelFMM
 from repro.core.parallel import measured_scaling_curve, pick_threads, scaling_curve
 from repro.core.plan import build_plan
 from repro.core.runtime import TaskGraph, execute_plan, get_pool, lower_plan
-from repro.core.selection import Candidate, auto_config, select
-from repro.core.spec import normalize_spec, normalize_threads, normalize_tune
+from repro.core.selection import Candidate, auto_config, hybrid_shapes_for, select
+from repro.core.spec import (
+    Schedule,
+    normalize_schedule,
+    normalize_spec,
+    normalize_threads,
+    normalize_tune,
+    schedule_signature,
+)
 from repro.core.workspace import arena_clear, arena_stats
 from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
 from repro.model.perfmodel import (
@@ -93,9 +107,15 @@ __all__ = [
     "CompiledPlan",
     "plan_cache_info",
     "plan_cache_clear",
+    "Schedule",
+    "normalize_schedule",
     "normalize_spec",
     "normalize_threads",
     "normalize_tune",
+    "schedule_signature",
+    "hybrid_shapes_for",
+    "NAMED_ALGORITHMS",
+    "known_algorithm_names",
     "execute_plan",
     "lower_plan",
     "TaskGraph",

@@ -36,11 +36,13 @@ from repro.core.transforms import (
 __all__ = [
     "CatalogEntry",
     "FIG2_SHAPES",
+    "NAMED_ALGORITHMS",
     "get_algorithm",
     "get_entry",
     "fig2_family",
     "base_case",
     "catalog_summary",
+    "known_algorithm_names",
 ]
 
 #: The 23 shapes of Fig. 2 with the paper's best-known rank for each.
@@ -227,34 +229,73 @@ def get_entry(m: int, k: int, n: int) -> CatalogEntry:
     return CatalogEntry(dims=key, algorithm=algo, paper_rank=paper_rank, status=status)
 
 
+#: Named catalog aliases beyond the Fig.-2 ``<m,k,n>`` spellings.  Each
+#: maps to a zero-argument constructor or a Fig.-2 shape.
+NAMED_ALGORITHMS: dict[str, object] = {
+    "strassen": strassen,
+    "winograd": winograd,
+    "classical": lambda: classical(1, 1, 1),
+    # literature names for catalog shapes (Smirnov's <3,3,3>:23 family and
+    # his <3,3,6>:40; Hopcroft–Kerr's <2,2,3>:11 base case)
+    "smirnov333": (3, 3, 3),
+    "smirnov336": (3, 3, 6),
+    "hopcroft-kerr": lambda: base_case(2, 2, 3),
+}
+
+
+def known_algorithm_names() -> list[str]:
+    """Every name/shape spelling :func:`get_algorithm` accepts, sorted.
+
+    Used verbatim in the ``ValueError`` raised for unknown specs, so the
+    error message can list the full vocabulary.
+    """
+    names = sorted(NAMED_ALGORITHMS)
+    names += ["<%d,%d,%d>" % s for s in FIG2_SHAPES]
+    return names
+
+
+def _unknown_spec_error(spec) -> ValueError:
+    return ValueError(
+        f"unknown algorithm {spec!r}; known catalog names and shapes: "
+        + ", ".join(known_algorithm_names())
+    )
+
+
 def get_algorithm(spec) -> FMMAlgorithm:
     """Flexible lookup: name, ``(m, k, n)`` tuple, or "<m,k,n>" string.
 
-    Accepted names: ``"strassen"``, ``"winograd"``, ``"classical"`` (the
-    ``<1,1,1>`` trivial triple), or any Fig.-2 shape such as ``"<4,2,4>"``
-    / ``(4, 2, 4)``.  Passing an :class:`FMMAlgorithm` returns it unchanged.
+    Accepted names: any key of :data:`NAMED_ALGORITHMS` (``"strassen"``,
+    ``"winograd"``, ``"classical"`` — the ``<1,1,1>`` trivial triple —
+    ``"smirnov333"``, ...) or any Fig.-2 shape such as ``"<4,2,4>"`` /
+    ``(4, 2, 4)``.  Passing an :class:`FMMAlgorithm` returns it unchanged.
+    Unknown or malformed specs raise ``ValueError`` listing every known
+    catalog name (never a bare ``KeyError`` from the loader internals).
     """
     if isinstance(spec, FMMAlgorithm):
         return spec
     if isinstance(spec, str):
         low = spec.strip().lower()
-        if low == "strassen":
-            return strassen()
-        if low == "winograd":
-            return winograd()
-        if low == "classical":
-            return classical(1, 1, 1)
+        named = NAMED_ALGORITHMS.get(low)
+        if named is not None:
+            if isinstance(named, tuple):
+                return get_entry(*named).algorithm
+            return named()
         low = low.strip("<>")
         try:
             parts = tuple(int(x) for x in low.replace(" ", "").split(","))
         except ValueError:
-            raise ValueError(
-                f"unknown algorithm {spec!r}: expected 'strassen', 'winograd', "
-                f"'classical' or a '<m,k,n>' shape"
-            ) from None
-        return get_entry(*parts).algorithm
+            raise _unknown_spec_error(spec) from None
+        if len(parts) != 3:
+            raise _unknown_spec_error(spec)
+        try:
+            return get_entry(*parts).algorithm
+        except KeyError:
+            raise _unknown_spec_error(spec) from None
     if isinstance(spec, (tuple, list)) and len(spec) == 3:
-        return get_entry(*(int(x) for x in spec)).algorithm
+        try:
+            return get_entry(*(int(x) for x in spec)).algorithm
+        except KeyError:
+            raise _unknown_spec_error(tuple(spec)) from None
     raise TypeError(f"cannot interpret algorithm spec {spec!r}")
 
 

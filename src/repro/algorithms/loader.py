@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.core.fmm import FMMAlgorithm
 
-__all__ = ["algorithm_to_dict", "algorithm_from_dict", "save_json", "load_json", "data_dir"]
+__all__ = [
+    "algorithm_to_dict",
+    "algorithm_from_dict",
+    "save_json",
+    "load_json",
+    "load_directory",
+    "data_dir",
+]
 
 
 def algorithm_to_dict(algo: FMMAlgorithm) -> dict:
@@ -61,6 +68,29 @@ def save_json(algo: FMMAlgorithm, path: str | Path) -> Path:
 
 def load_json(path: str | Path) -> FMMAlgorithm:
     return algorithm_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_directory(path: str | Path) -> dict[str, FMMAlgorithm]:
+    """Load every ``*.json`` coefficient file in a directory, keyed by name.
+
+    Files load in sorted order (deterministic); every triple re-validates
+    its Brent equations.  Two files declaring the same algorithm ``name``
+    raise ``ValueError`` — a silently-shadowed duplicate entry is exactly
+    the kind of catalog drift the docs generator is meant to rule out.
+    """
+    path = Path(path)
+    out: dict[str, FMMAlgorithm] = {}
+    sources: dict[str, str] = {}
+    for f in sorted(path.glob("*.json")):
+        algo = load_json(f)
+        if algo.name in out:
+            raise ValueError(
+                f"duplicate catalog entry name {algo.name!r}: "
+                f"{sources[algo.name]} and {f.name} both define it"
+            )
+        out[algo.name] = algo
+        sources[algo.name] = f.name
+    return out
 
 
 def data_dir() -> Path:

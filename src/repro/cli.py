@@ -97,6 +97,7 @@ def cmd_select(args) -> int:
             "machine": mach.name,
             "selected": {
                 "label": winner.label,
+                "schedule": winner.signature,
                 "shapes": [list(s) for s in winner.shapes],
                 "levels": winner.levels,
                 "variant": winner.variant,
@@ -248,8 +249,10 @@ def cmd_wisdom(args) -> int:
     for bucket, e in sorted(entries.items()):
         cfg = e["config"]
         algo = cfg["algorithm"]
-        label = algo if algo == "classical" else "+".join(
-            "<%d,%d,%d>" % tuple(s) for s in algo
+        label = cfg.get("schedule") or (
+            algo if algo == "classical" else "+".join(
+                "<%d,%d,%d>" % tuple(s) for s in algo
+            )
         )
         m, k, n = e["problem"]
         print(f"  {bucket:<32} {label}/{cfg['variant']} t{cfg['threads']} "
@@ -315,7 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("multiply", help="multiply random matrices and verify")
     _add_shape(p)
     p.add_argument("--algorithm", default="strassen",
-                   help='e.g. strassen, "<3,2,3>", "strassen+<3,3,3>"')
+                   help='e.g. strassen, "<3,2,3>", "strassen+<3,3,3>", or a '
+                        'schedule string like "strassen@2,smirnov333@1"')
     p.add_argument("--levels", type=int, default=1)
     p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
     p.add_argument("--engine", choices=("direct", "blocked", "auto"),

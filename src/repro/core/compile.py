@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.peeling import PeelPlan
 from repro.core.plan import ExecutionPlan, build_plan
-from repro.core.spec import resolve_levels, spec_key
+from repro.core.spec import Schedule, resolve_levels, spec_key
 
 __all__ = [
     "CompiledPlan",
@@ -48,6 +48,23 @@ __all__ = [
 SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 CacheInfo = namedtuple("CacheInfo", "hits misses maxsize currsize")
+
+
+def _catalog_atom(alg):
+    """Shape atom when ``alg`` *is* the catalog entry for its dims, else ``alg``."""
+    from repro.algorithms.catalog import get_entry
+
+    try:
+        cat = get_entry(*alg.dims).algorithm
+    except KeyError:
+        return alg
+    if cat is alg or (
+        np.array_equal(cat.U, alg.U)
+        and np.array_equal(cat.V, alg.V)
+        and np.array_equal(cat.W, alg.W)
+    ):
+        return alg.dims
+    return alg
 
 
 @dataclass(frozen=True, eq=False)
@@ -95,6 +112,20 @@ class CompiledPlan:
     @property
     def variant(self) -> str:
         return self.plan.variant
+
+    @property
+    def schedule(self) -> Schedule:
+        """The per-level schedule this plan applies.
+
+        One atom per recursion level, outermost first.  A level whose
+        coefficients are exactly the catalog entry for its dims becomes a
+        shape atom (so ``schedule.signature`` — e.g. ``"<3,3,3>@1,
+        <2,2,2>@1"`` — re-parses to the same algorithms); an ad-hoc or
+        non-catalog algorithm (Winograd, a hand-built triple) stays an
+        :class:`~repro.core.fmm.FMMAlgorithm` atom rather than being
+        misattributed to the catalog entry of the same shape.
+        """
+        return Schedule(tuple(_catalog_atom(a) for a in self.plan.ml.levels))
 
     @property
     def steps(self):
@@ -166,18 +197,30 @@ def compile(
 
     Parameters
     ----------
-    shape:
+    shape : tuple of int
         Problem size ``(m, k, n)``.
-    algorithm, levels:
-        Any spec accepted by :func:`repro.core.spec.normalize_spec`.
-    variant:
-        ``"naive"``, ``"ab"`` or ``"abc"``.
-    dtype:
+    algorithm : spec
+        Any form accepted by :func:`repro.core.spec.normalize_spec` —
+        a catalog name, ``(m, k, n)`` shape, :class:`Schedule`, schedule
+        string (``"strassen@2,<3,3,3>@1"``), hybrid list, or
+        :class:`~repro.core.fmm.FMMAlgorithm` /
+        :class:`~repro.core.kronecker.MultiLevelFMM` object.
+    levels : int, optional
+        Recursion depth for single-atom specs (explicit schedules and
+        stacks fix their own depth).  Default 1.
+    variant : {"abc", "ab", "naive"}, optional
+        Operand-sum fusion variant (paper §4.2).
+    dtype : dtype-like, optional
         float32 or float64; the compiled coefficient operators are cast so
-        execution preserves the dtype end-to-end.
+        execution preserves the dtype end-to-end.  Default float64.
 
-    Repeat calls with an equivalent configuration return the *same* object
-    from the LRU cache (see :func:`plan_cache_info`).
+    Returns
+    -------
+    CompiledPlan
+        The ready-to-interpret plan.  Repeat calls with an equivalent
+        configuration (same canonical schedule — ``"smirnov333"`` and
+        ``"<3,3,3>"`` coincide) return the *same* object from the LRU
+        cache (see :func:`plan_cache_info`).
     """
     global _hits, _misses
     m, k, n = (int(x) for x in shape)

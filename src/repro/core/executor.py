@@ -268,32 +268,73 @@ def multiply(
     dtype=None,
     tune: str = "readonly",
 ) -> np.ndarray:
-    """Fast matrix multiplication: returns ``C + A @ B``.
+    """Fast matrix multiplication ``C + A @ B`` — the one-call public API.
 
-    The one-call public API.  ``algorithm``/``levels`` select any member of
-    the generated family (hybrid multi-level via a list, e.g.
-    ``algorithm=["strassen", "<3,3,3>"]``, or a ``"+"``-joined string);
-    ``engine`` picks the NumPy reference path (``"direct"``), the
-    instrumented simulated-BLIS path (``"blocked"``), or model-guided
-    auto-dispatch (``"auto"``, which selects algorithm stack, levels,
-    variant *and thread count* from the §4.4 performance model and falls
-    back to classical GEMM when the model says FMM will not pay off).
+    Parameters
+    ----------
+    A : (m, k) array_like
+        Left operand.
+    B : (k, n) array_like
+        Right operand.
+    C : (m, n) ndarray, optional
+        Accumulation target; allocated (zeros) when omitted.  The product
+        is *added* into it, BLAS-style.
+    algorithm : str, tuple, list, Schedule, FMMAlgorithm or MultiLevelFMM, optional
+        Which family member to run.  Accepts a catalog name
+        (``"strassen"``, ``"smirnov333"``), a shape (``"<3,2,3>"`` or
+        ``(3, 2, 3)``), a per-level schedule — list
+        (``["strassen", "<3,3,3>"]``), ``"+"``-joined string, schedule
+        string (``"strassen@2,smirnov333@1"``), or
+        :class:`~repro.core.spec.Schedule` — or an explicit algorithm
+        object.  Default ``"strassen"``.
+    levels : int, optional
+        Recursion depth for single-atom specs; explicit schedules fix
+        their own depth.  Default 1.
+    variant : {"abc", "ab", "naive"}, optional
+        Operand-sum fusion variant (paper §4.2).
+    engine : {"direct", "blocked", "auto"}, optional
+        ``"direct"`` runs the task-graph runtime (fast NumPy path);
+        ``"blocked"`` the instrumented simulated-BLIS substrate;
+        ``"auto"`` picks schedule, variant, engine *and thread count*
+        from wisdom + the §4.4 performance model, falling back to
+        classical GEMM when FMM will not pay off.
+    params : BlockingParams, optional
+        Cache/register blocking for the blocked engine.
+    threads : int, optional
+        Worker count for the runtime (``1`` = same schedule, serial).
+        Defaults to 1 for explicit engines and to the model's (or
+        wisdom's) pick under ``engine="auto"``.  ``threads=0`` or a
+        negative count raises ``ValueError`` up front.
+    mode : {"slab", "micro"}, optional
+        Blocked-engine macro-kernel granularity.
+    dtype : dtype-like, optional
+        Force float32 or float64 execution; by default float32/float64
+        operands are preserved end-to-end and anything else promotes to
+        float64.
+    tune : {"readonly", "on", "off"}, optional
+        Autotuning-wisdom use under ``engine="auto"`` (:mod:`repro.tune`):
+        ``"readonly"`` (default) dispatches on the measured-best config
+        when one is stored, ``"on"`` additionally tunes on a miss,
+        ``"off"`` never touches the store.  Ignored for explicit engines.
 
-    ``tune`` governs how auto-dispatch uses persisted autotuning wisdom
-    (:mod:`repro.tune`): ``"readonly"`` (default) dispatches on the
-    measured-best configuration when this machine has been tuned for the
-    problem class, falling back to the model; ``"on"`` runs a budgeted
-    tuning pass on a wisdom miss (slow once, fast forever); ``"off"``
-    never touches the store.  Ignored for explicit engines.
+    Returns
+    -------
+    C : (m, n) ndarray
+        The accumulated product, same array as ``C`` when one was passed.
 
-    ``threads`` runs the task-graph runtime on that many workers
-    (``threads=1`` executes the same schedule serially).  Left unset it
-    defaults to 1 for explicit engines and to the model's (or wisdom's)
-    pick under ``engine="auto"``.  ``threads=0`` or a negative count
-    raises ``ValueError`` up front, at spec-normalization time.
+    Raises
+    ------
+    ValueError
+        Incompatible operand shapes, unknown algorithm/schedule spec
+        (with the list of known catalog names), malformed ``atom@count``
+        token, bad ``levels``/``threads``/``tune``/``dtype``.
+    TypeError
+        A spec form the grammar does not recognize at all.
 
-    float32/float64 operands are preserved end-to-end (pass ``dtype`` to
-    force one); other input types promote to float64.
+    See Also
+    --------
+    multiply_batched : one compiled plan amortized over a stack.
+    repro.core.compile.compile : the underlying plan compiler/cache.
 
     Examples
     --------
@@ -301,6 +342,14 @@ def multiply(
     >>> from repro import multiply
     >>> A = np.random.rand(64, 64); B = np.random.rand(64, 64)
     >>> C = multiply(A, B, algorithm="strassen", levels=2, threads=2)
+    >>> np.allclose(C, A @ B)
+    True
+
+    Mixed-level schedules pair a rectangular outer split with square
+    inner recursion (non-divisible sizes peel automatically):
+
+    >>> A = np.random.rand(97, 65); B = np.random.rand(65, 130)
+    >>> C = multiply(A, B, algorithm="<3,2,3>@1,strassen@1")
     >>> np.allclose(C, A @ B)
     True
     """
@@ -348,16 +397,46 @@ def multiply_batched(
 ) -> np.ndarray:
     """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
 
-    ``A`` is ``(batch, m, k)`` and ``B`` ``(batch, k, n)``; either may be
-    2-D to share one operand across the batch.  The configuration is
-    compiled **once** and amortized over the whole batch: the direct path
-    executes all batch elements through stacked 3-D operands (the runtime
-    folds the batch into its gather/product/scatter slabs and fans tasks
-    out over ``threads`` workers), the blocked path interprets the same
-    plan per element.  ``tune`` is the auto-dispatch wisdom knob of
-    :func:`multiply`.
+    The configuration is compiled **once** and amortized over the whole
+    batch: the direct path executes all elements through stacked 3-D
+    operands (the runtime folds the batch into its
+    gather/product/scatter slabs and fans tasks out over ``threads``
+    workers); the blocked path interprets the same plan per element.
 
-    Returns the ``(batch, m, n)`` result stack.
+    Parameters
+    ----------
+    A : (batch, m, k) or (m, k) array_like
+        Left operand stack; 2-D shares one matrix across the batch.
+    B : (batch, k, n) or (k, n) array_like
+        Right operand stack; 2-D shares one matrix across the batch.
+        At least one operand must be 3-D.
+    C : (batch, m, n) ndarray, optional
+        Accumulation target; allocated (zeros) when omitted.
+    algorithm, levels, variant, engine, params, threads, mode, dtype, tune
+        As in :func:`multiply` (``algorithm`` accepts the same schedule
+        grammar, including ``"atom@count"`` strings); under
+        ``engine="auto"`` the thread pick weighs the *whole batch's*
+        flops, not one element's.
+
+    Returns
+    -------
+    C : (batch, m, n) ndarray
+        The accumulated result stack.
+
+    Raises
+    ------
+    ValueError
+        Mismatched batch counts or trailing dims, both operands 2-D, or
+        any spec error :func:`multiply` raises.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro import multiply_batched
+    >>> A = np.random.rand(8, 32, 48); B = np.random.rand(8, 48, 32)
+    >>> C = multiply_batched(A, B, algorithm="strassen")
+    >>> np.allclose(C, A @ B)
+    True
     """
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)

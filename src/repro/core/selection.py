@@ -10,6 +10,7 @@ chosen.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Iterable, Sequence
@@ -17,6 +18,7 @@ from typing import Callable, Iterable, Sequence
 from repro.algorithms.catalog import FIG2_SHAPES, get_algorithm
 from repro.blis.simulator import simulate_time
 from repro.core.kronecker import MultiLevelFMM
+from repro.core.spec import Schedule
 from repro.model.machines import MachineParams
 from repro.model.perfmodel import (
     ModelPrediction,
@@ -28,6 +30,7 @@ from repro.model.perfmodel import (
 __all__ = [
     "Candidate",
     "enumerate_candidates",
+    "hybrid_shapes_for",
     "rank_candidates",
     "select",
     "auto_config",
@@ -36,10 +39,47 @@ __all__ = [
 #: Default hybrid building blocks (§5.2 evaluates hybrids of these shapes).
 _DEFAULT_HYBRID_SHAPES = ((2, 2, 2), (2, 3, 2), (3, 2, 3), (3, 3, 3))
 
+#: Per-level shapes only offer aspect ratios up to 6/2; clamp the problem
+#: skew to the log2 range a single base case can actually absorb.
+_MAX_LEVEL_SKEW = math.log2(3.0)
+
+
+@lru_cache(maxsize=256)
+def hybrid_shapes_for(
+    m: int, k: int, n: int, extra: int = 4
+) -> tuple[tuple[int, int, int], ...]:
+    """Hybrid building blocks matched to the problem's aspect ratio.
+
+    The §5.2 default set covers square-ish problems; for skewed problems
+    the catalog shapes whose own ``(m~/k~, n~/k~)`` log-ratios best track
+    the problem's ``(m/k, n/k)`` are appended (``extra`` of them), so
+    mixed-level schedule enumeration can partition a tall-skinny or wide
+    problem with matching rectangular bases instead of forcing square
+    cuts at every level.
+
+    Degenerate problems (any dimension < 1) have no aspect ratio; they
+    fall through to the default set so empty multiplies keep dispatching
+    via the classical fallback instead of crashing here.
+    """
+    if min(m, k, n) < 1:
+        return _DEFAULT_HYBRID_SHAPES
+    pm = min(max(math.log2(m / k), -_MAX_LEVEL_SKEW), _MAX_LEVEL_SKEW)
+    pn = min(max(math.log2(n / k), -_MAX_LEVEL_SKEW), _MAX_LEVEL_SKEW)
+
+    def _misfit(shape: tuple[int, int, int]) -> tuple[float, int]:
+        sm, sk, sn = shape
+        fit = abs(math.log2(sm / sk) - pm) + abs(math.log2(sn / sk) - pn)
+        return (fit, sm * sk * sn)  # prefer smaller shapes on ties
+
+    ranked = sorted(FIG2_SHAPES, key=_misfit)
+    merged = dict.fromkeys(_DEFAULT_HYBRID_SHAPES)
+    merged.update(dict.fromkeys(ranked[: max(extra, 0)]))
+    return tuple(merged)
+
 
 @dataclass(frozen=True)
 class Candidate:
-    """One generated implementation: level stack + variant + prediction."""
+    """One generated implementation: per-level schedule + variant + prediction."""
 
     shapes: tuple[tuple[int, int, int], ...]
     variant: str
@@ -48,6 +88,16 @@ class Candidate:
     @property
     def levels(self) -> int:
         return len(self.shapes)
+
+    @property
+    def schedule(self) -> Schedule:
+        """The candidate's per-level schedule as a first-class object."""
+        return Schedule(self.shapes)
+
+    @property
+    def signature(self) -> str:
+        """Canonical schedule string, e.g. ``"<2,2,2>@2"`` (wisdom key form)."""
+        return self.schedule.signature
 
     @property
     def label(self) -> str:
@@ -72,10 +122,13 @@ def enumerate_candidates(
 
     Level-1 candidates cover every catalog shape; deeper levels cover all
     ordered stacks of the (smaller) hybrid shape set, since 23^L explodes
-    while the paper's hybrids combine a handful of small shapes.
+    while the paper's hybrids combine a handful of small shapes.  The
+    hybrid set defaults to :func:`hybrid_shapes_for` — the §5.2 shapes
+    plus the catalog shapes best matching the problem's aspect ratio —
+    so skewed problems enumerate mixed rectangular schedules.
     """
     shapes1 = tuple(one_level_shapes or FIG2_SHAPES)
-    shapes_h = tuple(hybrid_shapes or _DEFAULT_HYBRID_SHAPES)
+    shapes_h = tuple(hybrid_shapes or hybrid_shapes_for(m, k, n))
     stacks: list[tuple[tuple[int, int, int], ...]] = [(s,) for s in shapes1]
     prev: list[tuple[tuple[int, int, int], ...]] = [(s,) for s in shapes_h]
     for _ in range(2, max_levels + 1):

@@ -10,37 +10,49 @@ spec form                             meaning
 ====================================  =========================================
 ``FMMAlgorithm``                      that algorithm, replicated ``levels`` x
 ``"strassen"`` / ``"winograd"`` /     named catalog entry, replicated
-``"classical"``                       ``levels`` x
+``"classical"`` / ``"smirnov333"``    ``levels`` x
 ``"<m,k,n>"`` or ``"m,k,n"``          catalog shape, replicated ``levels`` x
 ``(m, k, n)`` (all ints)              catalog shape, replicated ``levels`` x
 ``"a+b+..."``                         hybrid stack, one atom per level
                                       (``levels`` is ignored)
+``"a@2,b@1"``                         schedule string: each ``atom@count``
+                                      contributes ``count`` levels, comma- or
+                                      ``+``-separated (``levels`` is ignored)
 ``[a, b, ...]`` / non-int tuple       hybrid stack, one atom per level
                                       (``levels`` is ignored)
+``Schedule``                          its per-level atoms, unchanged
 ``MultiLevelFMM``                     passed through unchanged
 ====================================  =========================================
 
 :func:`normalize_spec` returns the flat per-level atom tuple;
-:func:`resolve_levels` materializes it as a :class:`MultiLevelFMM`;
-:func:`spec_key` derives the hashable cache key the plan cache is keyed on;
-:func:`normalize_threads` validates the ``threads`` execution knob and
-:func:`normalize_tune` the autotuning-wisdom knob, so bad values fail
-here, up front, rather than deep inside the runtime.
+:class:`Schedule` wraps that tuple as the first-class *schedule* object —
+the heterogeneous per-level algorithm list every layer above the spec
+grammar passes around (compiler keys, selection candidates, wisdom
+records); :func:`resolve_levels` materializes a spec as a
+:class:`MultiLevelFMM`; :func:`spec_key` derives the hashable cache key
+the plan cache is keyed on; :func:`normalize_threads` validates the
+``threads`` execution knob and :func:`normalize_tune` the
+autotuning-wisdom knob, so bad values fail here, up front, rather than
+deep inside the runtime.
 """
 
 from __future__ import annotations
 
 import numbers
+from dataclasses import dataclass
 
 from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 
 __all__ = [
     "TUNE_MODES",
+    "Schedule",
+    "normalize_schedule",
     "normalize_spec",
     "normalize_threads",
     "normalize_tune",
     "resolve_levels",
+    "schedule_signature",
     "spec_key",
 ]
 
@@ -60,18 +72,64 @@ def _is_shape(spec) -> bool:
     )
 
 
+def _split_schedule_string(text: str) -> list[str]:
+    """Split a schedule string into ``atom[@count]`` tokens.
+
+    ``+`` always separates; ``,`` separates only outside ``<...>`` shape
+    brackets and only when the string uses the ``@`` repeat syntax —
+    otherwise bare ``"2,3,2"`` keeps meaning one shape atom.
+    """
+    comma_splits = "@" in text
+    tokens, cur, depth = [], [], 0
+    for ch in text:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth = max(depth - 1, 0)
+        if ch == "+" or (ch == "," and depth == 0 and comma_splits):
+            tokens.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    tokens.append("".join(cur))
+    return [t.strip() for t in tokens if t.strip()]
+
+
+def _expand_token(token: str, spec: str) -> tuple:
+    """Expand one ``atom[@count]`` token into its replicated atoms."""
+    if "@" not in token:
+        return (token,)
+    atom, _, count = token.rpartition("@")
+    atom = atom.strip()
+    try:
+        reps = int(count)
+    except ValueError:
+        reps = -1
+    if not atom or reps < 1:
+        raise ValueError(
+            f"malformed schedule token {token!r} in {spec!r}: expected "
+            f"'atom@count' with a positive integer count (e.g. 'strassen@2')"
+        )
+    return (atom,) * reps
+
+
 def normalize_spec(algorithm, levels: int = 1) -> tuple:
     """Flatten any accepted spec form into the per-level atom tuple.
 
     Atoms are left unresolved (names, shape tuples, or
     :class:`FMMAlgorithm` objects); catalog lookup happens in
     :func:`resolve_levels`.  Raises ``TypeError`` for unrecognized forms
-    and ``ValueError`` for ``levels < 1`` or an empty stack.
+    and ``ValueError`` for ``levels < 1``, an empty stack, or a malformed
+    ``atom@count`` schedule token.
     """
     if isinstance(algorithm, MultiLevelFMM):
         return algorithm.levels
-    if isinstance(algorithm, str) and "+" in algorithm:
-        atoms = tuple(s.strip() for s in algorithm.split("+") if s.strip())
+    if isinstance(algorithm, Schedule):
+        return algorithm.atoms
+    if isinstance(algorithm, str) and ("+" in algorithm or "@" in algorithm):
+        atoms: tuple = ()
+        for token in _split_schedule_string(algorithm):
+            atoms += _expand_token(token, algorithm)
         if not atoms:
             raise ValueError(f"empty hybrid spec {algorithm!r}")
         return atoms
@@ -157,6 +215,14 @@ def _atom_key(atom):
         parts = stripped.split(",")
         if len(parts) == 3 and all(p.lstrip("-").isdigit() for p in parts):
             return ("shape", tuple(int(p) for p in parts))
+        from repro.algorithms.catalog import NAMED_ALGORITHMS
+
+        named = NAMED_ALGORITHMS.get(low)
+        if isinstance(named, tuple):
+            # Aliases for catalog shapes ("smirnov333") coincide with their
+            # "<3,3,3>" spelling, so plan-cache keys and schedule
+            # signatures agree across spellings.
+            return ("shape", named)
         return ("name", low)
     raise TypeError(f"cannot key atom {atom!r}")
 
@@ -166,3 +232,131 @@ def spec_key(algorithm, levels: int = 1) -> tuple:
     if isinstance(algorithm, MultiLevelFMM):
         return tuple(("obj", id(a)) for a in algorithm.levels)
     return tuple(_atom_key(a) for a in normalize_spec(algorithm, levels))
+
+
+def _atom_label(atom) -> str:
+    """Canonical display token for one per-level atom."""
+    kind, val = _atom_key(atom)
+    if kind == "shape":
+        return "<%d,%d,%d>" % val
+    if kind == "name":
+        return val
+    # Ad-hoc FMMAlgorithm objects: readable, though not round-trippable.
+    return atom.name or f"<{atom.m},{atom.k},{atom.n}>:{atom.rank}"
+
+
+@dataclass(frozen=True, eq=False)
+class Schedule:
+    """A first-class multi-level algorithm schedule.
+
+    The heterogeneous per-level list of catalog atoms that one compiled
+    plan applies, outermost level first — e.g. ``[<3,3,3>, <2,2,2>,
+    <2,2,2>]`` instead of "one algorithm x ``levels``".  Schedules are
+    what the plan compiler keys on, what selection candidates carry, and
+    what the wisdom store serializes (via :attr:`signature`).
+
+    Parameters
+    ----------
+    atoms:
+        Per-level atoms in any form :func:`normalize_spec` accepts inside
+        a stack (catalog names, ``(m, k, n)`` shape tuples, or
+        :class:`FMMAlgorithm` objects).
+
+    Examples
+    --------
+    >>> Schedule.from_spec("strassen@2,<3,3,3>@1").signature
+    'strassen@2,<3,3,3>@1'
+    >>> len(Schedule.from_spec("strassen", levels=3))
+    3
+    """
+
+    atoms: tuple
+
+    def __post_init__(self) -> None:
+        atoms = tuple(self.atoms)
+        if not atoms:
+            raise ValueError("a schedule needs at least one level")
+        for a in atoms:
+            if not (_is_shape(a) or isinstance(a, _ATOM_TYPES)):
+                raise TypeError(f"cannot interpret per-level atom {a!r}")
+        object.__setattr__(self, "atoms", atoms)
+
+    @classmethod
+    def from_spec(cls, algorithm, levels: int = 1) -> "Schedule":
+        """Parse any accepted spec form (see :func:`normalize_spec`)."""
+        if isinstance(algorithm, cls):
+            return algorithm
+        return cls(normalize_spec(algorithm, levels))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> int:
+        """Number of recursion levels (one atom per level)."""
+        return len(self.atoms)
+
+    @property
+    def signature(self) -> str:
+        """Canonical run-length-encoded string, e.g. ``"strassen@2,<3,3,3>@1"``.
+
+        Equal consecutive atoms collapse into one ``atom@count`` token;
+        the result re-parses to an equal schedule for catalog atoms
+        (:class:`FMMAlgorithm` object atoms render their name, which may
+        not round-trip).
+        """
+        runs: list[tuple[str, int]] = []
+        for atom in self.atoms:
+            label = _atom_label(atom)
+            if runs and runs[-1][0] == label:
+                runs[-1] = (label, runs[-1][1] + 1)
+            else:
+                runs.append((label, 1))
+        return ",".join(f"{label}@{count}" for label, count in runs)
+
+    @property
+    def key(self) -> tuple:
+        """The plan-cache key component for this schedule (see :func:`spec_key`)."""
+        return tuple(_atom_key(a) for a in self.atoms)
+
+    # ------------------------------------------------------------------ #
+    def resolve(self) -> MultiLevelFMM:
+        """Materialize as a :class:`MultiLevelFMM` via catalog lookup."""
+        return resolve_levels(self.atoms)
+
+    def dims_total(self) -> tuple[int, int, int]:
+        """Total partition dims ``(M~_L, K~_L, N~_L)`` of the schedule."""
+        return self.resolve().dims_total
+
+    def rank_total(self) -> int:
+        """Total product count ``R_L = prod_l R_l`` of the schedule."""
+        return self.resolve().rank_total
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self):
+        return iter(self.atoms)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"Schedule({self.signature!r})"
+
+
+def normalize_schedule(algorithm, levels: int = 1) -> Schedule:
+    """Normalize any accepted spec form into a :class:`Schedule`."""
+    return Schedule.from_spec(algorithm, levels)
+
+
+def schedule_signature(algorithm, levels: int = 1) -> str:
+    """Canonical schedule string for any accepted spec form.
+
+    ``schedule_signature("strassen", 2) == "strassen@2"``; equivalent
+    spellings of the same catalog stack produce the same signature.
+    """
+    return Schedule.from_spec(algorithm, levels).signature

@@ -81,12 +81,50 @@ def tune_problem(
 ) -> TuneReport:
     """Measure the model's top-``top`` candidates + GEMM baseline; record wisdom.
 
-    The wall-clock ``budget_s`` is split across the finalists — each
-    measurement gets the remaining budget divided by the remaining
-    finalists, so an expensive early candidate squeezes (never starves:
-    every finalist gets at least one timed sample) the later ones.
-    ``threads=None`` lets the machine model pick per candidate, and the
-    verdict is bucketed under the ``auto`` thread class.
+    Parameters
+    ----------
+    m, k, n : int
+        Problem size to tune for.
+    dtype : dtype-like, optional
+        Execution dtype of the measured multiplies.  Default float64.
+    threads : int or None, optional
+        Tune for an explicit worker count; ``None`` (default) lets the
+        machine model pick per candidate and buckets the verdict under
+        the ``auto`` thread class.
+    top : int, optional
+        Model finalists to measure (the classical GEMM baseline is always
+        measured in addition).  Default 3.
+    max_levels : int, optional
+        Deepest schedule the model enumerates (mixed per-level stacks
+        included).  Default 2.
+    machine : MachineParams, optional
+        Model constants for the ranking pass; defaults to the store's
+        calibrated machine, else :func:`~repro.model.machines.generic_laptop`.
+    store : WisdomStore, optional
+        Where the verdict is recorded; defaults to
+        :func:`~repro.tune.wisdom.default_store`.
+    budget_s : float, optional
+        Wall-clock budget, split across the finalists — each measurement
+        gets the remaining budget divided by the remaining finalists, so
+        an expensive early candidate squeezes (never starves: every
+        finalist gets at least one timed sample) the later ones.
+    measure_config : MeasureConfig, optional
+        Warmup/repeat/GC-pinning policy for each measurement.
+    record : bool, optional
+        Set False to measure without writing wisdom.
+
+    Returns
+    -------
+    TuneReport
+        The winner (as an ``auto_config`` tuple and a
+        :class:`~repro.tune.measure.Measurement`), every finalist's
+        measurement, the cold model's rank-1 label, and the wisdom
+        bucket written (``None`` when ``record=False``).
+
+    See Also
+    --------
+    tune_sweep : amortize one budget across several problems.
+    calibrate_machine : back-fit the machine model this ranking prices with.
     """
     t_start = time.perf_counter()
     threads = normalize_threads(threads)  # bad counts fail before measuring

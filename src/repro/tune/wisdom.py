@@ -43,6 +43,7 @@ from repro.model.machines import MachineParams
 __all__ = [
     "SCHEMA_VERSION",
     "WisdomStore",
+    "config_signature",
     "machine_fingerprint",
     "fingerprint_digest",
     "problem_bucket",
@@ -154,6 +155,8 @@ def _validate_config(cfg) -> dict:
             and all(isinstance(s, list) and len(s) == 3 for s in algo)
         ):
             raise ValueError(f"malformed wisdom algorithm {algo!r}")
+    if "schedule" in cfg and not isinstance(cfg["schedule"], str):
+        raise ValueError(f"malformed wisdom schedule {cfg['schedule']!r}")
     if cfg["variant"] not in ("naive", "ab", "abc"):
         raise ValueError(f"malformed wisdom variant {cfg['variant']!r}")
     if cfg["engine"] not in ("direct", "blocked"):
@@ -161,6 +164,22 @@ def _validate_config(cfg) -> dict:
     if int(cfg["levels"]) < 1 or int(cfg["threads"]) < 1:
         raise ValueError("wisdom levels/threads must be >= 1")
     return cfg
+
+
+def config_signature(cfg: dict) -> str:
+    """Canonical schedule signature of a stored config.
+
+    ``"classical@1"`` for the GEMM fallback, else the run-length-encoded
+    per-level schedule (e.g. ``"<4,2,4>@1,<2,2,2>@1"``) — the same string
+    :attr:`repro.core.spec.Schedule.signature` produces, so wisdom records
+    and selection candidates name schedules identically.
+    """
+    from repro.core.spec import schedule_signature
+
+    algo = cfg["algorithm"]
+    if algo == "classical":
+        return schedule_signature("classical", int(cfg.get("levels", 1)))
+    return schedule_signature([tuple(int(x) for x in s) for s in algo])
 
 
 def config_tuple(cfg: dict) -> tuple:
@@ -181,6 +200,38 @@ class WisdomStore:
 
     Thread-safe; every mutation persists immediately (records are rare —
     one per tuned problem class — while lookups are the hot path).
+
+    Parameters
+    ----------
+    path : str or Path
+        The JSON file backing the store; created on first :meth:`save`.
+        Use :func:`default_wisdom_path` for the conventional location.
+    hot_size : int, optional
+        Capacity of the exact-probe LRU in front of the bucket map.
+
+    Attributes
+    ----------
+    path : Path
+        Backing file location.
+    recovered_corrupt : bool
+        True when the last :meth:`load` set aside an unreadable file.
+    ignored_stale : bool
+        True when the file was tuned under a different machine
+        fingerprint and its entries were ignored.
+    hot_hits, hot_misses : int
+        LRU telemetry for the dispatch hot path.
+
+    See Also
+    --------
+    default_store : the process-wide store ``engine="auto"`` consults.
+    problem_bucket : how problems map to wisdom buckets.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> store = WisdomStore(os.path.join(tempfile.mkdtemp(), "w.json"))
+    >>> store.lookup(256, 256, 256) is None
+    True
     """
 
     def __init__(self, path: str | Path, *, hot_size: int = 1024) -> None:
@@ -355,10 +406,17 @@ class WisdomStore:
         threads=None,
         save: bool = True,
     ) -> str:
-        """Write one tuned verdict (last write per bucket wins) and persist."""
+        """Write one tuned verdict (last write per bucket wins) and persist.
+
+        The stored config is stamped with its canonical schedule
+        signature (:func:`config_signature`), so entries are
+        self-describing about *which* per-level schedule won the bucket.
+        """
         import time as _time
 
+        config = dict(config)
         _validate_config(config)
+        config["schedule"] = config_signature(config)
         bucket = problem_bucket(m, k, n, dtype, threads)
         entry = {
             "config": config,

@@ -77,6 +77,64 @@ class TestLookup:
         with pytest.raises(TypeError):
             get_algorithm(3.14)
 
+    def test_named_aliases_resolve(self):
+        assert get_algorithm("smirnov333").dims == (3, 3, 3)
+        assert get_algorithm("smirnov336").dims == (3, 3, 6)
+        assert get_algorithm("hopcroft-kerr").dims == (2, 2, 3)
+
+    def test_unknown_name_raises_value_error_listing_catalog(self):
+        # The satellite fix: malformed algo strings must surface as
+        # ValueError naming the vocabulary, never a bare loader KeyError.
+        with pytest.raises(ValueError) as exc:
+            get_algorithm("smirnov999")
+        msg = str(exc.value)
+        assert "smirnov999" in msg
+        assert "strassen" in msg and "<2,3,2>" in msg
+
+    def test_unknown_shape_string_raises_value_error(self):
+        with pytest.raises(ValueError, match="known catalog names"):
+            get_algorithm("<7,7,7>")
+
+    def test_unknown_shape_tuple_raises_value_error(self):
+        with pytest.raises(ValueError, match="known catalog names"):
+            get_algorithm((7, 7, 7))
+
+    def test_multiply_surfaces_value_error_for_bad_algo(self):
+        import numpy as np
+
+        from repro.core.executor import multiply
+
+        A = np.ones((4, 4))
+        with pytest.raises(ValueError, match="known catalog names"):
+            multiply(A, A, algorithm="strasssen")  # typo'd name
+
+    def test_known_names_cover_aliases_and_shapes(self):
+        from repro.algorithms.catalog import known_algorithm_names
+
+        names = known_algorithm_names()
+        assert "strassen" in names and "smirnov333" in names
+        assert "<6,3,3>" in names
+        assert len(names) == len(set(names))
+
+
+class TestBrentValidationOfShippedEntries:
+    def test_every_catalog_entry_satisfies_brent(self):
+        # Acceptance: each shipped entry (constructed, searched-exact or
+        # searched-float) re-verifies its Brent equations within a tight
+        # tolerance — rectangular bases included.
+        for e in fig2_family():
+            res = e.algorithm.max_residual()
+            assert res <= 1e-9, (e.dims, e.status, res)
+
+    def test_searched_data_files_validate_on_load(self):
+        from repro.algorithms.loader import data_dir, load_directory
+
+        d = data_dir()
+        if not d.exists():
+            pytest.skip("no searched coefficient files shipped")
+        for name, algo in load_directory(d).items():
+            assert algo.max_residual() <= 1e-9, name
+
 
 class TestBaseCases:
     def test_base_223_rank_11(self):

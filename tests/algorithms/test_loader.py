@@ -5,9 +5,12 @@ import json
 import numpy as np
 import pytest
 
+from repro.algorithms.classical import classical
 from repro.algorithms.loader import (
     algorithm_from_dict,
     algorithm_to_dict,
+    data_dir,
+    load_directory,
     load_json,
     save_json,
 )
@@ -50,3 +53,40 @@ class TestValidationOnLoad:
         d["rank"] = 6
         with pytest.raises(ValueError):
             algorithm_from_dict(d)
+
+    def test_rectangular_uvw_dims_must_agree(self):
+        # A rectangular <2,3,4> entry whose W has the wrong row count
+        # (m*n = 8, not 6) must be rejected at load time, not executed.
+        d = algorithm_to_dict(classical(2, 3, 4))
+        d["W"] = d["W"][:6]
+        with pytest.raises(ValueError):
+            algorithm_from_dict(d)
+
+    def test_rectangular_uvw_width_mismatch_rejected(self):
+        d = algorithm_to_dict(classical(2, 3, 4))
+        d["V"] = [row[:-1] for row in d["V"]]  # V one product short of U
+        with pytest.raises(ValueError):
+            algorithm_from_dict(d)
+
+
+class TestLoadDirectory:
+    def test_loads_and_validates_all(self, tmp_path):
+        save_json(strassen(), tmp_path / "a.json")
+        save_json(classical(2, 3, 4), tmp_path / "b.json")
+        loaded = load_directory(tmp_path)
+        assert len(loaded) == 2
+        assert all(a.is_valid() for a in loaded.values())
+
+    def test_duplicate_entry_names_raise(self, tmp_path):
+        save_json(strassen(), tmp_path / "one.json")
+        save_json(strassen(), tmp_path / "two.json")
+        with pytest.raises(ValueError, match="duplicate catalog entry"):
+            load_directory(tmp_path)
+
+    def test_shipped_data_dir_has_no_duplicates(self):
+        # The committed coefficient files must themselves pass the
+        # duplicate/validation sweep (empty dir is fine pre-search).
+        d = data_dir()
+        if d.exists():
+            loaded = load_directory(d)
+            assert all(a.is_valid(tol=1e-9) for a in loaded.values())

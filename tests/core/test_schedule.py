@@ -1,0 +1,165 @@
+"""The first-class Schedule object and the ``atom@count`` spec grammar."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.catalog import FIG2_SHAPES
+from repro.algorithms.strassen import strassen
+from repro.core import compile as plancache
+from repro.core.executor import multiply
+from repro.core.spec import (
+    Schedule,
+    normalize_schedule,
+    normalize_spec,
+    schedule_signature,
+    spec_key,
+)
+
+
+class TestScheduleGrammar:
+    def test_at_count_replicates(self):
+        assert normalize_spec("strassen@3") == ("strassen",) * 3
+
+    def test_comma_separated_schedule(self):
+        assert normalize_spec("strassen@2,smirnov333@1") == (
+            "strassen", "strassen", "smirnov333",
+        )
+
+    def test_commas_inside_shape_brackets_are_not_separators(self):
+        assert normalize_spec("<2,3,4>@1,<2,2,2>@2") == (
+            "<2,3,4>", "<2,2,2>", "<2,2,2>",
+        )
+
+    def test_bare_shape_string_still_one_atom(self):
+        # Without "@" a comma string keeps its historical shape meaning.
+        assert normalize_spec("2,3,2", 2) == ("2,3,2", "2,3,2")
+
+    def test_plus_and_at_mix(self):
+        assert normalize_spec("strassen@2+<3,3,3>") == (
+            "strassen", "strassen", "<3,3,3>",
+        )
+
+    @pytest.mark.parametrize("bad", ["strassen@x", "strassen@0", "strassen@-1",
+                                     "@2", "strassen@"])
+    def test_malformed_token_raises_value_error(self, bad):
+        with pytest.raises(ValueError, match="schedule token"):
+            normalize_spec(bad)
+
+
+class TestScheduleObject:
+    def test_from_spec_and_len(self):
+        s = Schedule.from_spec("strassen", 3)
+        assert len(s) == 3
+        assert list(s) == ["strassen"] * 3
+
+    def test_signature_run_length_encodes(self):
+        s = Schedule.from_spec("strassen+strassen+<3,3,3>")
+        assert s.signature == "strassen@2,<3,3,3>@1"
+
+    def test_signature_round_trips(self):
+        s = Schedule.from_spec("<3,2,3>@1,<2,2,2>@2")
+        assert Schedule.from_spec(s.signature) == s
+
+    def test_alias_signature_coincides_with_shape(self):
+        assert schedule_signature("smirnov333") == schedule_signature("<3,3,3>")
+
+    def test_equality_and_hash_by_key(self):
+        a = Schedule.from_spec("<2,3,2>@1")
+        b = Schedule.from_spec("2,3,2")
+        assert a == b and hash(a) == hash(b)
+
+    def test_resolve_and_dims(self):
+        s = Schedule.from_spec("<3,2,3>@1,strassen@1")
+        assert s.dims_total() == (6, 4, 6)
+        assert s.rank_total() == 15 * 7
+        ml = s.resolve()
+        assert [a.dims for a in ml.levels] == [(3, 2, 3), (2, 2, 2)]
+
+    def test_empty_schedule_raises(self):
+        with pytest.raises(ValueError):
+            Schedule(())
+
+    def test_bad_atom_raises(self):
+        with pytest.raises(TypeError):
+            Schedule((3.5,))
+
+    def test_object_atoms_allowed(self):
+        s = Schedule((strassen(),))
+        assert len(s) == 1
+        assert "strassen" in s.signature
+
+    def test_normalize_schedule_passthrough(self):
+        s = Schedule.from_spec("strassen@2")
+        assert normalize_schedule(s) is s
+
+    def test_spec_key_accepts_schedule(self):
+        assert spec_key(Schedule.from_spec("strassen@2")) == spec_key(
+            "strassen", 2
+        )
+
+
+class TestCompiledPlanSchedule:
+    def test_plan_exposes_schedule(self):
+        cp = plancache.compile((12, 12, 12), "<3,3,3>@1,strassen@1")
+        assert cp.schedule == Schedule(((3, 3, 3), (2, 2, 2)))
+        assert cp.schedule.signature == "<3,3,3>@1,<2,2,2>@1"
+
+    def test_equivalent_spellings_share_a_cache_entry(self):
+        a = plancache.compile((24, 24, 24), "smirnov333")
+        b = plancache.compile((24, 24, 24), "<3,3,3>")
+        assert a is b
+
+    def test_schedule_string_spellings_share_a_cache_entry(self):
+        a = plancache.compile((16, 16, 16), "strassen@2")
+        b = plancache.compile((16, 16, 16), "strassen+strassen")
+        assert a is b
+
+    def test_ad_hoc_algorithm_not_misattributed_to_catalog(self):
+        # classical(2,2,2) shares dims with catalog Strassen but is a
+        # different (rank-8) algorithm; its schedule must not claim to be
+        # the catalog <2,2,2> entry.
+        from repro.algorithms.classical import classical
+
+        cp = plancache.compile((8, 8, 8), classical(2, 2, 2))
+        assert cp.rank_total == 8
+        assert cp.schedule.signature != "<2,2,2>@1"
+
+    def test_winograd_schedule_keeps_its_name(self):
+        from repro.algorithms.strassen import winograd
+
+        cp = plancache.compile((8, 8, 8), winograd())
+        assert cp.schedule.signature == "winograd@1"
+
+
+#: Block scale 1 with +1/+2 fringes: the smallest problems that exercise a
+#: full 2-level core *and* all three peel fringes for every pairing.
+_PAIRS = sorted(itertools.product(sorted(FIG2_SHAPES), repeat=2))
+
+
+class TestMixedSchedulesExact:
+    """Acceptance: every 2-level pairing of catalog entries is exact."""
+
+    @pytest.mark.parametrize("outer", sorted(FIG2_SHAPES))
+    def test_all_pairs_with_fringe_peeling(self, outer):
+        rng = np.random.default_rng(hash(outer) % 2**32)
+        for inner in sorted(FIG2_SHAPES):
+            Mt, Kt, Nt = (outer[0] * inner[0], outer[1] * inner[1],
+                          outer[2] * inner[2])
+            m, k, n = Mt + 1, Kt + 2, Nt + 1  # non-divisible: peel all sides
+            A = rng.standard_normal((m, k))
+            B = rng.standard_normal((k, n))
+            C = multiply(A, B, algorithm=[outer, inner])
+            assert np.allclose(C, A @ B, atol=1e-8), (outer, inner)
+
+    def test_pair_count_covers_whole_catalog(self):
+        assert len(_PAIRS) == len(FIG2_SHAPES) ** 2
+
+    def test_schedule_string_matches_list_form(self):
+        rng = np.random.default_rng(7)
+        A = rng.standard_normal((13, 14))
+        B = rng.standard_normal((14, 25))
+        via_list = multiply(A, B, algorithm=[(3, 2, 3), (2, 2, 2)])
+        via_string = multiply(A, B, algorithm="<3,2,3>@1,<2,2,2>@1")
+        np.testing.assert_allclose(via_list, via_string)

@@ -1,0 +1,57 @@
+"""The docs subsystem: generated catalog table stays in sync, links resolve."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run(*argv):
+    return subprocess.run(
+        [sys.executable, *argv], cwd=REPO, capture_output=True, text=True
+    )
+
+
+class TestCatalogDocs:
+    def test_algorithms_md_is_committed(self):
+        assert (REPO / "docs" / "algorithms.md").exists()
+
+    def test_generated_docs_have_not_drifted(self):
+        # The acceptance gate CI enforces: regenerating must be a no-op.
+        res = _run("tools/gen_catalog_docs.py", "--check")
+        assert res.returncode == 0, res.stderr or res.stdout
+
+    def test_check_detects_drift(self, tmp_path):
+        stale = tmp_path / "algorithms.md"
+        stale.write_text("# stale\n")
+        res = _run("tools/gen_catalog_docs.py", "--check", "--out", str(stale))
+        assert res.returncode == 1
+        assert "stale" in res.stderr
+
+    def test_table_covers_every_catalog_shape(self):
+        from repro.algorithms.catalog import FIG2_SHAPES
+
+        text = (REPO / "docs" / "algorithms.md").read_text()
+        for (m, k, n) in FIG2_SHAPES:
+            assert f"`<{m},{k},{n}>`" in text
+
+
+class TestLinkChecker:
+    def test_readme_and_docs_links_resolve(self):
+        res = _run("tools/check_links.py")
+        assert res.returncode == 0, res.stderr
+
+    def test_broken_link_fails(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("see [missing](does-not-exist.md)\n")
+        res = _run("tools/check_links.py", str(bad))
+        assert res.returncode == 1
+        assert "missing file target" in res.stderr
+
+    def test_bad_anchor_fails(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("# Only Heading\n\nsee [x](#no-such-heading)\n")
+        res = _run("tools/check_links.py", str(bad))
+        assert res.returncode == 1
+        assert "anchor" in res.stderr

@@ -56,7 +56,17 @@ class TestRoundTrip:
     def test_record_lookup(self, store, sample_config):
         cfg = sample_config()
         store.record(96, 96, 96, config=cfg, gflops=5.0, time_s=1e-3, samples=9)
-        assert store.lookup(96, 96, 96) == cfg
+        # record() stamps the canonical schedule signature into the config.
+        assert store.lookup(96, 96, 96) == {**cfg, "schedule": "<2,2,2>@1"}
+
+    def test_record_stamps_schedule_signature(self, store, sample_config):
+        store.record(96, 96, 96, config=sample_config(2), gflops=5.0,
+                     time_s=1e-3, samples=9)
+        assert store.lookup(96, 96, 96)["schedule"] == "<2,2,2>@2"
+        classical = dict(sample_config(), algorithm="classical")
+        store.record(8, 8, 8, config=classical, gflops=1.0, time_s=1e-3,
+                     samples=3)
+        assert store.lookup(8, 8, 8)["schedule"] == "classical@1"
 
     def test_lookup_tuple_form(self, store, sample_config):
         store.record(96, 96, 96, config=sample_config(2), gflops=5.0,
@@ -69,7 +79,9 @@ class TestRoundTrip:
         store.record(96, 96, 96, config=sample_config(), gflops=5.0,
                      time_s=1e-3, samples=9)
         reborn = WisdomStore(store.path)  # a new process does exactly this
-        assert reborn.lookup(96, 96, 96) == sample_config()
+        assert reborn.lookup(96, 96, 96) == {
+            **sample_config(), "schedule": "<2,2,2>@1"
+        }
         assert len(reborn) == 1
 
     def test_miss_returns_none(self, store):
@@ -155,7 +167,9 @@ class TestCorruptionRecovery:
         s = WisdomStore(path)
         s.record(96, 96, 96, config=sample_config(), gflops=5.0,
                  time_s=1e-3, samples=9)
-        assert WisdomStore(path).lookup(96, 96, 96) == sample_config()
+        assert WisdomStore(path).lookup(96, 96, 96) == {
+            **sample_config(), "schedule": "<2,2,2>@1"
+        }
 
     def test_foreign_fingerprint_ignored(self, tmp_path, sample_config):
         path = tmp_path / "wisdom.json"
@@ -196,7 +210,9 @@ class TestHotLRU:
         assert store.lookup(96, 96, 96) is None
         store.record(96, 96, 96, config=sample_config(), gflops=5.0,
                      time_s=1e-3, samples=9)
-        assert store.lookup(96, 96, 96) == sample_config()
+        assert store.lookup(96, 96, 96) == {
+            **sample_config(), "schedule": "<2,2,2>@1"
+        }
 
     def test_bounded(self, tmp_path):
         s = WisdomStore(tmp_path / "w.json", hot_size=4)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Offline markdown link checker for README.md and docs/.
+
+Verifies every ``[text](target)`` and bare reference in the given
+markdown files:
+
+* relative file targets must exist (anchors are stripped first);
+* ``#anchor`` targets — same-file or cross-file — must match a heading
+  slug in the target document (GitHub slug rules, simplified);
+* ``http(s)``/``mailto`` targets are format-checked only (CI runs
+  offline; no network fetches).
+
+Exit status 1 when any link is broken, listing every failure.
+
+Usage: python tools/check_links.py [files...]   (default: README.md docs/*.md)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — target captured up to the matching paren.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug (lowercase, spaces->dashes, punct dropped)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(md_path: Path) -> set[str]:
+    text = _CODE_FENCE_RE.sub("", md_path.read_text())
+    return {_slugify(h) for h in _HEADING_RE.findall(text)}
+
+
+def check_file(md_path: Path) -> list[str]:
+    """All broken-link descriptions for one markdown file."""
+    problems: list[str] = []
+    text = _CODE_FENCE_RE.sub("", md_path.read_text())
+    for target in _LINK_RE.findall(text):
+        if target.startswith(("http://", "https://")):
+            if " " in target or "://" not in target:
+                problems.append(f"{md_path}: malformed URL {target!r}")
+            continue
+        if target.startswith("mailto:"):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            dest = (md_path.parent / path_part).resolve()
+            if not dest.exists():
+                problems.append(f"{md_path}: missing file target {target!r}")
+                continue
+        else:
+            dest = md_path
+        if anchor and dest.suffix == ".md":
+            if _slugify(anchor) not in _anchors(dest):
+                problems.append(
+                    f"{md_path}: anchor {'#' + anchor!r} not found in {dest.name}"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    args = (argv if argv is not None else sys.argv[1:])
+    if args:
+        files = [Path(a) for a in args]
+    else:
+        files = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+    problems: list[str] = []
+    for f in files:
+        if not f.exists():
+            problems.append(f"{f}: file does not exist")
+            continue
+        problems.extend(check_file(f))
+
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

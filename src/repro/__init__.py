@@ -25,9 +25,12 @@ Public surface
   clients of the task-graph runtime over the cached :class:`CompiledPlan`
   artifact (:mod:`repro.core.compile`; inspect the cache with
   :func:`plan_cache_info` / :func:`plan_cache_clear`).
-* :func:`execute_plan` / :func:`lower_plan` — the parallel runtime
-  (:mod:`repro.core.runtime`): task DAG + reusable worker pools +
-  workspace arena (:func:`arena_stats` / :func:`arena_clear`).
+* :func:`execute_plan` / :func:`lower_plan` — the variant-aware parallel
+  runtime (:mod:`repro.core.runtime`): staged or streaming-fused task
+  DAGs (``fusion=`` knob) + reusable worker pools + workspace arena
+  (:func:`arena_stats` / :func:`arena_clear`); every execution publishes
+  an :class:`ExecutionReport` with measured peak workspace bytes
+  (:func:`last_report`).
 * :func:`measured_scaling_curve` / :func:`pick_threads` — measured vs
   modeled multicore scaling (:mod:`repro.core.parallel`).
 * :func:`predict_fmm` / :func:`predict_gemm` — the Fig.-5 performance model.
@@ -68,14 +71,25 @@ from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.parallel import measured_scaling_curve, pick_threads, scaling_curve
 from repro.core.plan import build_plan
-from repro.core.runtime import TaskGraph, execute_plan, get_pool, lower_plan
+from repro.core.runtime import (
+    ExecutionReport,
+    TaskGraph,
+    execute_plan,
+    get_pool,
+    last_report,
+    lower_plan,
+)
 from repro.core.selection import Candidate, auto_config, hybrid_shapes_for, select
 from repro.core.spec import (
+    FUSION_MODES,
+    VARIANTS,
     Schedule,
+    normalize_fusion,
     normalize_schedule,
     normalize_spec,
     normalize_threads,
     normalize_tune,
+    normalize_variant,
     schedule_signature,
 )
 from repro.core.workspace import arena_clear, arena_stats
@@ -84,7 +98,9 @@ from repro.model.perfmodel import (
     calibrate_lambda,
     effective_gflops,
     predict_fmm,
+    predict_fusion_savings,
     predict_gemm,
+    predict_workspace_bytes,
 )
 from repro.tune import (
     MeasureConfig,
@@ -112,12 +128,18 @@ __all__ = [
     "normalize_spec",
     "normalize_threads",
     "normalize_tune",
+    "normalize_variant",
+    "normalize_fusion",
+    "VARIANTS",
+    "FUSION_MODES",
     "schedule_signature",
     "hybrid_shapes_for",
     "NAMED_ALGORITHMS",
     "known_algorithm_names",
     "execute_plan",
     "lower_plan",
+    "last_report",
+    "ExecutionReport",
     "TaskGraph",
     "get_pool",
     "arena_stats",
@@ -146,6 +168,8 @@ __all__ = [
     "generic_laptop",
     "predict_fmm",
     "predict_gemm",
+    "predict_workspace_bytes",
+    "predict_fusion_savings",
     "effective_gflops",
     "calibrate_lambda",
     "select",

@@ -62,7 +62,7 @@ def cmd_multiply(args) -> int:
         C = multiply_batched(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
-            tune=args.tune,
+            tune=args.tune, fusion=args.fusion,
         )
     elif args.engine == "blocked":
         # BlockedEngine normalizes threads itself (None -> 1, 0/neg raise).
@@ -74,8 +74,14 @@ def cmd_multiply(args) -> int:
         C = multiply(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
-            tune=args.tune,
+            tune=args.tune, fusion=args.fusion,
         )
+    from repro.core.runtime import last_report
+
+    rep = last_report()
+    if rep is not None:
+        print(f"runtime: {rep.fusion} lowering, {rep.threads} thread(s), "
+              f"peak workspace {rep.peak_workspace_bytes / 2**20:.2f} MiB")
     err = float(np.abs(C - A @ B).max())
     scale = max(1.0, float(np.abs(C).max()))
     tol = 1e-6 if dtype == np.float64 else 1e-2
@@ -336,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="readonly",
                    help="autotuning-wisdom use under --engine auto "
                         "(default: readonly)")
+    p.add_argument("--fusion", choices=("auto", "staged", "fused"),
+                   default="auto",
+                   help="runtime lowering: staged slabs (O(R) product "
+                        "buffers) or the streaming fused pipeline "
+                        "(O(threads) buffers); auto resolves per plan. "
+                        "The blocked engine's packed kernel always "
+                        "streams (staged requests execute fused there)")
 
     p = sub.add_parser("select", help="model-guided selection")
     _add_shape(p)

@@ -14,7 +14,7 @@ every per-call-invariant artifact the interpreters need:
 * the peel plan and per-step gather vectors.
 
 Compiled plans are memoized in a bounded, thread-safe LRU cache keyed on
-the canonical ``(m, k, n, spec_key, variant, dtype)`` tuple, so serving
+the canonical ``(m, k, n, spec_key, variant, fusion, dtype)`` tuple, so serving
 many same-shape multiplies pays the lowering cost once —
 ``benchmarks/bench_plan_cache.py`` measures the effect.
 
@@ -33,7 +33,15 @@ import numpy as np
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.peeling import PeelPlan
 from repro.core.plan import ExecutionPlan, build_plan
-from repro.core.spec import Schedule, resolve_levels, spec_key
+from repro.core.spec import (
+    Schedule,
+    normalize_fusion,
+    normalize_variant,
+    resolve_fusion,
+    resolve_levels,
+    spec_key,
+    staged_slab_elements,
+)
 
 __all__ = [
     "CompiledPlan",
@@ -95,6 +103,11 @@ class CompiledPlan:
     key: tuple
     plan: ExecutionPlan
     dtype: np.dtype
+    #: Resolved runtime lowering mode: ``"staged"`` (materialize every
+    #: gather/product/scatter slab) or ``"fused"`` (stream each product
+    #: through per-worker buffers).  ``fusion="auto"`` requests resolve at
+    #: compile time via :func:`repro.core.spec.resolve_fusion`.
+    fusion: str
     Ut: np.ndarray = field(repr=False)
     Vt: np.ndarray = field(repr=False)
     W: np.ndarray = field(repr=False)
@@ -181,6 +194,10 @@ class CompiledPlan:
 # ---------------------------------------------------------------------- #
 _lock = threading.Lock()
 _cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+#: requested-key -> canonical-key links, so a ``fusion="auto"`` request
+#: and its resolved explicit twin share one cache entry (no duplicate
+#: coefficient operators, no halved LRU capacity).
+_aliases: dict[tuple, tuple] = {}
 _maxsize = 128
 _hits = 0
 _misses = 0
@@ -192,6 +209,7 @@ def compile(
     levels: int = 1,
     variant: str = "abc",
     dtype=np.float64,
+    fusion: str = "auto",
 ) -> CompiledPlan:
     """Lower one multiply configuration to a cached :class:`CompiledPlan`.
 
@@ -213,6 +231,13 @@ def compile(
     dtype : dtype-like, optional
         float32 or float64; the compiled coefficient operators are cast so
         execution preserves the dtype end-to-end.  Default float64.
+    fusion : {"auto", "staged", "fused"}, optional
+        Runtime lowering mode.  ``"staged"`` materializes the full
+        gather/product/scatter slabs; ``"fused"`` streams each product
+        through per-worker recycled buffers (O(workers) live product
+        buffers instead of O(R)).  The default ``"auto"`` resolves from
+        the variant and the staged-slab footprint
+        (:func:`repro.core.spec.resolve_fusion`).
 
     Returns
     -------
@@ -230,16 +255,36 @@ def compile(
             f"unsupported dtype {dt}; execution supports "
             f"{[d.name for d in SUPPORTED_DTYPES]}"
         )
-    key = (m, k, n, spec_key(algorithm, levels), variant, dt.str)
+    variant = normalize_variant(variant)
+    fusion = normalize_fusion(fusion)
+    key = (m, k, n, spec_key(algorithm, levels), variant, fusion, dt.str)
     with _lock:
-        hit = _cache.get(key)
+        slot = _aliases.get(key, key)
+        hit = _cache.get(slot)
         if hit is not None:
-            _cache.move_to_end(key)
+            _cache.move_to_end(slot)
             _hits += 1
             return hit
         _misses += 1
 
+    # Resolve the lowering mode before the expensive lowering: the
+    # canonical cache slot carries the *resolved* fusion mode and an
+    # ``"auto"`` request links to it, so auto and its resolved explicit
+    # twin share one CompiledPlan — and an auto request whose explicit
+    # twin is already cached never rebuilds it.
     ml = resolve_levels(algorithm, levels)
+    fusion_resolved = resolve_fusion(
+        fusion, variant, staged_slab_elements(m, k, n, ml)
+    )
+    key_resolved = key[:5] + (fusion_resolved,) + key[6:]
+    if key_resolved != key:
+        with _lock:
+            existing = _cache.get(key_resolved)
+            if existing is not None:
+                _aliases[key] = key_resolved
+                _cache.move_to_end(key_resolved)
+                return existing
+
     plan = build_plan(m, k, n, ml, variant)
     Ut = np.ascontiguousarray(ml.U.T, dtype=dt)
     Vt = np.ascontiguousarray(ml.V.T, dtype=dt)
@@ -247,9 +292,10 @@ def compile(
     for arr in (Ut, Vt, W):
         arr.setflags(write=False)
     compiled = CompiledPlan(
-        key=key,
+        key=key_resolved,  # canonical: downstream caches key on cplan.key
         plan=plan,
         dtype=dt,
+        fusion=fusion_resolved,
         Ut=Ut, Vt=Vt, W=W,
         a_table=plan.block_table("A"),
         b_table=plan.block_table("B"),
@@ -258,13 +304,24 @@ def compile(
     with _lock:
         # A concurrent compile may have raced us; keep the first entry so
         # callers holding it keep hitting the same object.
-        existing = _cache.get(key)
-        if existing is not None:
-            return existing
-        _cache[key] = compiled
-        while len(_cache) > _maxsize:
-            _cache.popitem(last=False)
-    return compiled
+        existing = _cache.get(key_resolved)
+        if existing is None:
+            _cache[key_resolved] = compiled
+            existing = compiled
+        if key != key_resolved:
+            _aliases[key] = key_resolved
+        _shrink_locked()
+    return existing
+
+
+def _shrink_locked() -> None:
+    """Evict LRU entries past ``_maxsize`` and drop their alias links
+    (caller holds ``_lock``)."""
+    while len(_cache) > _maxsize:
+        evicted, _ = _cache.popitem(last=False)
+        stale = [req for req, canon in _aliases.items() if canon == evicted]
+        for req in stale:
+            del _aliases[req]
 
 
 def plan_cache_info() -> CacheInfo:
@@ -278,6 +335,7 @@ def plan_cache_clear() -> None:
     global _hits, _misses
     with _lock:
         _cache.clear()
+        _aliases.clear()
         _hits = 0
         _misses = 0
 
@@ -289,5 +347,4 @@ def set_plan_cache_maxsize(maxsize: int) -> None:
         raise ValueError("maxsize must be >= 1")
     with _lock:
         _maxsize = int(maxsize)
-        while len(_cache) > _maxsize:
-            _cache.popitem(last=False)
+        _shrink_locked()

@@ -13,10 +13,11 @@ execution loop of their own:
   workers from the shared pool; ``threads=1`` executes the identical
   schedule inline.  Fast and simple; the correctness oracle for
   everything else.
-* :class:`BlockedEngine` — the simulated-BLIS path: every product runs
-  through the packed five-loop GEMM with variant-specific fusion
-  (:mod:`repro.core.variants`), instrumented with the counters the
-  performance model prices.  Thread-parallel over the 3rd loop using the
+* :class:`BlockedEngine` — the simulated-BLIS path: the *same* task
+  graph, with :class:`~repro.core.variants.BlisProductLeaf` as its leaf
+  kernel — every product runs through the packed five-loop GEMM with
+  variant-specific fusion, instrumented with the counters the
+  performance model prices.  Thread-parallel across products using the
   same shared runtime pools.
 
 Public API on top: :func:`multiply` (with model-guided
@@ -40,16 +41,26 @@ from repro.core import runtime
 from repro.core.compile import SUPPORTED_DTYPES, CompiledPlan
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.runtime import check_exec_shapes as _check_exec_shapes
-from repro.core.spec import normalize_threads, normalize_tune, resolve_levels
-from repro.core.variants import run_fmm_blocked
+from repro.core.spec import (
+    normalize_fusion,
+    normalize_threads,
+    normalize_tune,
+    normalize_variant,
+    resolve_levels,
+)
+from repro.core.variants import BlisProductLeaf
 
 __all__ = [
+    "ENGINES",
     "DirectEngine",
     "BlockedEngine",
     "multiply",
     "multiply_batched",
     "resolve_levels",
 ]
+
+#: Engines :func:`multiply` dispatches to (``"auto"`` resolves to one).
+ENGINES = ("direct", "blocked")
 
 
 def _compute_dtype(*arrays, dtype=None) -> np.dtype:
@@ -106,6 +117,7 @@ class DirectEngine:
         self.chunk_target = int(chunk_target)
         self.last_peel = None
         self.last_plan: CompiledPlan | None = None
+        self.last_report: runtime.ExecutionReport | None = None
 
     def multiply(
         self,
@@ -132,16 +144,25 @@ class DirectEngine:
         """
         self.last_peel = cplan.peel_plan
         self.last_plan = cplan
-        return runtime.execute_plan(
+        out = runtime.execute_plan(
             cplan, A, B, C,
             threads=self.threads,
             vector_cap=self.vector_cap,
             chunk_target=self.chunk_target,
         )
+        self.last_report = runtime.last_report()
+        return out
 
 
 class BlockedEngine:
-    """Simulated-BLIS interpreter of :class:`CompiledPlan`.
+    """Simulated-BLIS client of the task-graph runtime.
+
+    Executes the *same* lowered task graphs as :class:`DirectEngine`
+    (there is no separate blocked loop nest), with
+    :class:`~repro.core.variants.BlisProductLeaf` as the per-product leaf
+    kernel: each product streams through the packed five-loop GEMM with
+    variant-specific fusion, charging the operation counters the
+    performance model prices.
 
     Parameters
     ----------
@@ -152,8 +173,8 @@ class BlockedEngine:
         used when compiling plans via :meth:`multiply`.  :meth:`execute`
         honors the variant baked into the plan.
     threads:
-        Worker count for the 3rd-loop data parallelism; 1 = sequential.
-        Workers come from the shared runtime pools
+        Worker count for the product-level data parallelism; 1 =
+        sequential.  Workers come from the shared runtime pools
         (:func:`repro.core.runtime.get_pool`) — no per-call pool churn.
     mode:
         Macro-kernel granularity, ``"slab"`` (fast) or ``"micro"`` (faithful
@@ -168,12 +189,13 @@ class BlockedEngine:
         mode: str = "slab",
     ) -> None:
         self.params = params or BlockingParams()
-        self.variant = variant
+        self.variant = normalize_variant(variant)
         self.threads = normalize_threads(threads) or 1
         self.mode = mode
         self.counters = OpCounters()
         self.last_peel = None
         self.last_plan: CompiledPlan | None = None
+        self.last_report: runtime.ExecutionReport | None = None
 
     def _pool(self):
         return runtime.get_pool(self.threads) if self.threads > 1 else None
@@ -192,46 +214,24 @@ class BlockedEngine:
     def execute(
         self, cplan: CompiledPlan, A: np.ndarray, B: np.ndarray, C: np.ndarray
     ) -> np.ndarray:
-        """Interpret a compiled plan through the blocked substrate (2-D)."""
-        if A.ndim != 2:
-            raise ValueError(
-                "BlockedEngine executes 2-D operands; use multiply_batched "
-                "for stacked inputs"
-            )
-        _check_exec_shapes(cplan, A, B, C)
-        pp = cplan.peel_plan
-        self.last_peel = pp
-        self.last_plan = cplan
+        """Interpret a compiled plan through the blocked substrate.
 
-        pool = self._pool()
-        if pp.has_core:
-            mp, kp, np_ = pp.core
-            Mt, Kt, Nt = cplan.dims_total
-            bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
-            run_fmm_blocked(
-                cplan.block_views(A[:mp, :kp], "A", bm, bk),
-                cplan.block_views(B[:kp, :np_], "B", bk, bn),
-                cplan.block_views(C[:mp, :np_], "C", bm, bn),
-                cplan.plan,
-                variant=cplan.variant,
-                params=self.params,
-                counters=self.counters,
-                pool=pool,
-                mode=self.mode,
-            )
-        for f in pp.fringes:
-            if 0 in f.shape:
-                continue
-            packed_gemm(
-                [(1.0, A[f.a_rows, f.a_cols])],
-                [(1.0, B[f.b_rows, f.b_cols])],
-                [(1.0, C[f.c_rows, f.c_cols])],
-                self.params,
-                self.counters,
-                mode=self.mode,
-                pool=pool,
-            )
-        return C
+        Operands may be 2-D or batched ``(batch, rows, cols)`` stacks —
+        the runtime walks batch elements through the same task graph
+        (the packed leaf kernel is 2-D).
+        """
+        _check_exec_shapes(cplan, A, B, C)
+        self.last_peel = cplan.peel_plan
+        self.last_plan = cplan
+        leaf = BlisProductLeaf(
+            variant=cplan.variant,
+            params=self.params,
+            counters=self.counters,
+            mode=self.mode,
+        )
+        out = runtime.execute_plan(cplan, A, B, C, threads=self.threads, leaf=leaf)
+        self.last_report = runtime.last_report()
+        return out
 
     def gemm(self, A: np.ndarray, B: np.ndarray, C: np.ndarray) -> np.ndarray:
         """Plain packed GEMM (the BLIS baseline the paper compares against)."""
@@ -251,7 +251,10 @@ def _dispatch(engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode):
             params=params, variant=cplan.variant, threads=threads, mode=mode
         ).execute(cplan, A, B, C)
     else:
-        raise ValueError(f"unknown engine {engine!r}")
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of "
+            f"{list(ENGINES) + ['auto']}"
+        )
 
 
 def multiply(
@@ -267,6 +270,7 @@ def multiply(
     mode: str = "slab",
     dtype=None,
     tune: str = "readonly",
+    fusion: str = "auto",
 ) -> np.ndarray:
     """Fast matrix multiplication ``C + A @ B`` — the one-call public API.
 
@@ -316,6 +320,17 @@ def multiply(
         ``"readonly"`` (default) dispatches on the measured-best config
         when one is stored, ``"on"`` additionally tunes on a miss,
         ``"off"`` never touches the store.  Ignored for explicit engines.
+    fusion : {"auto", "staged", "fused"}, optional
+        Runtime lowering mode: ``"staged"`` materializes every
+        gather/product/scatter slab (O(R) live product buffers);
+        ``"fused"`` streams each product through per-worker recycled
+        buffers (O(threads) live buffers — the paper's fused pipeline).
+        ``"auto"`` (default) resolves from the variant and the staged
+        slab footprint (:func:`repro.core.spec.resolve_fusion`).
+        The blocked engine's packed leaf kernel has no staged slab
+        interpretation, so under ``engine="blocked"`` every plan —
+        including an explicit ``"staged"`` request — executes on the
+        fused pipeline (check ``last_report().fusion``).
 
     Returns
     -------
@@ -355,6 +370,7 @@ def multiply(
     """
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
+    fusion = normalize_fusion(fusion)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
@@ -376,7 +392,9 @@ def multiply(
         threads = 1
     if C is None:
         C = np.zeros((m, n), dtype=dt)
-    cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
+    cplan = plancache.compile(
+        (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
+    )
     _dispatch(engine, cplan, A, B, C, params, threads, mode)
     return C
 
@@ -394,14 +412,16 @@ def multiply_batched(
     mode: str = "slab",
     dtype=None,
     tune: str = "readonly",
+    fusion: str = "auto",
 ) -> np.ndarray:
     """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
 
     The configuration is compiled **once** and amortized over the whole
-    batch: the direct path executes all elements through stacked 3-D
-    operands (the runtime folds the batch into its
-    gather/product/scatter slabs and fans tasks out over ``threads``
-    workers); the blocked path interprets the same plan per element.
+    batch, and both engines route the stack through the same runtime
+    pipelines: the direct path folds the batch into its task slabs
+    (staged) or per-worker buffers (fused) and fans tasks out over
+    ``threads`` workers; the blocked path walks batch elements through
+    the identical task graph with the packed leaf kernel.
 
     Parameters
     ----------
@@ -412,7 +432,7 @@ def multiply_batched(
         At least one operand must be 3-D.
     C : (batch, m, n) ndarray, optional
         Accumulation target; allocated (zeros) when omitted.
-    algorithm, levels, variant, engine, params, threads, mode, dtype, tune
+    algorithm, levels, variant, engine, params, threads, mode, dtype, tune, fusion
         As in :func:`multiply` (``algorithm`` accepts the same schedule
         grammar, including ``"atom@count"`` strings); under
         ``engine="auto"`` the thread pick weighs the *whole batch's*
@@ -440,6 +460,7 @@ def multiply_batched(
     """
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
+    fusion = normalize_fusion(fusion)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim == 2 and B.ndim == 2:
@@ -487,16 +508,10 @@ def multiply_batched(
         C = np.zeros((batch, m, n), dtype=dt)
     elif C.shape != (batch, m, n):
         raise ValueError(f"C has shape {C.shape}, expected {(batch, m, n)}")
-    cplan = plancache.compile((m, k, n), algorithm, levels, variant, dtype=dt)
-    if engine == "direct":
-        DirectEngine(threads=threads).execute(cplan, A, B, C)
-    elif engine == "blocked":
-        eng = BlockedEngine(params=params, variant=cplan.variant,
-                            threads=threads, mode=mode)
-        for b in range(batch):
-            eng.execute(cplan, A[b], B[b], C[b])
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
+    cplan = plancache.compile(
+        (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
+    )
+    _dispatch(engine, cplan, A, B, C, params, threads, mode)
     return C
 
 

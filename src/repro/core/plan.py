@@ -172,8 +172,9 @@ def build_plan(
     variant: str = "abc",
 ) -> ExecutionPlan:
     """Lower a (shape, algorithm, variant) triple to the step list."""
-    if variant not in ("naive", "ab", "abc"):
-        raise ValueError(f"unknown variant {variant!r}")
+    from repro.core.spec import normalize_variant
+
+    variant = normalize_variant(variant)
     Mt, Kt, Nt = ml.dims_total
     steps = []
     for r, (ai, ac, bi, bc, ci, cc) in enumerate(ml.columns):

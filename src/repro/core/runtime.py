@@ -1,35 +1,60 @@
-"""Task-graph parallel runtime over the :class:`CompiledPlan` IR.
+"""Variant-aware task-graph runtime over the :class:`CompiledPlan` IR.
 
-The paper's multicore results (§5.1/§5.3, Figs. 9–10) come from *running*
-the generated implementations on real cores; until this module the repo
-only modeled that scaling (:mod:`repro.core.parallel`).  Here a compiled
-plan is lowered once into an explicit task DAG and executed on a reusable
-worker pool, so ``multiply(..., threads=N)`` uses N cores for real:
+The paper's central implementation result is that fast matrix
+multiplication pays off when the per-product operand sums and C-updates
+are *fused* into the execution pipeline (the Naive/AB/ABC variant family
+of §4.1) instead of materializing all R product temporaries.  This module
+is that idea as **one runtime**: a compiled plan lowers to a task graph in
+one of two modes, and every engine — the fast NumPy ``direct`` path, the
+instrumented simulated-BLIS ``blocked`` path, and batched stacks — is a
+thin client of the same graphs with a pluggable per-product *leaf kernel*.
 
-* **gather** tasks copy the recursive blocks of ``A``/``B`` into the
-  contiguous arena slabs ``A~``/``B~`` (a range of blocks per task);
-* **product** tasks compute a range of coefficient products ``M_r``:
-  ``S = Ut A~``, ``T = Vt B~`` (row-sliced matmuls into the arena) and the
-  batched ``M = S @ T``;
-* **scatter** tasks own disjoint ranges of destination blocks of ``C`` —
-  each computes ``upd = W M`` for its rows and accumulates into its own
-  blocks, so C updates are write-conflict-free by construction;
-* **fringe** tasks run the dynamic-peeling GEMMs (their C regions are
-  mutually disjoint; they run after the core barrier because the k-fringe
-  overlaps the core's output).
+**Staged lowering** (``fusion="staged"``) is the reference-framework
+memory behavior, kept for small cores where batched matmuls beat kernel
+dispatch overhead:
+
+* **gather** tasks copy the recursive blocks of ``A``/``B`` into
+  contiguous arena slabs ``A~``/``B~``;
+* **product** tasks compute ranges of coefficient products ``M_r`` via
+  stacked matmuls (``S = Ut A~``, ``T = Vt B~``, ``M = S @ T``);
+* **scatter** tasks own disjoint destination blocks of ``C`` and apply
+  ``upd = W M`` — all R products live simultaneously (O(R) slabs).
+
+**Fused lowering** (``fusion="fused"``) is the paper's streaming
+pipeline: each **fproduct** task walks a range of products, forming the
+A-combos and B-combos of a small *group* in per-worker recycled buffers,
+computing the group's products, and immediately scatter-accumulating
+each into its C tiles — O(workers · group) live product buffers instead
+of O(R).  On the NumPy substrate the combos come from short
+coefficient-GEMM strips against the gathered operand slabs (so the fused
+pipeline keeps the staged pipeline's arithmetic efficiency while
+dropping its O(R) ``S``/``T``/``M``/``upd`` slabs); a leaf that packs
+its own operands (BLIS) instead gathers each product's combos straight
+from the block views.  With several workers, each accumulates into a
+private ``Cacc`` slab and a deterministic **reduce** phase folds the
+slabs into ``C`` (write-disjoint block ranges), so results are
+bitwise-reproducible for a given thread count.
+
+The §4.1 write-back variants are *lowering modes* of this one runtime:
+``naive`` (materialize everything) lowers staged; ``ab``/``abc`` lower
+fused once the staged slabs outgrow the cache
+(:func:`repro.core.spec.resolve_fusion`).  On the BLIS substrate the leaf
+kernel (:class:`repro.core.variants.BlisProductLeaf`) additionally fuses
+the sums into packing (ab/abc) and the C update into the macro-kernel
+(abc), exactly as the paper generates.
 
 Phases are separated by barriers; tasks within a phase are independent.
-``threads=1`` executes the *same* schedule inline — the serial engines are
-just the 1-worker special case, not a separate code path.  Worker pools
-are process-wide and reused across calls (:func:`get_pool`), and every
+``threads=1`` executes the *same* schedule inline.  Worker pools are
+process-wide and reused across calls (:func:`get_pool`), and every
 temporary lives in the recycling workspace arena
-(:mod:`repro.core.workspace`), so repeated same-plan multiplies allocate
-nothing on the hot path.
+(:mod:`repro.core.workspace`), whose per-execution high-water meter feeds
+``peak_workspace_bytes`` on the :class:`ExecutionReport` every execution
+publishes (:func:`last_report`).
 
-Fallbacks (both serial, both documented limits of the arena path): cores
-whose stacked intermediates exceed ``vector_cap`` run the memory-light
-per-step loop, as does a destination dtype that cannot absorb the plan
-dtype (e.g. integer ``C``).
+Fallbacks (both serial, both documented limits of the arena path): staged
+cores whose stacked intermediates exceed ``vector_cap`` run the
+memory-light per-step loop, as does a destination dtype that cannot
+absorb the plan dtype (e.g. integer ``C``).
 """
 
 from __future__ import annotations
@@ -42,13 +67,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.compile import CompiledPlan
+from repro.core.spec import validate_resolved_fusion
 from repro.core.workspace import workspace_arena
 
 __all__ = [
+    "ExecutionReport",
+    "NumpyProductLeaf",
     "Task",
     "TaskGraph",
     "lower_plan",
     "execute_plan",
+    "last_report",
     "get_pool",
     "pool_info",
     "shutdown_pools",
@@ -56,10 +85,14 @@ __all__ = [
     "DEFAULT_CHUNK_TARGET",
 ]
 
-#: Per-element stacked-intermediate bound for the arena path (elements).
+#: Per-element stacked-intermediate bound for the staged arena path (elements).
 DEFAULT_VECTOR_CAP = 1 << 24
 #: Intermediate-size target for slicing batches into cache-resident chunks.
 DEFAULT_CHUNK_TARGET = 1 << 17
+#: Products per streaming group of the fused pipeline: the coefficient-GEMM
+#: strip height.  Large enough to amortize kernel dispatch, small enough
+#: that a group's S/T/M buffers stay cache-resident.
+DEFAULT_FUSED_GROUP = 8
 
 
 # ---------------------------------------------------------------------- #
@@ -111,32 +144,43 @@ def shutdown_pools() -> None:
 class Task:
     """One schedulable unit: a half-open ``[lo, hi)`` range of one kind.
 
-    Kinds: ``gather_a``/``gather_b`` (operand block ranges), ``product``
-    (step ranges over ``r``), ``scatter`` (destination block ranges),
-    ``fringe`` (peel-fringe indices).
+    Staged kinds: ``gather_a``/``gather_b`` (operand block ranges),
+    ``product`` (step ranges over ``r``), ``scatter`` (destination block
+    ranges).  Fused kinds: ``fproduct`` (a step range streamed through the
+    per-worker buffer set ``slot``), ``reduce`` (destination block ranges
+    folding the worker ``Cacc`` slabs into ``C``).  Both: ``fringe``
+    (peel-fringe indices).
     """
 
     kind: str
     lo: int
     hi: int
+    slot: int = 0
 
 
 @dataclass(frozen=True)
 class TaskGraph:
-    """The lowered schedule of one plan for one worker count.
+    """The lowered schedule of one plan for one worker count and mode.
 
     ``phases`` are executed in order with a barrier between consecutive
-    phases; tasks inside a phase are mutually independent (disjoint writes)
-    and may run concurrently.
+    phases; tasks inside a phase are mutually independent (disjoint
+    writes) and may run concurrently.
     """
 
     key: tuple
     workers: int
+    fusion: str
     phases: tuple[tuple[Task, ...], ...]
+    gathered: bool = True
 
     @property
     def n_tasks(self) -> int:
         return sum(len(p) for p in self.phases)
+
+    @property
+    def n_slots(self) -> int:
+        """Worker-buffer sets the fused pipeline needs (0 when staged)."""
+        return sum(1 for p in self.phases for t in p if t.kind == "fproduct")
 
 
 def _split(total: int, parts: int) -> list[tuple[int, int]]:
@@ -156,16 +200,31 @@ _graphs: dict[tuple, TaskGraph] = {}
 _GRAPH_CACHE_MAX = 256
 
 
-def lower_plan(cplan: CompiledPlan, workers: int = 1) -> TaskGraph:
+def lower_plan(
+    cplan: CompiledPlan,
+    workers: int = 1,
+    fusion: str | None = None,
+    gathered: bool = True,
+) -> TaskGraph:
     """Lower a compiled plan to its task DAG for ``workers`` workers.
 
+    ``fusion`` defaults to the mode resolved at compile time
+    (``cplan.fusion``); pass ``"staged"`` or ``"fused"`` to override.
+    ``gathered`` (fused mode only) controls whether the graph stages the
+    operand blocks into contiguous slabs first — the NumPy group-streaming
+    pipeline wants them (its combos are coefficient-GEMM strips over the
+    slabs); a leaf that packs operands itself (BLIS) does not.
     Pure metadata (index ranges only — no arrays), memoized per
-    ``(plan key, workers)``.
+    ``(plan key, workers, fusion, gathered)``.
     """
     workers = int(workers)
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    key = (cplan.key, workers)
+    fusion = validate_resolved_fusion(
+        cplan.fusion if fusion is None else fusion
+    )
+    gathered = bool(gathered) if fusion == "fused" else True
+    key = (cplan.key, workers, fusion, gathered)
     with _graph_lock:
         hit = _graphs.get(key)
         if hit is not None:
@@ -177,11 +236,31 @@ def lower_plan(cplan: CompiledPlan, workers: int = 1) -> TaskGraph:
     R = cplan.rank_total
     phases: list[tuple[Task, ...]] = []
     if cplan.peel_plan.has_core:
-        gather = [Task("gather_a", lo, hi) for lo, hi in _split(Pa, workers)]
-        gather += [Task("gather_b", lo, hi) for lo, hi in _split(Pb, workers)]
-        phases.append(tuple(gather))
-        phases.append(tuple(Task("product", lo, hi) for lo, hi in _split(R, workers)))
-        phases.append(tuple(Task("scatter", lo, hi) for lo, hi in _split(Pc, workers)))
+        if fusion == "staged" or gathered:
+            gather = [Task("gather_a", lo, hi) for lo, hi in _split(Pa, workers)]
+            gather += [Task("gather_b", lo, hi) for lo, hi in _split(Pb, workers)]
+            phases.append(tuple(gather))
+        if fusion == "staged":
+            phases.append(
+                tuple(Task("product", lo, hi) for lo, hi in _split(R, workers))
+            )
+            phases.append(
+                tuple(Task("scatter", lo, hi) for lo, hi in _split(Pc, workers))
+            )
+        else:
+            ranges = _split(R, workers)
+            phases.append(
+                tuple(
+                    Task("fproduct", lo, hi, slot=i)
+                    for i, (lo, hi) in enumerate(ranges)
+                )
+            )
+            if len(ranges) > 1:
+                # Workers accumulated into private Cacc slabs; fold them
+                # into C over write-disjoint destination-block ranges.
+                phases.append(
+                    tuple(Task("reduce", lo, hi) for lo, hi in _split(Pc, workers))
+                )
     fringes = [
         Task("fringe", i, i + 1)
         for i, f in enumerate(cplan.peel_plan.fringes)
@@ -189,7 +268,10 @@ def lower_plan(cplan: CompiledPlan, workers: int = 1) -> TaskGraph:
     ]
     if fringes:
         phases.append(tuple(fringes))
-    graph = TaskGraph(key=key, workers=workers, phases=tuple(phases))
+    graph = TaskGraph(
+        key=key, workers=workers, fusion=fusion,
+        phases=tuple(phases), gathered=gathered,
+    )
     with _graph_lock:
         graph = _graphs.setdefault(key, graph)
         while len(_graphs) > _GRAPH_CACHE_MAX:
@@ -198,10 +280,107 @@ def lower_plan(cplan: CompiledPlan, workers: int = 1) -> TaskGraph:
 
 
 # ---------------------------------------------------------------------- #
-# Execution
+# Leaf kernels
 # ---------------------------------------------------------------------- #
-class _CoreBinding:
-    """Binds one task graph to concrete operand views and arena buffers.
+def _gather(terms, views, out) -> None:
+    """Weighted sum of block views written into a recycled buffer.
+
+    Coefficients are python floats (plan invariant), so NEP-50 weak-scalar
+    promotion never upcasts float32 intermediates.
+    """
+    (i0, c0) = terms[0]
+    v0 = views[i0]
+    if c0 == 1.0:
+        np.copyto(out, v0)
+    elif c0 == -1.0:
+        np.negative(v0, out=out)
+    else:
+        np.multiply(v0, c0, out=out)
+    for i, c in terms[1:]:
+        v = views[i]
+        if c == 1.0:
+            out += v
+        elif c == -1.0:
+            out -= v
+        else:
+            out += c * v
+
+
+class NumpyProductLeaf:
+    """Default leaf kernel: weighted gathers + one ``matmul`` per product.
+
+    Stateless and shared (:data:`NUMPY_LEAF`); works on 2-D and batched
+    operands alike because every operation runs on the trailing two axes.
+    """
+
+    supports_batch = True    #: leading batch axes handled natively
+    parallel_fringe = True   #: fringe tasks may run on the pool
+    #: Per-slot recycled buffers this leaf's ``product`` actually reads:
+    #: the ungathered pipeline allocates exactly these (a fully-fused
+    #: kernel like the BLIS abc leaf needs none).
+    needs_buffers = ("S", "T", "M")
+
+    def begin(self, n_slots: int) -> None:
+        """Per-execution setup hook (stateless here)."""
+
+    def finish(self) -> None:
+        """Per-execution teardown hook (stateless here)."""
+
+    def product(self, step, Av, Bv, Ct, S, T, M, slot: int) -> None:
+        """Stream one product: gather combos, multiply, scatter-accumulate."""
+        _gather(step.a_terms, Av, S)
+        _gather(step.b_terms, Bv, T)
+        np.matmul(S, T, out=M)
+        _scatter_product(step, M, Ct)
+
+    def fringe(self, f, A, B, C) -> None:
+        C[..., f.c_rows, f.c_cols] += (
+            A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
+        )
+
+
+#: The shared stateless default leaf.
+NUMPY_LEAF = NumpyProductLeaf()
+
+
+def _run_fringe(f, A, B, C) -> None:
+    NUMPY_LEAF.fringe(f, A, B, C)
+
+
+# ---------------------------------------------------------------------- #
+# Execution bindings
+# ---------------------------------------------------------------------- #
+class _GatheredSlabs:
+    """Shared operand-slab machinery of the slab-staging bindings.
+
+    Provides the ``A~``/``B~`` slab setup and the gather task bodies, so
+    the staged and grouped-fused pipelines stage operands through one
+    code path and cannot diverge.  Slot-free (``__slots__ = ()``) so it
+    composes with any slotted binding; subclasses declare the field
+    names.
+    """
+
+    __slots__ = ()
+
+    def _init_slabs(self, ws) -> None:
+        self.Ablk = ws["Ablk"]
+        self.Bblk = ws["Bblk"]
+        self.A2 = self.Ablk.reshape(len(self.Av), -1)
+        self.B2 = self.Bblk.reshape(len(self.Bv), -1)
+
+    def _gather(self, task: Task) -> bool:
+        """Run a gather task; False when ``task`` is another kind."""
+        if task.kind == "gather_a":
+            np.stack(self.Av[task.lo : task.hi], out=self.Ablk[task.lo : task.hi])
+        elif task.kind == "gather_b":
+            np.stack(self.Bv[task.lo : task.hi], out=self.Bblk[task.lo : task.hi])
+        else:
+            return False
+        return True
+
+
+class _StagedBinding(_GatheredSlabs):
+    """Binds a staged task graph to concrete operand views and arena slabs.
 
     All reshapes below are views of C-contiguous arena slabs, and every
     matmul writes through ``out=`` — the hot path performs no temporary
@@ -221,10 +400,7 @@ class _CoreBinding:
         self.Cv = cplan.block_views(Cc, "C", bm, bn)
         self.L = math.prod(Ac.shape[:-2])
         R = cplan.rank_total
-        self.Ablk = ws["Ablk"]
-        self.Bblk = ws["Bblk"]
-        self.A2 = self.Ablk.reshape(len(self.Av), -1)
-        self.B2 = self.Bblk.reshape(len(self.Bv), -1)
+        self._init_slabs(ws)
         S, T, M = ws["S"], ws["T"], ws["M"]
         self.S2 = S.reshape(R, -1)
         self.T2 = T.reshape(R, -1)
@@ -237,10 +413,8 @@ class _CoreBinding:
 
     def run(self, task: Task) -> None:
         kind, lo, hi = task.kind, task.lo, task.hi
-        if kind == "gather_a":
-            np.stack(self.Av[lo:hi], out=self.Ablk[lo:hi])
-        elif kind == "gather_b":
-            np.stack(self.Bv[lo:hi], out=self.Bblk[lo:hi])
+        if self._gather(task):
+            pass
         elif kind == "product":
             cp, L = self.cplan, self.L
             np.matmul(cp.Ut[lo:hi], self.A2, out=self.S2[lo:hi])
@@ -258,23 +432,167 @@ class _CoreBinding:
             raise ValueError(f"unknown task kind {kind!r}")
 
 
-def _run_fringe(f, A, B, C) -> None:
-    C[..., f.c_rows, f.c_cols] += (
-        A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
-    )
+def _scatter_product(step, M, Ct) -> None:
+    """Immediately accumulate one computed product into its C tiles.
+
+    The ±1 fast paths cover the discrete catalog; a non-unit coefficient
+    (float-status entries) allocates one block-sized ``w * M`` temporary
+    per term — bounded by a single block, not by R, so the fused
+    pipeline's O(workers · group) footprint claim is unaffected.
+    """
+    for i, w in step.c_terms:
+        v = Ct[i]
+        if w == 1.0:
+            v += M
+        elif w == -1.0:
+            v -= M
+        else:
+            v += w * M
+
+
+class _FusedBindingBase:
+    """Shared per-worker accumulator machinery of the fused bindings.
+
+    Slot ``i`` of the per-worker slabs (and, with several slots,
+    ``Cacc``) belongs exclusively to fproduct task ``i``, so the
+    streaming pipelines run lock-free; :meth:`_reduce` folds the private
+    ``Cacc`` accumulators into ``C`` in deterministic slot order (both
+    fused pipelines share this fold, so they cannot diverge).
+    """
+
+    __slots__ = ("cplan", "steps", "Av", "Bv", "Cv", "Cacc", "n_slots")
+
+    def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots):
+        self.cplan = cplan
+        self.steps = cplan.steps
+        self.Av = cplan.block_views(Ac, "A", bm, bk)
+        self.Bv = cplan.block_views(Bc, "B", bk, bn)
+        self.Cv = cplan.block_views(Cc, "C", bm, bn)
+        self.n_slots = n_slots
+        if n_slots > 1:
+            self.Cacc = ws["Cacc"]
+            self.Cacc[...] = 0.0
+        else:
+            self.Cacc = None
+
+    def _slot_target(self, slot: int):
+        """The C views this slot accumulates into (private when shared)."""
+        return self.Cv if self.Cacc is None else self.Cacc[slot]
+
+    def _reduce(self, task: Task) -> None:
+        for p in range(task.lo, task.hi):
+            v = self.Cv[p]
+            for w in range(self.n_slots):
+                v += self.Cacc[w][p]
+
+
+class _FusedBinding(_FusedBindingBase):
+    """Binds an *ungathered* fused graph to views + per-worker buffers.
+
+    The pipeline for custom leaves (BLIS packs its own operands): each
+    fproduct task walks its product range, the leaf gathering every
+    product's A/B-combos straight from the block views into the slot's
+    recycled ``S``/``T``/``M`` buffers.
+    """
+
+    __slots__ = ("S", "T", "M", "leaf")
+
+    def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, leaf):
+        super().__init__(cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots)
+        self.S = ws.buffers.get("S")
+        self.T = ws.buffers.get("T")
+        self.M = ws.buffers.get("M")
+        self.leaf = leaf
+
+    def run(self, task: Task) -> None:
+        kind = task.kind
+        if kind == "fproduct":
+            slot = task.slot
+            Ct = self._slot_target(slot)
+            S = None if self.S is None else self.S[slot]
+            T = None if self.T is None else self.T[slot]
+            M = None if self.M is None else self.M[slot]
+            leaf, Av, Bv = self.leaf, self.Av, self.Bv
+            for step in self.steps[task.lo : task.hi]:
+                leaf.product(step, Av, Bv, Ct, S, T, M, slot)
+        elif kind == "reduce":
+            self._reduce(task)
+        else:  # pragma: no cover - lowering emits only the kinds above
+            raise ValueError(f"unknown task kind {kind!r}")
+
+
+class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
+    """Binds a *gathered* fused graph: the NumPy group-streaming pipeline.
+
+    Gather tasks stage the operand blocks into contiguous ``A~``/``B~``
+    slabs (exactly like the staged pipeline — O(blocks of A/B), not
+    O(R)).  Each fproduct task then streams its product range in groups
+    of ``group``: the group's A/B-combos come from short coefficient-GEMM
+    strips (``S_g = Ut[rows] @ A~``) written into the slot's recycled
+    buffers, the group's products from one batched matmul, and every
+    product is scatter-accumulated into C (or the slot's private
+    ``Cacc``) while hot — only O(workers · group) product buffers are
+    ever live.
+    """
+
+    __slots__ = ("L", "group", "Ablk", "Bblk", "A2", "B2",
+                 "S", "T", "M", "S2", "T2", "S3", "T3", "M3")
+
+    def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, group):
+        super().__init__(cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots)
+        self.L = math.prod(Ac.shape[:-2])
+        self.group = group
+        self._init_slabs(ws)
+        S, T, M = ws["S"], ws["T"], ws["M"]
+        self.S, self.T, self.M = S, T, M
+        self.S2 = [s.reshape(group, -1) for s in S]
+        self.T2 = [t.reshape(group, -1) for t in T]
+        self.S3 = [s.reshape(-1, bm, bk) for s in S]
+        self.T3 = [t.reshape(-1, bk, bn) for t in T]
+        self.M3 = [m_.reshape(-1, bm, bn) for m_ in M]
+
+    def run(self, task: Task) -> None:
+        kind = task.kind
+        if self._gather(task):
+            pass
+        elif kind == "fproduct":
+            slot = task.slot
+            Ct = self._slot_target(slot)
+            cp, L, g = self.cplan, self.L, self.group
+            M = self.M[slot]
+            S2, T2 = self.S2[slot], self.T2[slot]
+            S3, T3, M3 = self.S3[slot], self.T3[slot], self.M3[slot]
+            for lo in range(task.lo, task.hi, g):
+                hi = min(lo + g, task.hi)
+                w = hi - lo
+                np.matmul(cp.Ut[lo:hi], self.A2, out=S2[:w])
+                np.matmul(cp.Vt[lo:hi], self.B2, out=T2[:w])
+                np.matmul(S3[: w * L], T3[: w * L], out=M3[: w * L])
+                for j in range(w):
+                    _scatter_product(self.steps[lo + j], M[j], Ct)
+        elif kind == "reduce":
+            self._reduce(task)
+        else:  # pragma: no cover - lowering emits only the kinds above
+            raise ValueError(f"unknown task kind {kind!r}")
 
 
 class _FringeBinding:
     """Binds fringe tasks to the full operands (no arena buffers needed)."""
 
-    __slots__ = ("fringes", "A", "B", "C")
+    __slots__ = ("fringes", "A", "B", "C", "leaf")
 
-    def __init__(self, fringes, A, B, C):
+    def __init__(self, fringes, A, B, C, leaf=NUMPY_LEAF):
         self.fringes = fringes
         self.A, self.B, self.C = A, B, C
+        self.leaf = leaf
 
     def run(self, task: Task) -> None:
-        _run_fringe(self.fringes[task.lo], self.A, self.B, self.C)
+        f = self.fringes[task.lo]
+        if self.A.ndim == 3 and not self.leaf.supports_batch:
+            for b in range(self.A.shape[0]):
+                self.leaf.fringe(f, self.A[b], self.B[b], self.C[b])
+        else:
+            self.leaf.fringe(f, self.A, self.B, self.C)
 
 
 def _run_phase(binding, tasks, pool) -> None:
@@ -287,7 +605,10 @@ def _run_phase(binding, tasks, pool) -> None:
         list(pool.map(binding.run, tasks))
 
 
-def _workspace_spec(cplan, lead, bm, bk, bn):
+# ---------------------------------------------------------------------- #
+# Workspace specs (mirrored by repro.model.perfmodel.predict_workspace_bytes)
+# ---------------------------------------------------------------------- #
+def _staged_workspace_spec(cplan, lead, bm, bk, bn):
     dt = cplan.dtype
     R = cplan.rank_total
     return {
@@ -300,6 +621,100 @@ def _workspace_spec(cplan, lead, bm, bk, bn):
     }
 
 
+def _fused_workspace_spec(cplan, lead, bm, bk, bn, n_slots, needs):
+    """Per-worker single-product buffers (the ungathered / leaf pipeline).
+
+    Only the buffers the leaf declares in ``needs_buffers`` are
+    allocated — a fully-fused kernel (BLIS abc: no ``M_r`` buffer at
+    all) checks out nothing but its ``Cacc`` accumulators, so the
+    reported peak matches the variant's semantics.
+    """
+    dt = cplan.dtype
+    shapes = {
+        "S": ((n_slots,) + lead + (bm, bk), dt),
+        "T": ((n_slots,) + lead + (bk, bn), dt),
+        "M": ((n_slots,) + lead + (bm, bn), dt),
+    }
+    spec = {name: shapes[name] for name in needs}
+    if n_slots > 1:
+        spec["Cacc"] = ((n_slots, len(cplan.c_table)) + lead + (bm, bn), dt)
+    return spec
+
+
+def _grouped_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group):
+    """Operand slabs + per-worker group buffers (the NumPy fused pipeline)."""
+    dt = cplan.dtype
+    spec = {
+        "Ablk": ((len(cplan.a_table),) + lead + (bm, bk), dt),
+        "Bblk": ((len(cplan.b_table),) + lead + (bk, bn), dt),
+        "S": ((n_slots, group) + lead + (bm, bk), dt),
+        "T": ((n_slots, group) + lead + (bk, bn), dt),
+        "M": ((n_slots, group) + lead + (bm, bn), dt),
+    }
+    if n_slots > 1:
+        spec["Cacc"] = ((n_slots, len(cplan.c_table)) + lead + (bm, bn), dt)
+    return spec
+
+
+# ---------------------------------------------------------------------- #
+# Execution reports
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one :func:`execute_plan` call actually did.
+
+    Attributes
+    ----------
+    shape, batch:
+        Plan shape ``(m, k, n)`` and leading batch count (1 for 2-D).
+    variant, fusion:
+        The §4.1 write-back variant and the lowering mode that executed
+        (``fusion`` may differ from the plan's when a leaf forces fused).
+    threads:
+        Worker count requested.
+    core_path:
+        ``"graph"`` (task-graph pipeline), ``"steps"`` (serial per-step
+        fallback) or ``"none"`` (pure-fringe problem).
+    n_tasks:
+        Tasks in the lowered graph (0 off the graph path).
+    peak_workspace_bytes:
+        High-water arena bytes this execution checked out — the measured
+        memory footprint of its temporaries.  The serial per-step
+        fallback (``core_path="steps"``) allocates outside the arena;
+        its figure is the analytic live footprint of one product's
+        S/T/M buffers instead, never a misleading zero.
+    """
+
+    shape: tuple[int, int, int]
+    batch: int
+    variant: str
+    fusion: str
+    threads: int
+    core_path: str
+    n_tasks: int
+    peak_workspace_bytes: int
+
+
+_report_tls = threading.local()
+
+
+def last_report() -> ExecutionReport | None:
+    """The :class:`ExecutionReport` of this thread's most recent
+    ``execute_plan``.
+
+    Thread-local on purpose: concurrent executions (the serve-many
+    workload) each read back their own report, never a neighbor's.
+    """
+    return getattr(_report_tls, "report", None)
+
+
+def _publish_report(report: ExecutionReport) -> None:
+    _report_tls.report = report
+
+
+# ---------------------------------------------------------------------- #
+# Execution
+# ---------------------------------------------------------------------- #
 def check_exec_shapes(cplan: CompiledPlan, A, B, C) -> None:
     """Validate (possibly batched) operands against a compiled plan."""
     m, k, n = cplan.shape
@@ -323,76 +738,191 @@ def execute_plan(
     vector_cap: int = DEFAULT_VECTOR_CAP,
     chunk_target: int = DEFAULT_CHUNK_TARGET,
     arena=None,
+    leaf=None,
+    fusion: str | None = None,
 ) -> np.ndarray:
     """Execute ``C += A @ B`` under a compiled plan on ``threads`` workers.
 
     Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
     trailing dims match the plan.  ``threads=1`` runs the same task
     schedule inline; ``threads>1`` fans phases out over the shared worker
-    pool.  ``arena`` overrides the global workspace arena (tests).
+    pool.  ``leaf`` swaps the per-product kernel (default: the NumPy
+    leaf; the blocked engine passes
+    :class:`repro.core.variants.BlisProductLeaf`); every custom leaf
+    executes on the fused per-product pipeline — the staged slab phases
+    are pure-NumPy math that would bypass its kernel.
+    ``fusion`` overrides the plan's resolved lowering mode (benchmarks
+    compare ``"staged"`` vs ``"fused"`` on the same plan this way).
+    ``arena`` overrides the global workspace arena (tests).
+
+    Every call publishes an :class:`ExecutionReport` — including the
+    measured peak workspace bytes — retrievable via :func:`last_report`.
     """
     threads = int(threads)
     if threads < 1:
         raise ValueError("threads must be >= 1")
     check_exec_shapes(cplan, A, B, C)
     arena = arena if arena is not None else workspace_arena
+    leaf = NUMPY_LEAF if leaf is None else leaf
     pp = cplan.peel_plan
+    fusion_eff = validate_resolved_fusion(
+        cplan.fusion if fusion is None else fusion
+    )
+    if leaf is not NUMPY_LEAF:
+        # The staged slab phases (and the per-step fallback) compute with
+        # pure-NumPy math and would silently bypass a custom kernel, so
+        # every custom leaf executes on the fused per-product pipeline —
+        # its product() is always honored.
+        fusion_eff = "fused"
 
-    core_on_graph = False
-    if pp.has_core:
-        mp, kp, np_ = pp.core
-        Mt, Kt, Nt = cplan.dims_total
-        bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
-        Ac = A[..., :mp, :kp]
-        Bc = B[..., :kp, :np_]
-        Cc = C[..., :mp, :np_]
-        work = cplan.rank_total * (bm * bk + bk * bn + bm * bn)
-        # The arena path computes in the plan dtype; when C cannot absorb
-        # that (e.g. integer operands fed straight to the engine), the
-        # per-step loop preserves the operand dtype for +-1-coefficient
-        # algorithms exactly like the classic engine did.
-        core_on_graph = (
-            np.can_cast(cplan.dtype, C.dtype, casting="same_kind")
-            and work <= vector_cap
-        )
-        if core_on_graph:
-            graph = lower_plan(cplan, threads)
-            pool = get_pool(threads) if threads > 1 else None
-            core_phases = [p for p in graph.phases if p[0].kind != "fringe"]
-            if Ac.ndim == 3:
-                batch = Ac.shape[0]
-                chunk = max(1, min(batch, chunk_target // max(work, 1)))
-                for i in range(0, batch, chunk):
-                    _run_core(
-                        cplan, Ac[i : i + chunk], Bc[i : i + chunk],
-                        Cc[i : i + chunk], bm, bk, bn,
-                        core_phases, pool, arena,
-                    )
+    batch = int(math.prod(A.shape[:-2])) if A.ndim > 2 else 1
+    core_path = "none"
+    n_tasks = 0
+    steps_bytes = 0
+    meter = arena.start_meter()
+    try:
+        if pp.has_core:
+            mp, kp, np_ = pp.core
+            Mt, Kt, Nt = cplan.dims_total
+            bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
+            Ac = A[..., :mp, :kp]
+            Bc = B[..., :kp, :np_]
+            Cc = C[..., :mp, :np_]
+            per_product = bm * bk + bk * bn + bm * bn
+            # The arena path computes in the plan dtype; when C cannot
+            # absorb that (e.g. integer operands fed straight to the
+            # engine), the per-step loop preserves the operand dtype for
+            # +-1-coefficient algorithms exactly like the classic engine
+            # did.  Custom leaves own their dtype handling.
+            on_graph = leaf is not NUMPY_LEAF or np.can_cast(
+                cplan.dtype, C.dtype, casting="same_kind"
+            )
+            if on_graph and fusion_eff == "staged":
+                on_graph = cplan.rank_total * per_product <= vector_cap
+            if on_graph:
+                core_path = "graph"
+                # Only the built-in NumPy leaf takes the gathered
+                # group-streaming shortcut; every custom leaf runs the
+                # generic per-product pipeline so its kernel and
+                # instrumentation are always honored.
+                gathered = fusion_eff == "staged" or leaf is NUMPY_LEAF
+                graph = lower_plan(cplan, threads, fusion_eff, gathered)
+                n_tasks = graph.n_tasks
+                pool = get_pool(threads) if threads > 1 else None
+                core_phases = [p for p in graph.phases if p[0].kind != "fringe"]
+                n_slots = max(graph.n_slots, 1)
+                group = min(DEFAULT_FUSED_GROUP, cplan.rank_total)
+                leaf.begin(n_slots)
+                try:
+                    if Ac.ndim == 3 and not leaf.supports_batch:
+                        for b in range(Ac.shape[0]):
+                            _run_core(
+                                cplan, Ac[b], Bc[b], Cc[b], bm, bk, bn,
+                                core_phases, pool, arena, fusion_eff,
+                                gathered, n_slots, group, leaf,
+                            )
+                    elif Ac.ndim == 3:
+                        # Chunk so the live intermediates stay near
+                        # chunk_target elements: staged slabs scale with
+                        # R, fused group buffers with the group — the
+                        # fused pipeline's memory bound holds for batched
+                        # stacks too.
+                        if fusion_eff == "staged":
+                            work = per_product * cplan.rank_total
+                        else:
+                            work = per_product * group
+                        chunk = max(
+                            1, min(Ac.shape[0], chunk_target // max(work, 1))
+                        )
+                        for i in range(0, Ac.shape[0], chunk):
+                            _run_core(
+                                cplan, Ac[i : i + chunk], Bc[i : i + chunk],
+                                Cc[i : i + chunk], bm, bk, bn,
+                                core_phases, pool, arena, fusion_eff,
+                                gathered, n_slots, group, leaf,
+                            )
+                    else:
+                        _run_core(
+                            cplan, Ac, Bc, Cc, bm, bk, bn,
+                            core_phases, pool, arena, fusion_eff,
+                            gathered, n_slots, group, leaf,
+                        )
+                finally:
+                    leaf.finish()
+                # Fringe C regions are mutually disjoint (see peeling), so
+                # the fringe phase parallelizes like any other — unless
+                # the leaf's instrumentation is not concurrency-safe.
+                fb = _FringeBinding(pp.fringes, A, B, C, leaf)
+                fringe_pool = pool if leaf.parallel_fringe else None
+                for phase in (p for p in graph.phases if p[0].kind == "fringe"):
+                    _run_phase(fb, phase, fringe_pool)
             else:
-                _run_core(cplan, Ac, Bc, Cc, bm, bk, bn, core_phases, pool, arena)
-            # Fringe C regions are mutually disjoint (see peeling), so the
-            # fringe phase parallelizes like any other.
-            fb = _FringeBinding(pp.fringes, A, B, C)
-            for phase in (p for p in graph.phases if p[0].kind == "fringe"):
-                _run_phase(fb, phase, pool)
-        else:
-            _run_steps(cplan, Ac, Bc, Cc, bm, bk, bn)
-    if not core_on_graph:
-        for f in pp.fringes:
-            if 0 in f.shape:
-                continue
-            _run_fringe(f, A, B, C)
+                core_path = "steps"
+                # The fallback allocates its per-step S/T/M with plain
+                # numpy, outside the metered arena; report its analytic
+                # live footprint (one product's buffers) so the staged
+                # fallback never shows as using *less* memory than the
+                # graph pipelines.
+                steps_bytes = (
+                    per_product
+                    * batch
+                    * np.result_type(Ac, Bc).itemsize
+                )
+                _run_steps(cplan, Ac, Bc, Cc, bm, bk, bn)
+        if core_path != "graph":
+            fb = _FringeBinding(pp.fringes, A, B, C, leaf)
+            for i, f in enumerate(pp.fringes):
+                if 0 in f.shape:
+                    continue
+                fb.run(Task("fringe", i, i + 1))
+    finally:
+        peak = max(arena.finish_meter(meter), steps_bytes)
+    _publish_report(ExecutionReport(
+        shape=cplan.shape,
+        batch=batch,
+        variant=cplan.variant,
+        fusion=fusion_eff,
+        threads=threads,
+        core_path=core_path,
+        n_tasks=n_tasks,
+        peak_workspace_bytes=peak,
+    ))
     return C
 
 
-def _run_core(cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena):
+def _run_core(
+    cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena, fusion,
+    gathered, n_slots, group, leaf,
+):
     lead = Ac.shape[:-2]
-    ws = arena.acquire(
-        (cplan.key, lead),
-        lambda: _workspace_spec(cplan, lead, bm, bk, bn),
-    )
+    if fusion == "staged":
+        ws = arena.acquire(
+            (cplan.key, lead, "staged"),
+            lambda: _staged_workspace_spec(cplan, lead, bm, bk, bn),
+        )
+        binding = _StagedBinding(cplan, Ac, Bc, Cc, bm, bk, bn, ws)
+    elif gathered:
+        ws = arena.acquire(
+            (cplan.key, lead, "grouped", n_slots, group),
+            lambda: _grouped_workspace_spec(
+                cplan, lead, bm, bk, bn, n_slots, group
+            ),
+        )
+        binding = _GroupedFusedBinding(
+            cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, group
+        )
+    else:
+        needs = tuple(leaf.needs_buffers)
+        ws = arena.acquire(
+            (cplan.key, lead, "fused", n_slots, needs),
+            lambda: _fused_workspace_spec(
+                cplan, lead, bm, bk, bn, n_slots, needs
+            ),
+        )
+        binding = _FusedBinding(
+            cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, leaf
+        )
     try:
-        binding = _CoreBinding(cplan, Ac, Bc, Cc, bm, bk, bn, ws)
         for phase in phases:
             _run_phase(binding, phase, pool)
     finally:
@@ -400,7 +930,7 @@ def _run_core(cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena):
 
 
 # ---------------------------------------------------------------------- #
-# Serial memory-light fallback (huge cores / non-castable C)
+# Serial memory-light fallback (huge staged cores / non-castable C)
 # ---------------------------------------------------------------------- #
 def _run_steps(cplan, Ac, Bc, Cc, bm, bk, bn) -> None:
     """Per-product loop over the plan's gather lists (bounded workspace)."""

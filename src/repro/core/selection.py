@@ -100,6 +100,28 @@ class Candidate:
         return self.schedule.signature
 
     @property
+    def fusion(self) -> str:
+        """Runtime lowering mode this candidate will compile to.
+
+        The §4.1 variants *are* the lowering modes of the streaming
+        runtime: ``naive`` executes staged (every temporary
+        materialized), ``ab``/``abc`` execute the fused per-worker
+        pipeline once the staged slabs outgrow the cache — so ranking
+        variants is how ``engine="auto"`` and the wisdom store pick
+        fused vs staged.  Resolved with the same rule the plan compiler
+        applies (:func:`repro.core.spec.resolve_fusion` over this
+        candidate's problem size and schedule), so the label always
+        matches what ``compile()`` will actually run.
+        """
+        from repro.core.spec import resolve_fusion, staged_slab_elements
+
+        p = self.prediction
+        return resolve_fusion(
+            "auto", self.variant,
+            staged_slab_elements(p.m, p.k, p.n, self.multilevel()),
+        )
+
+    @property
     def label(self) -> str:
         stack = "+".join("<%d,%d,%d>" % s for s in self.shapes)
         return f"{stack}/{self.variant}"

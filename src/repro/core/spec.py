@@ -31,9 +31,11 @@ grammar passes around (compiler keys, selection candidates, wisdom
 records); :func:`resolve_levels` materializes a spec as a
 :class:`MultiLevelFMM`; :func:`spec_key` derives the hashable cache key
 the plan cache is keyed on; :func:`normalize_threads` validates the
-``threads`` execution knob and :func:`normalize_tune` the
-autotuning-wisdom knob, so bad values fail here, up front, rather than
-deep inside the runtime.
+``threads`` execution knob, :func:`normalize_tune` the autotuning-wisdom
+knob, :func:`normalize_variant` the §4.1 write-back variant and
+:func:`normalize_fusion`/:func:`resolve_fusion` the runtime's
+staged-vs-fused lowering mode, so bad values fail here, up front, rather
+than deep inside the runtime.
 """
 
 from __future__ import annotations
@@ -45,19 +47,42 @@ from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 
 __all__ = [
+    "FUSION_MODES",
+    "FUSED_AUTO_THRESHOLD",
     "TUNE_MODES",
+    "VARIANTS",
     "Schedule",
+    "normalize_fusion",
     "normalize_schedule",
     "normalize_spec",
     "normalize_threads",
     "normalize_tune",
+    "normalize_variant",
+    "resolve_fusion",
     "resolve_levels",
     "schedule_signature",
     "spec_key",
+    "staged_slab_elements",
+    "validate_resolved_fusion",
 ]
 
 #: Accepted values of the ``tune`` knob on the auto-dispatch path.
 TUNE_MODES = ("off", "readonly", "on")
+
+#: The paper's §4.1 write-back variants (operand-sum / C-update fusion).
+VARIANTS = ("naive", "ab", "abc")
+
+#: Accepted values of the ``fusion`` lowering knob.
+FUSION_MODES = ("auto", "staged", "fused")
+
+#: Stacked-intermediate size (elements across all R products' S/T/M slabs)
+#: above which ``fusion="auto"`` lowers ab/abc plans to the streaming fused
+#: pipeline.  Below it the staged pipeline's big batched matmuls win on
+#: kernel efficiency; above it the slabs outgrow the caches and the fused
+#: pipeline's O(workers · group) live product buffers run at parity or
+#: better while using a fraction of the memory (measured in
+#: ``benchmarks/bench_fusion_runtime.py``).
+FUSED_AUTO_THRESHOLD = 1 << 23
 
 #: Atom forms accepted inside a hybrid stack.
 _ATOM_TYPES = (str, FMMAlgorithm)
@@ -164,6 +189,84 @@ def normalize_threads(threads) -> int | None:
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
     return int(threads)
+
+
+def normalize_variant(variant) -> str:
+    """Validate a §4.1 write-back variant name.
+
+    Mirrors the unknown-algorithm convention: a bad string raises
+    ``ValueError`` listing every valid variant, here at spec level rather
+    than deep inside a lowering pass.
+    """
+    if not isinstance(variant, str) or variant.lower() not in VARIANTS:
+        raise ValueError(
+            f"unknown variant {variant!r}; expected one of {list(VARIANTS)}"
+        )
+    return variant.lower()
+
+
+def normalize_fusion(fusion) -> str:
+    """Validate the ``fusion`` lowering knob (``auto``/``staged``/``fused``).
+
+    ``staged`` materializes every gather/product/scatter slab (the memory
+    behavior of the reference frameworks); ``fused`` streams each product
+    through per-worker recycled buffers; ``auto`` resolves per plan — see
+    :func:`resolve_fusion`.
+    """
+    if not isinstance(fusion, str) or fusion.lower() not in FUSION_MODES:
+        raise ValueError(
+            f"unknown fusion mode {fusion!r}; expected one of {list(FUSION_MODES)}"
+        )
+    return fusion.lower()
+
+
+def staged_slab_elements(m: int, k: int, n: int, ml) -> int:
+    """Elements across all R stacked ``S``/``T``/``M`` slabs of the staged
+    lowering for one problem — the quantity ``fusion="auto"`` thresholds
+    on.  The single source shared by the plan compiler and selection
+    candidates, so their fused-vs-staged resolutions can never drift.
+    Returns 0 when the partition is coarser than the problem (no core).
+    """
+    Mt, Kt, Nt = ml.dims_total
+    bm, bk, bn = m // Mt, k // Kt, n // Nt
+    if min(bm, bk, bn) < 1:
+        return 0
+    return ml.rank_total * (bm * bk + bk * bn + bm * bn)
+
+
+def validate_resolved_fusion(fusion) -> str:
+    """Validate an already-*resolved* lowering mode (``"auto"`` excluded).
+
+    The runtime and the workspace model operate after compile-time
+    resolution, where only ``"staged"``/``"fused"`` are meaningful; this
+    is their shared membership check, so the accepted set cannot drift
+    between layers.
+    """
+    if fusion not in ("staged", "fused"):
+        raise ValueError(
+            f"unknown fusion mode {fusion!r}; expected one of ['staged', 'fused']"
+        )
+    return fusion
+
+
+def resolve_fusion(fusion, variant: str, staged_elements: int) -> str:
+    """Resolve ``fusion="auto"`` for one compiled plan.
+
+    The write-back variant is the lowering mode family: ``naive`` *means*
+    "materialize every temporary", so it always lowers staged; ``ab``/
+    ``abc`` fuse operand sums (and C updates) into the pipeline, so they
+    lower fused once the staged slabs (``staged_elements`` elements across
+    the stacked S/T/M intermediates) outgrow
+    :data:`FUSED_AUTO_THRESHOLD` — below that the staged pipeline's
+    batched matmuls are cheaper than per-product kernel dispatch.
+    Explicit ``"staged"``/``"fused"`` requests pass through unchanged.
+    """
+    fusion = normalize_fusion(fusion)
+    if fusion != "auto":
+        return fusion
+    if normalize_variant(variant) == "naive":
+        return "staged"
+    return "fused" if staged_elements > FUSED_AUTO_THRESHOLD else "staged"
 
 
 def normalize_tune(tune) -> str:

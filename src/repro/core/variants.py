@@ -1,11 +1,12 @@
-"""The Naive / AB / ABC FMM implementation variants (paper §4.1).
+"""The Naive / AB / ABC write-back variants as leaf kernels (paper §4.1).
 
-All three compute the same products ``M_r`` (eq. 5); they differ in where
-the linear combinations happen and what workspace they require:
+All three variants compute the same products ``M_r`` (eq. 5); they differ
+in where the linear combinations happen and what workspace they require:
 
-* ``naive`` — classical implementation: explicit temporaries for the A-sum,
-  the B-sum and the product ``M_r``; every temporary makes a DRAM round
-  trip.  Structurally this is what the reference framework [1] does.
+* ``naive`` — classical implementation: explicit temporaries for the
+  A-sum, the B-sum and the product ``M_r``; every temporary makes a DRAM
+  round trip.  Structurally this is what the reference framework [1]
+  does, and what the runtime's *staged* lowering materializes.
 * ``ab`` — the A/B sums are fused into the packing of ``A~``/``B~`` (no
   A/B temporaries), but ``M_r`` is still materialized and then scattered
   into the destination submatrices of C.
@@ -13,46 +14,27 @@ the linear combinations happen and what workspace they require:
   macro/micro-kernel: each computed block is added to every destination
   while cache-hot, so no ``M_r`` buffer exists at all.
 
-The functions here execute one multi-level FMM *core* (divisible sizes)
-over recursive-block views; peeling and fringe handling live in the
-executor.
+Since the streaming-runtime refactor there is **no loop nest here**: the
+iteration over products lives in the task graphs of
+:mod:`repro.core.runtime`, and this module contributes only the
+per-product *leaf kernel* for the simulated-BLIS substrate —
+:class:`BlisProductLeaf` — which executes one
+:class:`~repro.core.plan.ProductStep` through :func:`packed_gemm` with
+the variant's fusion semantics and charges the operation counters the
+performance model prices.  ``VARIANTS`` is re-exported from
+:mod:`repro.core.spec`, the canonical home of variant validation.
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.blis.counters import OpCounters
 from repro.blis.gemm import packed_gemm
 from repro.blis.params import BlockingParams
+from repro.core.spec import VARIANTS, normalize_variant
 
-__all__ = ["VARIANTS", "run_fmm_blocked"]
-
-VARIANTS = ("naive", "ab", "abc")
-
-
-def _step_operands(source):
-    """Yield ``(a_ops, b_ops, c_ops)`` weighted-view builders per product.
-
-    ``source`` is a compiled/execution plan (anything exposing ``steps`` of
-    :class:`~repro.core.plan.ProductStep`) or, for backwards compatibility,
-    a bare :class:`MultiLevelFMM` whose composed columns are walked
-    directly.  Coefficients are python floats throughout so float32 views
-    are never upcast by scalar promotion.
-    """
-    steps = getattr(source, "steps", None)
-    if steps is not None:
-        for s in steps:
-            yield s.a_terms, s.b_terms, s.c_terms
-    else:
-        for ai, ac, bi, bc, ci, cc in source.columns:
-            yield (
-                tuple((int(i), float(c)) for i, c in zip(ai, ac)),
-                tuple((int(i), float(c)) for i, c in zip(bi, bc)),
-                tuple((int(i), float(c)) for i, c in zip(ci, cc)),
-            )
+__all__ = ["VARIANTS", "BlisProductLeaf"]
 
 
 def _scatter_temp(
@@ -75,57 +57,10 @@ def _scatter_temp(
         counters.c_add_flops += 2.0 * size * len(targets)
 
 
-def run_fmm_blocked(
-    A_views: list[np.ndarray],
-    B_views: list[np.ndarray],
-    C_views: list[np.ndarray],
-    plan,
-    variant: str = "abc",
-    params: BlockingParams = BlockingParams(),
-    counters: OpCounters | None = None,
-    pool: ThreadPoolExecutor | None = None,
-    mode: str = "slab",
-) -> None:
-    """Execute the ``R_L`` products of eq. (5) in the chosen variant.
-
-    ``plan`` is the compiled step source — an
-    :class:`~repro.core.plan.ExecutionPlan` /
-    :class:`~repro.core.compile.CompiledPlan` (or a bare
-    :class:`MultiLevelFMM` for backwards compatibility).  The views lists
-    must be in recursive-block order matching its composed coefficients
-    (see :func:`repro.core.morton.block_views`).
-    """
-    if variant not in VARIANTS:
-        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
-    sub_m, sub_k = A_views[0].shape
-    sub_n = B_views[0].shape[1]
-    work_dtype = np.result_type(A_views[0], B_views[0])
-
-    for a_terms, b_terms, c_terms in _step_operands(plan):
-        a_ops = [(c, A_views[i]) for i, c in a_terms]
-        b_ops = [(c, B_views[i]) for i, c in b_terms]
-        c_ops = [(c, C_views[i]) for i, c in c_terms]
-
-        if variant == "abc":
-            packed_gemm(a_ops, b_ops, c_ops, params, counters, mode=mode, pool=pool)
-            continue
-
-        if variant == "naive":
-            # Explicit A/B sum temporaries (one DRAM round trip each).
-            S = _explicit_sum(a_ops, (sub_m, sub_k), counters, "A", work_dtype)
-            T = _explicit_sum(b_ops, (sub_k, sub_n), counters, "B", work_dtype)
-            a_ops = [(1.0, S)]
-            b_ops = [(1.0, T)]
-
-        M = np.zeros((sub_m, sub_n), dtype=work_dtype)
-        packed_gemm(a_ops, b_ops, [(1.0, M)], params, counters, mode=mode, pool=pool)
-        _scatter_temp(M, c_ops, counters)
-
-
-def _explicit_sum(
-    ops, shape, counters: OpCounters | None, which: str, dtype=np.float64
-) -> np.ndarray:
-    out = np.zeros(shape, dtype=dtype)
+def _explicit_sum(ops, out: np.ndarray, counters: OpCounters | None,
+                  which: str) -> np.ndarray:
+    """Naive-variant operand sum materialized into a recycled buffer."""
+    out[...] = 0.0
     for c, view in ops:
         if c == 1:
             out += view
@@ -144,3 +79,96 @@ def _explicit_sum(
             counters.temp_b_traffic += traffic
             counters.b_add_flops += 2.0 * max(len(ops) - 1, 0) * size
     return out
+
+
+class BlisProductLeaf:
+    """Per-product leaf kernel for the simulated-BLIS substrate.
+
+    Plugged into :func:`repro.core.runtime.execute_plan` by
+    :class:`~repro.core.executor.BlockedEngine`: the runtime's fused task
+    graph walks the products and calls :meth:`product` once per
+    :class:`~repro.core.plan.ProductStep`, with the variant deciding how
+    much of the linear algebra is fused into the packed five-loop GEMM.
+    2-D only (``supports_batch`` is false — the runtime loops batch
+    elements), and staged slab phases are meaningless for a packed
+    kernel, so the runtime always lowers fused for this leaf.
+
+    Counter updates are made concurrency-safe by fan-out: :meth:`begin`
+    gives every worker slot a private :class:`OpCounters`, and
+    :meth:`finish` folds them into the engine's shared counters in
+    deterministic slot order.
+    """
+
+    supports_batch = False
+    parallel_fringe = False  # fringe GEMMs charge the shared counters
+
+    #: Per-variant recycled-buffer needs: abc fuses everything into the
+    #: packed kernel (no buffers at all — the paper's "no M_r buffer"
+    #: claim holds in the reported peak too), ab materializes only M_r,
+    #: naive additionally stages the explicit A/B sums.
+    _NEEDS = {"abc": (), "ab": ("M",), "naive": ("S", "T", "M")}
+
+    def __init__(
+        self,
+        variant: str = "abc",
+        params: BlockingParams | None = None,
+        counters: OpCounters | None = None,
+        mode: str = "slab",
+    ) -> None:
+        self.variant = normalize_variant(variant)
+        self.params = params or BlockingParams()
+        self.counters = counters
+        self.mode = mode
+        self._slot_counters: list[OpCounters] | None = None
+
+    @property
+    def needs_buffers(self) -> tuple[str, ...]:
+        return self._NEEDS[self.variant]
+
+    def begin(self, n_slots: int) -> None:
+        if self.counters is not None:
+            self._slot_counters = [OpCounters() for _ in range(n_slots)]
+
+    def finish(self) -> None:
+        if self.counters is not None and self._slot_counters:
+            for c in self._slot_counters:
+                self.counters += c
+        self._slot_counters = None
+
+    def product(self, step, Av, Bv, Ct, S, T, M, slot: int) -> None:
+        """One ``M_r`` through the packed substrate in the leaf's variant."""
+        counters = (
+            None if self._slot_counters is None else self._slot_counters[slot]
+        )
+        a_ops = [(c, Av[i]) for i, c in step.a_terms]
+        b_ops = [(c, Bv[i]) for i, c in step.b_terms]
+        c_ops = [(c, Ct[i]) for i, c in step.c_terms]
+
+        if self.variant == "abc":
+            # Fully fused: sums inside packing, C updates inside the kernel.
+            packed_gemm(a_ops, b_ops, c_ops, self.params, counters,
+                        mode=self.mode)
+            return
+
+        if self.variant == "naive":
+            # Explicit A/B sum temporaries (one DRAM round trip each).
+            _explicit_sum(a_ops, S, counters, "A")
+            _explicit_sum(b_ops, T, counters, "B")
+            a_ops = [(1.0, S)]
+            b_ops = [(1.0, T)]
+
+        M[...] = 0.0
+        packed_gemm(a_ops, b_ops, [(1.0, M)], self.params, counters,
+                    mode=self.mode)
+        _scatter_temp(M, c_ops, counters)
+
+    def fringe(self, f, A, B, C) -> None:
+        """Peel-fringe GEMM through the packed substrate (runs serially)."""
+        packed_gemm(
+            [(1.0, A[f.a_rows, f.a_cols])],
+            [(1.0, B[f.b_rows, f.b_cols])],
+            [(1.0, C[f.c_rows, f.c_cols])],
+            self.params,
+            self.counters,
+            mode=self.mode,
+        )

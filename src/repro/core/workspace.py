@@ -1,20 +1,28 @@
 """Workspace arena: preallocated, recycled buffers for the parallel runtime.
 
 The task-graph runtime (:mod:`repro.core.runtime`) stages every core
-multiply through six temporary slabs — the gathered operand blocks
-``A~``/``B~``, the operand sums ``S``/``T``, the products ``M`` and the
-scatter staging ``upd``.  Allocating ~100 MB of temporaries per call would
-dominate the serve-many-multiplies workload the ROADMAP targets, so this
-module provides an arena: workspaces are built once per
-``(plan, lead-shape)`` configuration, checked out for the duration of one
-execution, and returned to a free list for the next call.  Repeated
-same-plan multiplies therefore perform **zero** per-call temporary
-allocations on the hot path (verified by ``tests/core/test_workspace.py``
-and ``benchmarks/bench_parallel_runtime.py``).
+multiply through temporary slabs — the full gathered/stacked slabs of the
+staged pipeline, or the small per-worker S/T/M buffers of the fused
+streaming pipeline.  Allocating the temporaries per call would dominate
+the serve-many-multiplies workload the ROADMAP targets, so this module
+provides an arena: workspaces are built once per ``(plan, lead-shape,
+mode)`` configuration, checked out for the duration of one execution, and
+returned to a free list for the next call.  Repeated same-plan multiplies
+therefore perform **zero** per-call temporary allocations on the hot path
+(verified by ``tests/core/test_workspace.py`` and
+``benchmarks/bench_parallel_runtime.py``).
 
 Checkout is thread-safe: concurrent executions of the same plan each get
 their own workspace (the arena grows to the high-water mark of concurrent
 use and then stops allocating).
+
+The arena is also the runtime's **memory instrument**: it tracks the bytes
+currently checked out (``bytes_in_use``), the process-lifetime high-water
+mark (``peak_bytes``), and per-execution peaks via :class:`PeakMeter`
+windows (:meth:`WorkspaceArena.start_meter` /
+:meth:`WorkspaceArena.finish_meter`) — this is how the execution report's
+``peak_workspace_bytes`` is measured, and how the fused pipeline's memory
+win over the staged one is asserted in tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "PeakMeter",
     "Workspace",
     "WorkspaceArena",
     "workspace_arena",
@@ -34,7 +43,9 @@ __all__ = [
 ]
 
 ArenaStats = namedtuple(
-    "ArenaStats", "allocations reuses bytes_allocated bytes_pooled free in_use"
+    "ArenaStats",
+    "allocations reuses bytes_allocated bytes_pooled bytes_in_use "
+    "peak_bytes free in_use",
 )
 
 
@@ -56,6 +67,24 @@ class Workspace:
     @property
     def nbytes(self) -> int:
         return sum(b.nbytes for b in self.buffers.values())
+
+
+class PeakMeter:
+    """One measurement window over the arena's in-use bytes.
+
+    ``baseline`` is the in-use byte count when the window opened; ``peak``
+    tracks the maximum observed while it is active.
+    :meth:`WorkspaceArena.finish_meter` returns ``peak - baseline`` — for
+    a serial execution that is exactly the bytes the execution checked
+    out; concurrent executions see each other's checkouts (the meter
+    reports pressure on the shared arena, not a per-thread attribution).
+    """
+
+    __slots__ = ("baseline", "peak")
+
+    def __init__(self, baseline: int) -> None:
+        self.baseline = baseline
+        self.peak = baseline
 
 
 class WorkspaceArena:
@@ -81,7 +110,20 @@ class WorkspaceArena:
         self._reuses = 0
         self._bytes_allocated = 0
         self._bytes_pooled = 0
+        self._bytes_in_use = 0
+        self._peak_bytes = 0
         self._in_use = 0
+        self._meters: list[PeakMeter] = []
+
+    def _note_in_use_locked(self, delta: int) -> None:
+        """Adjust the in-use byte count and roll the high-water marks."""
+        self._bytes_in_use += delta
+        if delta > 0:
+            if self._bytes_in_use > self._peak_bytes:
+                self._peak_bytes = self._bytes_in_use
+            for meter in self._meters:
+                if self._bytes_in_use > meter.peak:
+                    meter.peak = self._bytes_in_use
 
     def acquire(self, key: tuple, spec_factory) -> Workspace:
         """Check out a workspace for ``key``.
@@ -98,6 +140,7 @@ class WorkspaceArena:
                 self._bytes_pooled -= ws.nbytes
                 self._reuses += 1
                 self._in_use += 1
+                self._note_in_use_locked(ws.nbytes)
                 return ws
             self._allocations += 1
             self._in_use += 1
@@ -112,15 +155,36 @@ class WorkspaceArena:
         )
         with self._lock:
             self._bytes_allocated += ws.nbytes
+            self._note_in_use_locked(ws.nbytes)
         return ws
 
     def release(self, ws: Workspace) -> None:
         with self._lock:
             self._in_use -= 1
+            self._note_in_use_locked(-ws.nbytes)
             if self._bytes_pooled + ws.nbytes > self.max_bytes:
                 return  # over the idle bound: let this workspace go
             self._bytes_pooled += ws.nbytes
             self._free.setdefault(ws.key, []).append(ws)
+
+    # ------------------------------------------------------------------ #
+    # Peak metering (per-execution high-water windows)
+    # ------------------------------------------------------------------ #
+    def start_meter(self) -> PeakMeter:
+        """Open a high-water window over the arena's in-use bytes."""
+        with self._lock:
+            meter = PeakMeter(self._bytes_in_use)
+            self._meters.append(meter)
+            return meter
+
+    def finish_meter(self, meter: PeakMeter) -> int:
+        """Close a window; returns the peak bytes acquired during it."""
+        with self._lock:
+            try:
+                self._meters.remove(meter)
+            except ValueError:
+                pass  # already closed (idempotent)
+            return max(0, meter.peak - meter.baseline)
 
     def stats(self) -> ArenaStats:
         with self._lock:
@@ -130,6 +194,8 @@ class WorkspaceArena:
                 reuses=self._reuses,
                 bytes_allocated=self._bytes_allocated,
                 bytes_pooled=self._bytes_pooled,
+                bytes_in_use=self._bytes_in_use,
+                peak_bytes=self._peak_bytes,
                 free=free,
                 in_use=self._in_use,
             )
@@ -142,6 +208,8 @@ class WorkspaceArena:
             self._reuses = 0
             self._bytes_allocated = 0
             self._bytes_pooled = 0
+            self._bytes_in_use = 0
+            self._peak_bytes = 0
             self._in_use = 0
 
 

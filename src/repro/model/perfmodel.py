@@ -10,7 +10,10 @@ the contention the paper observes at 10 cores (§5.3).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.kronecker import MultiLevelFMM
 from repro.model.machines import MachineParams
@@ -21,6 +24,8 @@ __all__ = [
     "effective_gflops",
     "predict_fmm",
     "predict_gemm",
+    "predict_workspace_bytes",
+    "predict_fusion_savings",
     "calibrate_lambda",
 ]
 
@@ -85,6 +90,88 @@ def predict_gemm(m: int, k: int, n: int, machine: MachineParams) -> ModelPredict
         memory_time=tm,
         table=tab,
     )
+
+
+def _core_blocks(m: int, k: int, n: int, ml: MultiLevelFMM):
+    """Core block sizes and per-operand block counts (fringe ignored,
+    like every other term in the model)."""
+    Mt, Kt, Nt = ml.dims_total
+    bm, bk, bn = m // Mt, k // Kt, n // Nt
+    Pa = math.prod(r * c for r, c in ml.grids("A"))
+    Pb = math.prod(r * c for r, c in ml.grids("B"))
+    Pc = math.prod(r * c for r, c in ml.grids("C"))
+    return bm, bk, bn, Pa, Pb, Pc
+
+
+def predict_workspace_bytes(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM,
+    fusion: str = "fused",
+    threads: int = 1,
+    dtype=np.float64,
+) -> int:
+    """Peak workspace bytes the runtime's lowering mode checks out.
+
+    This is the model twin of the runtime's arena specs
+    (``repro.core.runtime._staged_workspace_spec`` /
+    ``_grouped_workspace_spec``) for a 2-D multiply whose core covers the
+    problem: both pipelines stage the gathered operand slabs (O(blocks of
+    A/B)), but the staged one additionally materializes all ``R`` stacked
+    ``S``/``T``/``M`` intermediates plus the scatter staging (O(R) live
+    product buffers), while the fused pipeline holds one *group* of
+    ``S``/``T``/``M`` strips per worker, plus per-worker ``Cacc``
+    accumulators when several workers share ``C`` (O(threads · group)
+    live buffers).  Model and runtime agreeing on these numbers is
+    asserted in ``tests/core/test_fusion.py``.
+    """
+    from repro.core.spec import validate_resolved_fusion
+
+    fusion = validate_resolved_fusion(fusion)
+    bm, bk, bn, Pa, Pb, Pc = _core_blocks(m, k, n, ml)
+    if min(bm, bk, bn) < 1:
+        return 0  # partition coarser than the problem: no core, no slabs
+    R = ml.rank_total
+    per_product = bm * bk + bk * bn + bm * bn
+    operand_slabs = Pa * bm * bk + Pb * bk * bn
+    if fusion == "staged":
+        elements = operand_slabs + R * per_product + Pc * bm * bn
+    else:
+        from repro.core.runtime import DEFAULT_FUSED_GROUP
+
+        slots = max(1, min(int(threads), R))
+        group = min(DEFAULT_FUSED_GROUP, R)
+        elements = operand_slabs + slots * group * per_product
+        if slots > 1:
+            elements += slots * Pc * bm * bn
+    return int(elements) * np.dtype(dtype).itemsize
+
+
+def predict_fusion_savings(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM,
+    machine: MachineParams,
+) -> float:
+    """Seconds of temporary-slab DRAM traffic the fused pipeline removes.
+
+    The staged lowering writes and re-reads every ``S_r``/``T_r``/``M_r``
+    slab plus the scatter staging; the fused pipeline keeps those in
+    per-worker cache-resident buffers.  Priced exactly like the Fig.-5
+    temp terms (``tau_b`` seconds per element, one write + one read per
+    temporary element), so the §4.4 model and the streaming runtime agree
+    on *why* fused wins: the removed traffic is this term.
+    """
+    Mt, Kt, Nt = ml.dims_total
+    if min(m // Mt, k // Kt, n // Nt) < 1:
+        return 0.0  # partition coarser than the problem: nothing staged
+    sm, sk, sn = m / Mt, k / Kt, n / Nt
+    _, _, _, _, _, Pc = _core_blocks(m, k, n, ml)
+    R = ml.rank_total
+    elements = R * (sm * sk + sk * sn + sm * sn) + Pc * sm * sn
+    return 2.0 * elements * machine.tau_b
 
 
 def calibrate_lambda(

@@ -175,13 +175,19 @@ def measure_candidate(
     threads: int = 1,
     config: MeasureConfig | None = None,
     seed: int = 0,
+    fusion: str = "auto",
 ) -> Measurement:
     """Compile (or fetch from the plan cache) and time one configuration.
 
     ``algorithm`` accepts every spec form :func:`repro.core.spec.normalize_spec`
     does — ``"classical"`` measures the plain-matmul baseline plan.
+    ``fusion`` pins the runtime lowering mode; the default ``"auto"``
+    resolves from the variant exactly like dispatch will, so tuned
+    verdicts measure what ``multiply`` will actually run (the §4.1
+    variants are the staged/fused lowering families — tuning across
+    variants is how the wisdom store picks fused vs staged).
     """
     cplan = plancache.compile((int(m), int(k), int(n)), algorithm, levels,
-                              variant, dtype=dtype)
+                              variant, dtype=dtype, fusion=fusion)
     return measure_plan(cplan, engine=engine, threads=threads, config=config,
                         seed=seed)

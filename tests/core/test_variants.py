@@ -1,10 +1,16 @@
-"""Tests for Naive / AB / ABC variant semantics and their cost signatures."""
+"""Tests for Naive / AB / ABC variant semantics and their cost signatures.
+
+Since the streaming-runtime refactor the variants are leaf-kernel modes of
+the one task-graph runtime (:class:`repro.core.variants.BlisProductLeaf`),
+not a standalone loop nest — these tests pin the §4.1 cost signatures
+through the BlockedEngine client and the leaf's own validation.
+"""
 
 import numpy as np
 import pytest
 
 from repro.core.executor import BlockedEngine, resolve_levels
-from repro.core.variants import VARIANTS, run_fmm_blocked
+from repro.core.variants import VARIANTS, BlisProductLeaf
 
 
 def _run(variant, rng, shape=(64, 64, 64), spec="strassen", levels=1):
@@ -59,20 +65,38 @@ class TestCostSignatures:
         # One-level Strassen: 7 products of (32)^3 blocks: 7 * 2 * 32^3.
         assert flops["abc"] == 7 * 2 * 32**3
 
-
-class TestRunFmmBlockedValidation:
-    def test_unknown_variant(self, rng):
+    def test_threaded_counters_match_serial(self, rng):
+        """Per-slot counter fan-out merges to the same totals as serial."""
         ml = resolve_levels("strassen", 1)
-        from repro.core.morton import block_views
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        serial = BlockedEngine(variant="abc", threads=1)
+        serial.multiply(A, B, np.zeros((64, 64)), ml)
+        threaded = BlockedEngine(variant="abc", threads=3)
+        threaded.multiply(A, B, np.zeros((64, 64)), ml)
+        assert threaded.counters.as_dict() == serial.counters.as_dict()
 
-        A = rng.standard_normal((8, 8))
-        B = rng.standard_normal((8, 8))
-        C = np.zeros((8, 8))
-        with pytest.raises(ValueError):
-            run_fmm_blocked(
-                block_views(A, ml.grids("A")),
-                block_views(B, ml.grids("B")),
-                block_views(C, ml.grids("C")),
-                ml,
-                variant="xyz",
-            )
+
+class TestLeafValidation:
+    def test_unknown_variant_lists_valid_names(self):
+        with pytest.raises(ValueError, match="naive.*ab.*abc"):
+            BlisProductLeaf(variant="xyz")
+
+    def test_unknown_variant_rejected_by_engine(self):
+        with pytest.raises(ValueError, match="expected one of"):
+            BlockedEngine(variant="xyz")
+
+    def test_leaf_capabilities(self):
+        leaf = BlisProductLeaf()
+        assert not leaf.supports_batch
+        assert not leaf.parallel_fringe
+        assert leaf.needs_buffers == ()  # abc: fully fused, no buffers
+
+
+class TestNoStandaloneLoopNest:
+    def test_run_fmm_blocked_is_gone(self):
+        """The blocked loop nest is deleted: products iterate only in the
+        runtime's task graphs."""
+        import repro.core.variants as variants
+
+        assert not hasattr(variants, "run_fmm_blocked")

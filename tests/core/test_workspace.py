@@ -64,7 +64,7 @@ class TestArena:
         arena.release(arena.acquire(("k",), spec_small))
         arena.clear()
         st = arena.stats()
-        assert st == (0, 0, 0, 0, 0, 0)
+        assert st == (0,) * len(st)
 
     def test_idle_pool_bounded_by_max_bytes(self):
         nbytes = 4 * 4 * 8 + 2 * 8 * 4
@@ -78,6 +78,42 @@ class TestArena:
         assert st.bytes_pooled == nbytes <= arena.max_bytes
         # The hot config still reuses its pooled workspace.
         assert arena.acquire(("a",), spec_small) is w1
+
+    def test_in_use_and_peak_bytes_tracked(self, arena):
+        nbytes = 4 * 4 * 8 + 2 * 8 * 4
+        w1 = arena.acquire(("a",), spec_small)
+        assert arena.stats().bytes_in_use == nbytes
+        w2 = arena.acquire(("b",), spec_small)
+        assert arena.stats().bytes_in_use == 2 * nbytes
+        assert arena.stats().peak_bytes == 2 * nbytes
+        arena.release(w1)
+        arena.release(w2)
+        st = arena.stats()
+        assert st.bytes_in_use == 0
+        assert st.peak_bytes == 2 * nbytes  # high-water is sticky
+
+    def test_meter_windows_measure_per_execution_peak(self, arena):
+        nbytes = 4 * 4 * 8 + 2 * 8 * 4
+        # A workspace held before the window does not count against it.
+        outside = arena.acquire(("pre",), spec_small)
+        meter = arena.start_meter()
+        w1 = arena.acquire(("a",), spec_small)
+        w2 = arena.acquire(("b",), spec_small)
+        arena.release(w1)
+        arena.release(w2)
+        assert arena.finish_meter(meter) == 2 * nbytes
+        arena.release(outside)
+        # A quiet window measures zero; finishing twice is idempotent.
+        meter = arena.start_meter()
+        assert arena.finish_meter(meter) == 0
+        assert arena.finish_meter(meter) == 0
+
+    def test_meter_counts_reused_workspaces(self, arena):
+        nbytes = 4 * 4 * 8 + 2 * 8 * 4
+        arena.release(arena.acquire(("k",), spec_small))  # pre-pool
+        meter = arena.start_meter()
+        arena.release(arena.acquire(("k",), spec_small))  # pure reuse
+        assert arena.finish_meter(meter) == nbytes
 
     def test_thread_safety_smoke(self, arena):
         errors = []

@@ -37,6 +37,50 @@ class TestCatalogDocs:
             assert f"`<{m},{k},{n}>`" in text
 
 
+class TestFusionSection:
+    def test_architecture_md_has_generated_fusion_section(self):
+        text = (REPO / "docs" / "architecture.md").read_text()
+        assert "fusion-modes:begin" in text and "fusion-modes:end" in text
+        # Every variant appears in the generated lowering-mode table.
+        for variant in ("naive", "ab", "abc"):
+            assert f"`{variant}`" in text
+
+    def test_fusion_section_matches_live_model(self):
+        """The committed workspace numbers are the model's (drift gate)."""
+        import sys
+
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            import gen_catalog_docs as gen
+        finally:
+            sys.path.pop(0)
+        text = (REPO / "docs" / "architecture.md").read_text()
+        assert gen.render_fusion_section() in text
+
+    def test_check_detects_stale_fusion_section(self, tmp_path):
+        """--check (with the default targets) fails when the architecture
+        section is edited by hand."""
+        import shutil
+        import subprocess
+
+        tools = tmp_path / "tools"
+        docs = tmp_path / "docs"
+        tools.mkdir(), docs.mkdir()
+        shutil.copy(REPO / "tools" / "gen_catalog_docs.py", tools)
+        shutil.copy(REPO / "docs" / "algorithms.md", docs)
+        stale = (REPO / "docs" / "architecture.md").read_text().replace(
+            "MiB", "GiB"
+        )
+        (docs / "architecture.md").write_text(stale)
+        (tmp_path / "src").symlink_to(REPO / "src")
+        res = subprocess.run(
+            [sys.executable, "tools/gen_catalog_docs.py", "--check"],
+            cwd=tmp_path, capture_output=True, text=True,
+        )
+        assert res.returncode == 1
+        assert "architecture.md" in res.stderr
+
+
 class TestLinkChecker:
     def test_readme_and_docs_links_resolve(self):
         res = _run("tools/check_links.py")

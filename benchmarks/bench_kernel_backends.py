@@ -1,0 +1,255 @@
+"""Kernel-backend benchmark: interpreted leaf loop vs compiled plan kernels.
+
+The acceptance bench for the pluggable leaf-kernel substrate
+(:mod:`repro.kernels`): the same compiled plans are executed through the
+**reference** backend (the generic recursion interpreter walking the
+factor tables step by step) and the **specialized** backend (one
+exec-compiled numpy kernel per plan, coefficients unrolled into the
+source, gather/scatter index vectors precomputed and cached alongside
+the plan).  Runs alternate backend-by-backend so slow drift on a shared
+machine hits both equally.  Three claims are regression-tracked:
+
+* **speed** — summed across the sweep, the specialized backend is no
+  slower than the interpreter (10% noise margin), and at least two
+  sweep shapes are >=1.10x faster — the interpreter-overhead regime
+  (many small leaf ops per multiply) the compiled kernels exist for;
+* **path** — every specialized run actually executes the compiled
+  kernel (``backend_path == "compiled"``), never a silent delegation
+  back to the interpreter;
+* **float32 parity** — on a fused-lowering shape with non-unit C
+  coefficients (the dtype-matched scratch path), the specialized/
+  reference time ratio at float32 stays within 5% of the float64 ratio,
+  so the f32 scratch fix doesn't tax the compiled pipeline.
+
+Run standalone (``python benchmarks/bench_kernel_backends.py``) for a
+table plus machine-readable ``benchmarks/results/
+BENCH_kernel_backends.json`` telemetry, or through pytest for the
+regression-tracked assertions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+#: (shape, algorithm spec, levels, fusion) sweep points.  Sizes sit in
+#: the interpreter-overhead regime: 2- and 3-level schedules put 49-343
+#: leaf products behind one multiply, so the per-step dispatch the
+#: compiled kernels remove is a visible fraction of the wall-clock; the
+#: rectangular-mixed and fused points are correctness/parity coverage
+#: more than headline wins.
+SHAPES = (
+    ((64, 64, 64), "strassen", 2, "staged"),
+    ((96, 96, 96), "strassen", 3, "staged"),
+    ((128, 128, 128), "strassen", 3, "staged"),
+    ((120, 80, 120), "<3,2,3>@1,strassen@1", 2, "staged"),
+    ((128, 128, 128), "strassen", 2, "fused"),
+)
+BACKENDS = ("reference", "specialized")
+REPEATS = 5
+#: Wall-clock tolerances: summed sweep must not regress past 10%, and
+#: the per-shape win threshold the issue tracks is 1.10x on >=2 shapes.
+SPEED_MARGIN = 1.10
+WIN_RATIO = 1.10
+#: float32/float64 relative-parity margin for the fused scratch path.
+F32_PARITY_MARGIN = 1.05
+#: The f32-parity point: fused lowering + non-unit C coefficients, so
+#: the dtype-matched scratch buffer is genuinely on the hot path.
+F32_SHAPE = ((144, 144, 144), "smirnov333", 1, "fused")
+
+
+def _operands(shape, dtype=np.float64, seed=2017):
+    m, k, n = shape
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k)).astype(dtype, copy=False)
+    B = rng.standard_normal((k, n)).astype(dtype, copy=False)
+    C = np.zeros((m, n), dtype=dtype)
+    return A, B, C
+
+
+def measure_point(shape, spec, levels, fusion, dtype=np.float64,
+                  repeats=REPEATS):
+    """Interleaved best-of-``repeats`` timings per backend for one plan.
+
+    The warmup pass also compiles the specialized kernel (kernel build
+    cost is a one-time-per-plan event, amortized by the plan cache, and
+    is reported separately rather than folded into the steady-state
+    timing) and records which executor path each backend actually took.
+    """
+    from repro.core import compile as plancache
+    from repro.core import runtime
+
+    A, B, C = _operands(shape, dtype)
+    cplan = plancache.compile(shape, spec, levels=levels, fusion=fusion,
+                              dtype=dtype)
+    paths: dict[str, str] = {}
+    compile_ms = 0.0
+    for backend in BACKENDS:  # warm: kernel compile, arena, pools
+        t0 = time.perf_counter()
+        runtime.execute_plan(cplan, A, B, C, backend=backend)
+        warm = time.perf_counter() - t0
+        report = runtime.last_report()
+        paths[backend] = report.backend_path
+        if backend == "specialized" and not report.kernel_cached:
+            compile_ms = warm * 1e3
+    times: dict[str, float] = {b: float("inf") for b in BACKENDS}
+    for _ in range(repeats):
+        for backend in BACKENDS:
+            t0 = time.perf_counter()
+            runtime.execute_plan(cplan, A, B, C, backend=backend)
+            times[backend] = min(times[backend], time.perf_counter() - t0)
+    return times, paths, compile_ms
+
+
+def run_sweep(shapes=SHAPES, dtype=np.float64):
+    """Measure every sweep point; returns a list of row dicts."""
+    rows = []
+    for shape, spec, levels, fusion in shapes:
+        times, paths, compile_ms = measure_point(shape, spec, levels,
+                                                 fusion, dtype)
+        rows.append({
+            "shape": list(shape),
+            "algorithm": f"{spec}-L{levels}",
+            "fusion": fusion,
+            "dtype": np.dtype(dtype).name,
+            "reference_ms": times["reference"] * 1e3,
+            "specialized_ms": times["specialized"] * 1e3,
+            "speedup": times["reference"] / times["specialized"],
+            "reference_path": paths["reference"],
+            "specialized_path": paths["specialized"],
+            "kernel_compile_ms": compile_ms,
+        })
+    return rows
+
+
+def f32_parity_point(trials=5, repeats=9):
+    """specialized/reference time ratios at f32 and f64 on the fused
+    non-unit-coefficient shape; returns the row dict the gate checks.
+
+    At the ~1ms scale of this point, a single best-of ratio still swings
+    several percent either way on a shared machine, so the gated number
+    is the **median relative ratio over ``trials`` independent trials**
+    — a systematic f32 scratch tax would shift every trial, noise only
+    scatters them.
+    """
+    shape, spec, levels, fusion = F32_SHAPE
+    relatives = []
+    ratios = {"float64": [], "float32": []}
+    for _ in range(trials):
+        trial = {}
+        for dtype in (np.float64, np.float32):
+            times, paths, _ = measure_point(shape, spec, levels, fusion,
+                                            dtype, repeats=repeats)
+            assert paths["specialized"] == "compiled", paths
+            trial[np.dtype(dtype).name] = (
+                times["specialized"] / times["reference"]
+            )
+        ratios["float64"].append(trial["float64"])
+        ratios["float32"].append(trial["float32"])
+        relatives.append(trial["float32"] / trial["float64"])
+    return {
+        "shape": list(shape),
+        "algorithm": f"{spec}-L{levels}",
+        "fusion": fusion,
+        "ratio_f64": float(np.median(ratios["float64"])),
+        "ratio_f32": float(np.median(ratios["float32"])),
+        "relative": float(np.median(relatives)),
+        "relative_trials": relatives,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# pytest mode
+# ---------------------------------------------------------------------- #
+def test_specialized_runs_compiled_and_wins_on_small_shapes():
+    """Acceptance: every sweep point executes the compiled kernel, the
+    summed sweep is no slower than the interpreter (10% margin), and at
+    least two shapes clear the 1.10x speedup bar."""
+    rows = run_sweep()
+    for r in rows:
+        assert r["reference_path"] == "interpreted", r
+        assert r["specialized_path"] == "compiled", r
+    total_ref = sum(r["reference_ms"] for r in rows)
+    total_spec = sum(r["specialized_ms"] for r in rows)
+    assert total_spec <= total_ref * SPEED_MARGIN, (
+        f"specialized {total_spec:.1f}ms vs reference {total_ref:.1f}ms "
+        f"(> {SPEED_MARGIN:.0%} margin)"
+    )
+    wins = [r for r in rows if r["speedup"] >= WIN_RATIO]
+    assert len(wins) >= 2, [
+        (r["shape"], round(r["speedup"], 3)) for r in rows
+    ]
+
+
+def test_float32_fused_scratch_keeps_relative_parity():
+    """Acceptance: the dtype-matched fused scratch path costs the
+    compiled backend no more than 5% relative to its float64 ratio."""
+    row = f32_parity_point()
+    assert row["relative"] <= F32_PARITY_MARGIN, row
+
+
+def test_backends_exact_across_sweep_shapes():
+    """Both backends produce the interpreter-exact product on every
+    sweep shape (scaled-down twins keep pytest mode fast)."""
+    from repro.core import compile as plancache
+    from repro.core import runtime
+
+    for shape, spec, levels, fusion in SHAPES:
+        small = tuple(max(d // 2, 24) for d in shape)
+        A, B, C = _operands(small)
+        cplan = plancache.compile(small, spec, levels=levels, fusion=fusion)
+        outs = {}
+        for backend in BACKENDS:
+            C[...] = 0.0
+            runtime.execute_plan(cplan, A, B, C, backend=backend)
+            outs[backend] = C.copy()
+        np.testing.assert_array_equal(
+            outs["specialized"], outs["reference"], err_msg=str(small)
+        )
+        assert np.abs(outs["reference"] - A @ B).max() < 1e-8, small
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode
+# ---------------------------------------------------------------------- #
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+
+    print("kernel-backend benchmark (reference interpreter vs "
+          "compiled plan kernels)")
+    print(f"{'shape':>12} {'algorithm':>22} {'fusion':>6} "
+          f"{'ref ms':>8} {'spec ms':>8} {'speedup':>7} "
+          f"{'spec path':>9} {'compile ms':>10}")
+    rows = run_sweep()
+    for r in rows:
+        shape = "x".join(str(d) for d in r["shape"])
+        print(f"{shape:>12} {r['algorithm']:>22} {r['fusion']:>6} "
+              f"{r['reference_ms']:8.2f} {r['specialized_ms']:8.2f} "
+              f"{r['speedup']:6.2f}x {r['specialized_path']:>9} "
+              f"{r['kernel_compile_ms']:10.1f}")
+    total_ref = sum(r["reference_ms"] for r in rows)
+    total_spec = sum(r["specialized_ms"] for r in rows)
+    parity = f32_parity_point()
+    print(f"\ntotal: reference {total_ref:.1f}ms, specialized "
+          f"{total_spec:.1f}ms ({total_ref / total_spec:.2f}x); "
+          f">=1.10x on "
+          f"{sum(r['speedup'] >= WIN_RATIO for r in rows)}/{len(rows)} "
+          f"shapes")
+    print(f"f32 fused-scratch parity at "
+          f"{'x'.join(str(d) for d in parity['shape'])} "
+          f"{parity['algorithm']}: spec/ref ratio f64 "
+          f"{parity['ratio_f64']:.3f}, f32 {parity['ratio_f32']:.3f} "
+          f"(relative {parity['relative']:.3f}, gate <= "
+          f"{F32_PARITY_MARGIN:.2f})")
+    out = write_bench_json("kernel_backends", {
+        "points": rows,
+        "total_reference_ms": total_ref,
+        "total_specialized_ms": total_spec,
+        "f32_parity": parity,
+    })
+    print(f"[saved {out}]")
+
+
+if __name__ == "__main__":
+    main()

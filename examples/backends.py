@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Pluggable leaf-kernel backends: interpreter vs per-plan compiled kernels.
+
+The direct engine's hot loop is a pluggable ``LeafBackend``
+(``repro.kernels``).  The ``reference`` backend interprets the compiled
+plan's task graph step by step — the exactness baseline.  The
+``specialized`` backend exec-compiles one numpy function per plan
+(coefficients unrolled into the source, gather/scatter index vectors
+precomputed) and caches it on the plan itself, removing the per-step
+dispatch that dominates multi-level schedules over small blocks.
+
+This walkthrough: enumerate the registry, race the two backends on one
+plan, show the compile-once/cache-hit behavior and the delegation rules,
+and let ``engine="auto"`` pick the backend via the performance model.
+
+Run:  python examples/backends.py
+"""
+
+import time
+
+import numpy as np
+
+import repro
+from repro import kernels
+
+rng = np.random.default_rng(7)
+A = rng.standard_normal((96, 96))
+B = rng.standard_normal((96, 96))
+
+# ---------------------------------------------------------------- registry
+print("registered backends:")
+for info in kernels.backend_infos():
+    status = "available" if info.available else f"needs {info.requires}"
+    print(f"  {info.name:<12} [{status}] {info.summary}")
+
+# ------------------------------------------------------- race the backends
+print("\nstrassen@3 on 96x96 (343 leaf products -> interpreter-bound):")
+for backend in ("reference", "specialized"):
+    repro.multiply(A, B, algorithm="strassen", levels=3,
+                   backend=backend)  # warm: plan + kernel compile
+    t0 = time.perf_counter()
+    for _ in range(20):
+        C = repro.multiply(A, B, algorithm="strassen", levels=3,
+                           backend=backend)
+    ms = (time.perf_counter() - t0) / 20 * 1e3
+    rep = repro.last_report()
+    err = np.abs(C - A @ B).max()
+    print(f"  {backend:<12} {ms:6.2f} ms/call  path={rep.backend_path:<11} "
+          f"kernel_cached={rep.kernel_cached}  max err {err:.2e}")
+
+# The specialized kernel is compiled once per plan and cached with it:
+stats = kernels.get_backend("specialized").cache_stats()
+print(f"\nspecialized cache: {stats['kernels']} kernel(s), "
+      f"{stats['compiles']} compile(s), {stats['hits']} hit(s)")
+
+# ------------------------------------------------------------- delegation
+# Calls the compiled kernel cannot serve fall back to the interpreter —
+# observable on the report, never silent, never wrong.
+repro.multiply(A, B, algorithm="strassen", levels=2,
+               backend="specialized", threads=2)
+rep = repro.last_report()
+print(f"\nthreads=2 with backend=specialized -> "
+      f"backend_path={rep.backend_path} (delegated)")
+
+# ------------------------------------------------------------ auto engine
+# Under engine="auto" the backend is a priced dimension: the model adds
+# each backend's per-call dispatch overhead, the tuner can overrule it
+# empirically, and wisdom remembers the verdict.
+C = repro.multiply(A, B, engine="auto")
+rep = repro.last_report()
+print(f"\nengine='auto' picked backend={rep.backend} "
+      f"(path={rep.backend_path}); max err "
+      f"{np.abs(C - A @ B).max():.2e}")

@@ -38,6 +38,15 @@ Public surface
 * :func:`tune_problem` / :func:`tune_sweep` / :class:`WisdomStore` —
   empirical autotuning with persistent wisdom (:mod:`repro.tune`);
   ``multiply(engine="auto", tune="readonly")`` dispatches on it.
+* :mod:`repro.kernels` — pluggable leaf-kernel backends behind the
+  runtime (:func:`backend_names` / :func:`backend_infos` /
+  :class:`LeafBackend`): the reference numpy interpreter, per-plan
+  ``exec``-compiled specialized kernels, and an optional numba JIT
+  wrapper; ``multiply(backend=...)`` selects one, ``engine="auto"``
+  prices and tunes the choice.
+* :func:`set_runtime_tunables` / :func:`runtime_tunables` — per-machine
+  runtime knobs (fused group size, auto-fusion threshold); wisdom files
+  carry measured overrides (:func:`tune_fused_group`).
 * :func:`build_plan` / :func:`generate_source` — the code generator.
 """
 
@@ -84,13 +93,23 @@ from repro.core.spec import (
     FUSION_MODES,
     VARIANTS,
     Schedule,
+    normalize_backend,
     normalize_fusion,
     normalize_schedule,
     normalize_spec,
     normalize_threads,
     normalize_tune,
     normalize_variant,
+    runtime_tunables,
     schedule_signature,
+    set_runtime_tunables,
+)
+from repro.kernels import (
+    LeafBackend,
+    available_backends,
+    backend_infos,
+    backend_names,
+    get_backend,
 )
 from repro.core.workspace import arena_clear, arena_stats
 from repro.model.machines import MachineParams, generic_laptop, ivy_bridge_e5_2680_v2
@@ -111,6 +130,7 @@ from repro.tune import (
     default_store,
     measure_candidate,
     set_default_store,
+    tune_fused_group,
     tune_problem,
     tune_sweep,
 )
@@ -183,7 +203,16 @@ __all__ = [
     "TuneReport",
     "tune_problem",
     "tune_sweep",
+    "tune_fused_group",
     "calibrate_machine",
+    "LeafBackend",
+    "available_backends",
+    "backend_infos",
+    "backend_names",
+    "get_backend",
+    "normalize_backend",
+    "runtime_tunables",
+    "set_runtime_tunables",
     "build_plan",
     "generate_source",
     "compile_plan",

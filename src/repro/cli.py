@@ -7,6 +7,7 @@ Commands
 ``select``    Model-guided implementation selection for a problem size.
 ``tune``      Measure the model's favorites; persist the winner as wisdom.
 ``wisdom``    Inspect or clear the persistent autotuning wisdom store.
+``backends``  List leaf-kernel backends, availability and kernel caches.
 ``codegen``   Emit generated Python source for an algorithm/variant.
 ``model``     Print modeled Effective GFLOPS for a configuration sweep.
 ``discover``  Run the ALS search for a (m, k, n, rank) target.
@@ -62,9 +63,13 @@ def cmd_multiply(args) -> int:
         C = multiply_batched(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
-            tune=args.tune, fusion=args.fusion,
+            tune=args.tune, fusion=args.fusion, backend=args.backend,
         )
     elif args.engine == "blocked":
+        if args.backend not in (None, "reference"):
+            raise SystemExit(
+                f"--backend {args.backend} is only valid with --engine direct"
+            )
         # BlockedEngine normalizes threads itself (None -> 1, 0/neg raise).
         eng = BlockedEngine(variant=args.variant, threads=args.threads)
         C = np.zeros((args.m, args.n), dtype=dtype)
@@ -74,13 +79,14 @@ def cmd_multiply(args) -> int:
         C = multiply(
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
-            tune=args.tune, fusion=args.fusion,
+            tune=args.tune, fusion=args.fusion, backend=args.backend,
         )
     from repro.core.runtime import last_report
 
     rep = last_report()
     if rep is not None:
         print(f"runtime: {rep.fusion} lowering, {rep.threads} thread(s), "
+              f"backend {rep.backend} ({rep.backend_path}), "
               f"peak workspace {rep.peak_workspace_bytes / 2**20:.2f} MiB")
     err = float(np.abs(C - A @ B).max())
     scale = max(1.0, float(np.abs(C).max()))
@@ -195,8 +201,9 @@ def cmd_tune(args) -> int:
                 "beat_model": r.beat_model,
                 "bucket": r.bucket,
                 "measured": [
-                    {"label": ms.label, "time_s": ms.time_s,
-                     "gflops": ms.gflops, "samples": ms.samples}
+                    {"label": ms.label, "backend": ms.backend,
+                     "time_s": ms.time_s, "gflops": ms.gflops,
+                     "samples": ms.samples}
                     for ms in r.measurements
                 ],
             }
@@ -226,6 +233,7 @@ def cmd_wisdom(args) -> int:
         return 0
     entries = store.entries()
     mp = store.machine_params()
+    tunables = store.tunables()
     if args.json:
         print(json.dumps({
             "path": str(store.path),
@@ -237,6 +245,7 @@ def cmd_wisdom(args) -> int:
                 "cores": mp.cores,
                 "lam": mp.lam,
             },
+            "tunables": tunables,
             "recovered_corrupt": store.recovered_corrupt,
             "ignored_stale": store.ignored_stale,
         }, indent=2))
@@ -249,6 +258,14 @@ def cmd_wisdom(args) -> int:
     if mp is not None:
         print(f"  machine: {mp.name} peak {mp.peak_gflops_per_core:.1f} GF/core"
               f" bw {mp.bandwidth_gbs:.1f} GB/s lambda {mp.lam:.2f}")
+    if tunables:
+        from repro.core.spec import TUNABLE_DEFAULTS
+
+        knobs = ", ".join(
+            f"{key}={val} (default {TUNABLE_DEFAULTS[key]})"
+            for key, val in sorted(tunables.items())
+        )
+        print(f"  tunables: {knobs}")
     if not entries:
         print("  (no tuned entries; run `repro tune`)")
         return 0
@@ -261,8 +278,63 @@ def cmd_wisdom(args) -> int:
             )
         )
         m, k, n = e["problem"]
-        print(f"  {bucket:<32} {label}/{cfg['variant']} t{cfg['threads']} "
-              f"{e['gflops']:.2f} GF (tuned at {m}x{k}x{n})")
+        backend = cfg.get("backend", "reference")
+        bnote = "" if backend == "reference" else f" [{backend}]"
+        print(f"  {bucket:<32} {label}/{cfg['variant']} t{cfg['threads']}"
+              f"{bnote} {e['gflops']:.2f} GF (tuned at {m}x{k}x{n})")
+    return 0
+
+
+def cmd_backends(args) -> int:
+    from repro import kernels
+
+    probe_reports = {}
+    if args.probe:
+        from repro.core.executor import multiply
+        from repro.core.runtime import last_report
+
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        for b in kernels.available_backends():
+            # Two calls: the second shows the cached-kernel steady state.
+            multiply(A, B, algorithm="strassen", backend=b.name)
+            multiply(A, B, algorithm="strassen", backend=b.name)
+            rep = last_report()
+            probe_reports[b.name] = {
+                "backend_path": rep.backend_path,
+                "kernel_cached": rep.kernel_cached,
+                "fusion": rep.fusion,
+            }
+
+    rows = []
+    for info in kernels.backend_infos():
+        stats = kernels.get_backend(info.name).cache_stats()
+        rows.append({
+            "name": info.name,
+            "available": info.available,
+            "requires": info.requires,
+            "summary": info.summary,
+            "cache": stats,
+            "probe": probe_reports.get(info.name),
+        })
+    if args.json:
+        print(json.dumps({"backends": rows}, indent=2))
+        return 0
+    print(f"{'backend':<12} {'available':<10} {'plans':>6} {'kernels':>8} "
+          f"{'compiles':>9} {'hits':>6}")
+    for row in rows:
+        avail = "yes" if row["available"] else f"no ({row['requires']})"
+        c = row["cache"]
+        print(f"{row['name']:<12} {avail:<10} {c['plans']:>6} "
+              f"{c['kernels']:>8} {c['compiles']:>9} {c['hits']:>6}")
+        print(f"    {row['summary']}")
+        probe = row["probe"]
+        if probe is not None:
+            cached = ("" if not probe["kernel_cached"]
+                      else ", kernel cache hit")
+            print(f"    probe 64^3 strassen: {probe['backend_path']} path, "
+                  f"{probe['fusion']} lowering{cached}")
     return 0
 
 
@@ -349,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "(O(threads) buffers); auto resolves per plan. "
                         "The blocked engine's packed kernel always "
                         "streams (staged requests execute fused there)")
+    p.add_argument("--backend", choices=("reference", "specialized", "numba"),
+                   default=None,
+                   help="leaf-kernel backend (direct engine): reference "
+                        "interpreter, per-plan compiled kernels, or their "
+                        "numba-JIT wrapper; default follows --engine auto's "
+                        "pick, else reference")
 
     p = sub.add_parser("select", help="model-guided selection")
     _add_shape(p)
@@ -386,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "~/.cache/repro/wisdom.json)")
     p.add_argument("--json", action="store_true")
 
+    p = sub.add_parser("backends",
+                       help="list leaf-kernel backends and kernel caches")
+    p.add_argument("--probe", action="store_true",
+                   help="run a small multiply through each available "
+                        "backend and report its execution path")
+    p.add_argument("--json", action="store_true")
+
     p = sub.add_parser("codegen", help="emit generated Python source")
     _add_shape(p)
     p.add_argument("--algorithm", default="strassen")
@@ -418,6 +503,7 @@ def main(argv=None) -> int:
         "select": cmd_select,
         "tune": cmd_tune,
         "wisdom": cmd_wisdom,
+        "backends": cmd_backends,
         "codegen": cmd_codegen,
         "model": cmd_model,
         "discover": cmd_discover,

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict, namedtuple
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -159,6 +160,18 @@ class CompiledPlan:
     @property
     def shape(self) -> tuple[int, int, int]:
         return (self.plan.m, self.plan.k, self.plan.n)
+
+    @cached_property
+    def has_nonunit_c_coeffs(self) -> bool:
+        """True when any scatter coefficient is not ±1 (float-status
+        entries): the grouped pipeline then checks out a scratch strip so
+        its scatter-accumulate stays dtype-matched and allocation-free.
+        The workspace model mirrors this flag off the composed ``W``."""
+        return any(
+            w != 1.0 and w != -1.0
+            for s in self.plan.steps
+            for _, w in s.c_terms
+        )
 
     # ------------------------------------------------------------------ #
     # View extraction (works for 2-D and batched ``(..., rows, cols)``)

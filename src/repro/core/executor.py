@@ -42,6 +42,7 @@ from repro.core.compile import SUPPORTED_DTYPES, CompiledPlan
 from repro.core.kronecker import MultiLevelFMM
 from repro.core.runtime import check_exec_shapes as _check_exec_shapes
 from repro.core.spec import (
+    normalize_backend,
     normalize_fusion,
     normalize_threads,
     normalize_tune,
@@ -104,6 +105,12 @@ class DirectEngine:
     chunk_target:
         Intermediate-size target (elements) for slicing a batch into
         cache-resident chunks on the task-graph path.
+    backend:
+        Leaf-kernel backend name from the :mod:`repro.kernels` registry
+        (``"reference"`` default; ``"specialized"`` / ``"numba"`` compile
+        per-plan whole-core kernels and transparently delegate to the
+        interpreted pipeline for call shapes they do not serve — check
+        ``last_report.backend_path``).
     """
 
     def __init__(
@@ -111,10 +118,12 @@ class DirectEngine:
         threads: int = 1,
         vector_cap: int = runtime.DEFAULT_VECTOR_CAP,
         chunk_target: int = runtime.DEFAULT_CHUNK_TARGET,
+        backend: str | None = None,
     ) -> None:
         self.threads = normalize_threads(threads) or 1
         self.vector_cap = int(vector_cap)
         self.chunk_target = int(chunk_target)
+        self.backend = normalize_backend(backend)
         self.last_peel = None
         self.last_plan: CompiledPlan | None = None
         self.last_report: runtime.ExecutionReport | None = None
@@ -149,6 +158,7 @@ class DirectEngine:
             threads=self.threads,
             vector_cap=self.vector_cap,
             chunk_target=self.chunk_target,
+            backend=self.backend,
         )
         self.last_report = runtime.last_report()
         return out
@@ -243,10 +253,19 @@ class BlockedEngine:
         return C
 
 
-def _dispatch(engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode):
+def _dispatch(
+    engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode,
+    backend: str = "reference",
+):
     if engine == "direct":
-        DirectEngine(threads=threads).execute(cplan, A, B, C)
+        DirectEngine(threads=threads, backend=backend).execute(cplan, A, B, C)
     elif engine == "blocked":
+        if backend != "reference":
+            raise ValueError(
+                "engine='blocked' executes through its packed BLIS leaf "
+                f"kernel; backend={backend!r} is only valid with the "
+                "direct engine"
+            )
         BlockedEngine(
             params=params, variant=cplan.variant, threads=threads, mode=mode
         ).execute(cplan, A, B, C)
@@ -271,6 +290,7 @@ def multiply(
     dtype=None,
     tune: str = "readonly",
     fusion: str = "auto",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Fast matrix multiplication ``C + A @ B`` — the one-call public API.
 
@@ -331,6 +351,18 @@ def multiply(
         interpretation, so under ``engine="blocked"`` every plan —
         including an explicit ``"staged"`` request — executes on the
         fused pipeline (check ``last_report().fusion``).
+    backend : {"reference", "specialized", "numba"}, optional
+        Leaf-kernel backend (:mod:`repro.kernels`): ``"reference"`` is
+        the numpy task-graph interpreter; ``"specialized"`` compiles one
+        dependency-free whole-core kernel per plan (coefficient loops
+        unrolled, gather/scatter indices precomputed) and caches it
+        alongside the plan; ``"numba"`` JITs the same emitted kernels
+        when numba is importable.  Compiling backends transparently
+        delegate to the interpreted pipeline for call shapes they do not
+        serve (batched, threaded, non-contiguous) — check
+        ``last_report().backend_path``.  Default picks the backend under
+        ``engine="auto"`` (wisdom / model priced) and ``"reference"``
+        otherwise.  Only valid with the direct engine.
 
     Returns
     -------
@@ -371,6 +403,8 @@ def multiply(
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
     fusion = normalize_fusion(fusion)
+    if backend is not None:
+        backend = normalize_backend(backend)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
@@ -383,19 +417,23 @@ def multiply(
     if engine == "auto":
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, auto_threads = auto_config(
-            m, k, n, dtype=dt.name, threads=threads, tune=tune
+        algorithm, levels, variant, engine, auto_threads, auto_backend = (
+            auto_config(m, k, n, dtype=dt.name, threads=threads, tune=tune)
         )
         if threads is None:
             threads = auto_threads
+        if backend is None:
+            backend = auto_backend
     if threads is None:
         threads = 1
+    if backend is None:
+        backend = "reference"
     if C is None:
         C = np.zeros((m, n), dtype=dt)
     cplan = plancache.compile(
         (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
     )
-    _dispatch(engine, cplan, A, B, C, params, threads, mode)
+    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend)
     return C
 
 
@@ -413,6 +451,7 @@ def multiply_batched(
     dtype=None,
     tune: str = "readonly",
     fusion: str = "auto",
+    backend: str | None = None,
 ) -> np.ndarray:
     """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
 
@@ -432,11 +471,15 @@ def multiply_batched(
         At least one operand must be 3-D.
     C : (batch, m, n) ndarray, optional
         Accumulation target; allocated (zeros) when omitted.
-    algorithm, levels, variant, engine, params, threads, mode, dtype, tune, fusion
+    algorithm, levels, variant, engine, params, threads, mode, dtype, tune, \
+fusion, backend
         As in :func:`multiply` (``algorithm`` accepts the same schedule
         grammar, including ``"atom@count"`` strings); under
         ``engine="auto"`` the thread pick weighs the *whole batch's*
-        flops, not one element's.
+        flops, not one element's.  Compiling backends serve 2-D calls
+        only, so a batched request with ``backend="specialized"`` is
+        valid but executes on the interpreted pipeline
+        (``last_report().backend_path == "interpreted"``).
 
     Returns
     -------
@@ -461,6 +504,8 @@ def multiply_batched(
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
     fusion = normalize_fusion(fusion)
+    if backend is not None:
+        backend = normalize_backend(backend)
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim == 2 and B.ndim == 2:
@@ -488,9 +533,11 @@ def multiply_batched(
         from repro.core.parallel import pick_threads
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, _ = auto_config(
+        algorithm, levels, variant, engine, _, auto_backend = auto_config(
             m, k, n, dtype=dt.name, threads=threads, tune=tune
         )
+        if backend is None:
+            backend = auto_backend
         if threads is None:
             # Re-pick with the whole batch in view: the runtime folds the
             # batch into its task slabs, so the parallelism threshold is
@@ -504,6 +551,8 @@ def multiply_batched(
             )
     if threads is None:
         threads = 1
+    if backend is None:
+        backend = "reference"
     if C is None:
         C = np.zeros((batch, m, n), dtype=dt)
     elif C.shape != (batch, m, n):
@@ -511,7 +560,7 @@ def multiply_batched(
     cplan = plancache.compile(
         (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
     )
-    _dispatch(engine, cplan, A, B, C, params, threads, mode)
+    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend)
     return C
 
 

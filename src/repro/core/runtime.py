@@ -51,6 +51,14 @@ temporary lives in the recycling workspace arena
 ``peak_workspace_bytes`` on the :class:`ExecutionReport` every execution
 publishes (:func:`last_report`).
 
+The leaf implementations live behind the pluggable backend substrate
+(:mod:`repro.kernels`): every execution resolves a registered ``backend``
+by name, and a *compiling* backend (``"specialized"``, ``"numba"``) may
+serve the whole core with one per-plan exec-compiled kernel
+(``core_path="kernel"``) — falling back to this interpreted pipeline for
+any call it cannot specialize, so behavior never depends on the backend
+choice, only speed does.
+
 Fallbacks (both serial, both documented limits of the arena path): staged
 cores whose stacked intermediates exceed ``vector_cap`` run the
 memory-light per-step loop, as does a destination dtype that cannot
@@ -66,9 +74,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels as kernel_backends
 from repro.core.compile import CompiledPlan
-from repro.core.spec import validate_resolved_fusion
+from repro.core.spec import (
+    DEFAULT_FUSED_GROUP,
+    effective_fused_group,
+    normalize_backend,
+    validate_resolved_fusion,
+)
 from repro.core.workspace import workspace_arena
+from repro.kernels.reference import (
+    NUMPY_LEAF,
+    NumpyProductLeaf,
+    gather as _gather,
+    scatter_accumulate as _scatter_product,
+)
 
 __all__ = [
     "ExecutionReport",
@@ -83,16 +103,13 @@ __all__ = [
     "shutdown_pools",
     "DEFAULT_VECTOR_CAP",
     "DEFAULT_CHUNK_TARGET",
+    "DEFAULT_FUSED_GROUP",
 ]
 
 #: Per-element stacked-intermediate bound for the staged arena path (elements).
 DEFAULT_VECTOR_CAP = 1 << 24
 #: Intermediate-size target for slicing batches into cache-resident chunks.
 DEFAULT_CHUNK_TARGET = 1 << 17
-#: Products per streaming group of the fused pipeline: the coefficient-GEMM
-#: strip height.  Large enough to amortize kernel dispatch, small enough
-#: that a group's S/T/M buffers stay cache-resident.
-DEFAULT_FUSED_GROUP = 8
 
 
 # ---------------------------------------------------------------------- #
@@ -280,69 +297,12 @@ def lower_plan(
 
 
 # ---------------------------------------------------------------------- #
-# Leaf kernels
+# Leaf kernels — the implementations live in :mod:`repro.kernels`
+# (``reference.py`` hosts the former in-module ``_gather`` /
+# ``_scatter_product`` / ``NumpyProductLeaf``); the names above re-export
+# them for compatibility, and the bindings below call through them so the
+# interpreted pipeline and the reference backend cannot diverge.
 # ---------------------------------------------------------------------- #
-def _gather(terms, views, out) -> None:
-    """Weighted sum of block views written into a recycled buffer.
-
-    Coefficients are python floats (plan invariant), so NEP-50 weak-scalar
-    promotion never upcasts float32 intermediates.
-    """
-    (i0, c0) = terms[0]
-    v0 = views[i0]
-    if c0 == 1.0:
-        np.copyto(out, v0)
-    elif c0 == -1.0:
-        np.negative(v0, out=out)
-    else:
-        np.multiply(v0, c0, out=out)
-    for i, c in terms[1:]:
-        v = views[i]
-        if c == 1.0:
-            out += v
-        elif c == -1.0:
-            out -= v
-        else:
-            out += c * v
-
-
-class NumpyProductLeaf:
-    """Default leaf kernel: weighted gathers + one ``matmul`` per product.
-
-    Stateless and shared (:data:`NUMPY_LEAF`); works on 2-D and batched
-    operands alike because every operation runs on the trailing two axes.
-    """
-
-    supports_batch = True    #: leading batch axes handled natively
-    parallel_fringe = True   #: fringe tasks may run on the pool
-    #: Per-slot recycled buffers this leaf's ``product`` actually reads:
-    #: the ungathered pipeline allocates exactly these (a fully-fused
-    #: kernel like the BLIS abc leaf needs none).
-    needs_buffers = ("S", "T", "M")
-
-    def begin(self, n_slots: int) -> None:
-        """Per-execution setup hook (stateless here)."""
-
-    def finish(self) -> None:
-        """Per-execution teardown hook (stateless here)."""
-
-    def product(self, step, Av, Bv, Ct, S, T, M, slot: int) -> None:
-        """Stream one product: gather combos, multiply, scatter-accumulate."""
-        _gather(step.a_terms, Av, S)
-        _gather(step.b_terms, Bv, T)
-        np.matmul(S, T, out=M)
-        _scatter_product(step, M, Ct)
-
-    def fringe(self, f, A, B, C) -> None:
-        C[..., f.c_rows, f.c_cols] += (
-            A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
-        )
-
-
-#: The shared stateless default leaf.
-NUMPY_LEAF = NumpyProductLeaf()
-
-
 def _run_fringe(f, A, B, C) -> None:
     NUMPY_LEAF.fringe(f, A, B, C)
 
@@ -432,24 +392,6 @@ class _StagedBinding(_GatheredSlabs):
             raise ValueError(f"unknown task kind {kind!r}")
 
 
-def _scatter_product(step, M, Ct) -> None:
-    """Immediately accumulate one computed product into its C tiles.
-
-    The ±1 fast paths cover the discrete catalog; a non-unit coefficient
-    (float-status entries) allocates one block-sized ``w * M`` temporary
-    per term — bounded by a single block, not by R, so the fused
-    pipeline's O(workers · group) footprint claim is unaffected.
-    """
-    for i, w in step.c_terms:
-        v = Ct[i]
-        if w == 1.0:
-            v += M
-        elif w == -1.0:
-            v -= M
-        else:
-            v += w * M
-
-
 class _FusedBindingBase:
     """Shared per-worker accumulator machinery of the fused bindings.
 
@@ -536,7 +478,7 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
     """
 
     __slots__ = ("L", "group", "Ablk", "Bblk", "A2", "B2",
-                 "S", "T", "M", "S2", "T2", "S3", "T3", "M3")
+                 "S", "T", "M", "S2", "T2", "S3", "T3", "M3", "scratch")
 
     def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, group):
         super().__init__(cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots)
@@ -550,6 +492,9 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
         self.S3 = [s.reshape(-1, bm, bk) for s in S]
         self.T3 = [t.reshape(-1, bk, bn) for t in T]
         self.M3 = [m_.reshape(-1, bm, bn) for m_ in M]
+        # Per-slot dtype-matched scale strip for non-±1 scatter
+        # coefficients; allocated only for plans that have them.
+        self.scratch = ws.buffers.get("scratch")
 
     def run(self, task: Task) -> None:
         kind = task.kind
@@ -560,6 +505,7 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
             Ct = self._slot_target(slot)
             cp, L, g = self.cplan, self.L, self.group
             M = self.M[slot]
+            sc = None if self.scratch is None else self.scratch[slot]
             S2, T2 = self.S2[slot], self.T2[slot]
             S3, T3, M3 = self.S3[slot], self.T3[slot], self.M3[slot]
             for lo in range(task.lo, task.hi, g):
@@ -569,7 +515,7 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
                 np.matmul(cp.Vt[lo:hi], self.B2, out=T2[:w])
                 np.matmul(S3[: w * L], T3[: w * L], out=M3[: w * L])
                 for j in range(w):
-                    _scatter_product(self.steps[lo + j], M[j], Ct)
+                    _scatter_product(self.steps[lo + j], M[j], Ct, sc)
         elif kind == "reduce":
             self._reduce(task)
         else:  # pragma: no cover - lowering emits only the kinds above
@@ -651,6 +597,10 @@ def _grouped_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group):
         "T": ((n_slots, group) + lead + (bk, bn), dt),
         "M": ((n_slots, group) + lead + (bm, bn), dt),
     }
+    if cplan.has_nonunit_c_coeffs:
+        # Per-slot scale strip: keeps the non-±1 scatter-accumulate
+        # dtype-matched and allocation-free (see scatter_accumulate).
+        spec["scratch"] = ((n_slots,) + lead + (bm, bn), dt)
     if n_slots > 1:
         spec["Cacc"] = ((n_slots, len(cplan.c_table)) + lead + (bm, bn), dt)
     return spec
@@ -673,8 +623,9 @@ class ExecutionReport:
     threads:
         Worker count requested.
     core_path:
-        ``"graph"`` (task-graph pipeline), ``"steps"`` (serial per-step
-        fallback) or ``"none"`` (pure-fringe problem).
+        ``"kernel"`` (a backend's compiled whole-core kernel), ``"graph"``
+        (task-graph pipeline), ``"steps"`` (serial per-step fallback) or
+        ``"none"`` (pure-fringe problem).
     n_tasks:
         Tasks in the lowered graph (0 off the graph path).
     peak_workspace_bytes:
@@ -682,7 +633,21 @@ class ExecutionReport:
         memory footprint of its temporaries.  The serial per-step
         fallback (``core_path="steps"``) allocates outside the arena;
         its figure is the analytic live footprint of one product's
-        S/T/M buffers instead, never a misleading zero.
+        S/T/M buffers instead, never a misleading zero.  A compiled
+        kernel's buffers likewise live outside the arena; its figure is
+        the kernel's preallocated-buffer total.
+    backend:
+        The leaf-kernel backend this call resolved
+        (:mod:`repro.kernels`); ``"reference"`` is the interpreter.
+    backend_path:
+        How the backend served the core: ``"compiled"`` (exec-compiled
+        specialized kernel), ``"jit"`` (numba-wrapped kernel) or
+        ``"interpreted"`` (delegated to the task-graph pipeline —
+        always the case for the reference backend).
+    kernel_cached:
+        On the kernel path: ``False`` when this call compiled the
+        kernel, ``True`` when it reused a cached one.  ``None`` off the
+        kernel path.
     """
 
     shape: tuple[int, int, int]
@@ -693,6 +658,9 @@ class ExecutionReport:
     core_path: str
     n_tasks: int
     peak_workspace_bytes: int
+    backend: str = "reference"
+    backend_path: str = "interpreted"
+    kernel_cached: bool | None = None
 
 
 _report_tls = threading.local()
@@ -740,17 +708,23 @@ def execute_plan(
     arena=None,
     leaf=None,
     fusion: str | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Execute ``C += A @ B`` under a compiled plan on ``threads`` workers.
 
     Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
     trailing dims match the plan.  ``threads=1`` runs the same task
     schedule inline; ``threads>1`` fans phases out over the shared worker
-    pool.  ``leaf`` swaps the per-product kernel (default: the NumPy
-    leaf; the blocked engine passes
+    pool.  ``backend`` selects the leaf-kernel backend by registry name
+    (:mod:`repro.kernels`; default ``"reference"``): a compiling backend
+    serves the core with a per-plan specialized kernel when it can and
+    delegates to the interpreted pipeline when it cannot — behavior is
+    identical either way and the report records what ran.  ``leaf`` swaps
+    the per-product kernel (the blocked engine passes
     :class:`repro.core.variants.BlisProductLeaf`); every custom leaf
     executes on the fused per-product pipeline — the staged slab phases
-    are pure-NumPy math that would bypass its kernel.
+    are pure-NumPy math that would bypass its kernel — and is mutually
+    exclusive with a non-reference ``backend``.
     ``fusion`` overrides the plan's resolved lowering mode (benchmarks
     compare ``"staged"`` vs ``"fused"`` on the same plan this way).
     ``arena`` overrides the global workspace arena (tests).
@@ -763,7 +737,14 @@ def execute_plan(
         raise ValueError("threads must be >= 1")
     check_exec_shapes(cplan, A, B, C)
     arena = arena if arena is not None else workspace_arena
-    leaf = NUMPY_LEAF if leaf is None else leaf
+    backend_name = normalize_backend(backend)
+    if leaf is not None and backend_name != "reference":
+        raise ValueError(
+            "a custom leaf kernel executes on the reference pipeline; "
+            f"it cannot be combined with backend={backend_name!r}"
+        )
+    backend_obj = kernel_backends.get_backend(backend_name)
+    leaf = backend_obj.leaf() if leaf is None else leaf
     pp = cplan.peel_plan
     fusion_eff = validate_resolved_fusion(
         cplan.fusion if fusion is None else fusion
@@ -777,11 +758,27 @@ def execute_plan(
 
     batch = int(math.prod(A.shape[:-2])) if A.ndim > 2 else 1
     core_path = "none"
+    backend_path = "interpreted"
+    kernel_cached = None
     n_tasks = 0
     steps_bytes = 0
     meter = arena.start_meter()
     try:
-        if pp.has_core:
+        kernel_entry = None
+        if pp.has_core and backend_name != "reference":
+            kernel_entry = backend_obj.kernel_for(
+                cplan, A, B, C, fusion_eff, threads, vector_cap
+            )
+        if kernel_entry is not None:
+            # The backend compiled (or cached) a whole-core kernel for
+            # this exact call; fringes stay with the serial peel loop
+            # below, exactly like the steps fallback.
+            core_path = "kernel"
+            backend_path = kernel_entry.path
+            kernel_cached = kernel_entry.hits > 0
+            steps_bytes = kernel_entry.workspace_bytes
+            kernel_entry.run(A, B, C)
+        elif pp.has_core:
             mp, kp, np_ = pp.core
             Mt, Kt, Nt = cplan.dims_total
             bm, bk, bn = mp // Mt, kp // Kt, np_ // Nt
@@ -811,7 +808,7 @@ def execute_plan(
                 pool = get_pool(threads) if threads > 1 else None
                 core_phases = [p for p in graph.phases if p[0].kind != "fringe"]
                 n_slots = max(graph.n_slots, 1)
-                group = min(DEFAULT_FUSED_GROUP, cplan.rank_total)
+                group = min(effective_fused_group(), cplan.rank_total)
                 leaf.begin(n_slots)
                 try:
                     if Ac.ndim == 3 and not leaf.supports_batch:
@@ -886,6 +883,9 @@ def execute_plan(
         core_path=core_path,
         n_tasks=n_tasks,
         peak_workspace_bytes=peak,
+        backend=backend_name,
+        backend_path=backend_path,
+        kernel_cached=kernel_cached,
     ))
     return C
 

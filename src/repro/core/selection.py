@@ -206,6 +206,26 @@ def select(
     return winner, ranked
 
 
+def _model_backend(threads: int) -> str:
+    """The model's pick of the ``backend`` dimension for one thread count.
+
+    Ranks the *available* registered backends by their priced per-call
+    dispatch overhead (:func:`repro.model.perfmodel.
+    predict_backend_overhead`), registration order breaking ties — so a
+    serial call prices the specialized compiled kernels as the win, and a
+    threaded call (which a compiling backend would delegate anyway)
+    resolves to the reference interpreter.
+    """
+    from repro import kernels
+    from repro.model.perfmodel import predict_backend_overhead
+
+    names = [b.name for b in kernels.available_backends()]
+    return min(
+        names,
+        key=lambda nm: (predict_backend_overhead(nm, threads), names.index(nm)),
+    )
+
+
 @lru_cache(maxsize=1024)
 def _model_config(
     m: int,
@@ -217,9 +237,9 @@ def _model_config(
     """Pure model-guided configuration (the cold path of :func:`auto_config`).
 
     Ranks the generated family with the §4.4 performance model and returns
-    ``(algorithm, levels, variant, engine, threads)`` ready for the plan
-    compiler and runtime: the winning per-level shape stack and variant
-    when the model predicts FMM beats the GEMM baseline, else the
+    ``(algorithm, levels, variant, engine, threads, backend)`` ready for
+    the plan compiler and runtime: the winning per-level shape stack and
+    variant when the model predicts FMM beats the GEMM baseline, else the
     classical ``<1,1,1>`` plan (a single plain matmul).  The execution
     engine is the direct task-graph runtime — the wall-clock-fast path of
     this substrate; callers wanting the instrumented blocked substrate ask
@@ -227,7 +247,8 @@ def _model_config(
     scaling model (:func:`repro.core.parallel.pick_threads`, which walks
     the paper-testbed ``machine_factory`` since ``machine`` here is a
     single configuration point, not a cores->bandwidth family), capped by
-    the cores this host actually has.
+    the cores this host actually has.  ``backend`` is the priced
+    leaf-backend pick (:func:`_model_backend`).
 
     Decisions are memoized per ``(m, k, n, machine, max_levels)``, so the
     enumeration cost is paid once per problem shape *per process* — the
@@ -241,9 +262,11 @@ def _model_config(
     best = rank_candidates(candidates)[0] if candidates else None
     if best is None or best.prediction.time >= predict_gemm(m, k, n, machine).time:
         threads = pick_threads(m, k, n, None, "abc")
-        return ("classical", 1, "abc", "direct", threads)
+        return ("classical", 1, "abc", "direct", threads,
+                _model_backend(threads))
     threads = pick_threads(m, k, n, best.multilevel(), best.variant)
-    return (best.shapes, len(best.shapes), best.variant, "direct", threads)
+    return (best.shapes, len(best.shapes), best.variant, "direct", threads,
+            _model_backend(threads))
 
 
 def auto_config(
@@ -272,6 +295,12 @@ def auto_config(
     ``dtype`` and ``threads`` scope the wisdom bucket (``threads=None``
     is the ``auto`` thread class); they do not affect the model path,
     whose thread pick is derived from the scaling model either way.
+
+    Returns the 6-tuple ``(algorithm, levels, variant, engine, threads,
+    backend)``.  A wisdom hit whose recorded backend is not available in
+    this process (e.g. a ``"numba"`` win replayed where numba is not
+    installed) degrades the backend — and only the backend — to
+    ``"reference"``.
     """
     from repro.core.spec import normalize_tune
 
@@ -282,7 +311,7 @@ def auto_config(
         store = default_store()
         hit = store.lookup_tuple(m, k, n, dtype=dtype, threads=threads)
         if hit is not None:
-            return hit
+            return (*hit[:5], _usable_backend(hit[5]))
         if tune == "on":
             from repro.tune.tuner import tune_problem
 
@@ -290,10 +319,23 @@ def auto_config(
                 m, k, n, dtype=dtype, threads=threads,
                 max_levels=max_levels, machine=machine, store=store,
             )
-            return report.config
+            cfg = report.config
+            return (*cfg[:5], _usable_backend(cfg[5]))
         if machine is None:
             machine = store.machine_params()
     return _model_config(m, k, n, machine, max_levels)
+
+
+def _usable_backend(name: str) -> str:
+    """``name`` when that backend is registered *and* available, else
+    ``"reference"`` (the backend every configuration can execute on)."""
+    from repro import kernels
+
+    try:
+        backend = kernels.get_backend(name)
+    except ValueError:
+        return "reference"
+    return name if backend.available() else "reference"
 
 
 def best_gflops_series(

@@ -47,11 +47,15 @@ from repro.core.fmm import FMMAlgorithm
 from repro.core.kronecker import MultiLevelFMM
 
 __all__ = [
+    "DEFAULT_FUSED_GROUP",
     "FUSION_MODES",
     "FUSED_AUTO_THRESHOLD",
     "TUNE_MODES",
     "VARIANTS",
     "Schedule",
+    "effective_fused_auto_threshold",
+    "effective_fused_group",
+    "normalize_backend",
     "normalize_fusion",
     "normalize_schedule",
     "normalize_spec",
@@ -60,7 +64,9 @@ __all__ = [
     "normalize_variant",
     "resolve_fusion",
     "resolve_levels",
+    "runtime_tunables",
     "schedule_signature",
+    "set_runtime_tunables",
     "spec_key",
     "staged_slab_elements",
     "validate_resolved_fusion",
@@ -83,6 +89,67 @@ FUSION_MODES = ("auto", "staged", "fused")
 #: better while using a fraction of the memory (measured in
 #: ``benchmarks/bench_fusion_runtime.py``).
 FUSED_AUTO_THRESHOLD = 1 << 23
+
+#: Products per streaming group of the fused pipeline: the coefficient-GEMM
+#: strip height.  Large enough to amortize kernel dispatch, small enough
+#: that a group's S/T/M buffers stay cache-resident.
+DEFAULT_FUSED_GROUP = 8
+
+#: The machine-tunable runtime constants and their shipped defaults.  The
+#: wisdom store may install per-machine-fingerprint overrides via
+#: :func:`set_runtime_tunables` (ROADMAP's group-size autotuning item);
+#: every consumer reads through :func:`effective_fused_group` /
+#: :func:`effective_fused_auto_threshold` so an override reaches the
+#: runtime, the workspace model and ``fusion="auto"`` resolution alike.
+TUNABLE_DEFAULTS = {
+    "fused_group": DEFAULT_FUSED_GROUP,
+    "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
+}
+
+_tunables = dict(TUNABLE_DEFAULTS)
+
+
+def set_runtime_tunables(fused_group=None, fused_auto_threshold=None) -> dict:
+    """Install machine-tuned overrides of the runtime lowering constants.
+
+    Each call specifies the complete override state: a ``None`` argument
+    restores that constant's shipped default, so ``set_runtime_tunables()``
+    resets everything.  Returns the effective tunables after the update.
+    The wisdom store calls this when it loads a fingerprint carrying tuned
+    values (see ``repro.tune.wisdom``).
+    """
+    global _tunables
+    t = dict(TUNABLE_DEFAULTS)
+    if fused_group is not None:
+        fg = int(fused_group)
+        if fg < 1:
+            raise ValueError(f"fused_group must be >= 1, got {fused_group!r}")
+        t["fused_group"] = fg
+    if fused_auto_threshold is not None:
+        th = int(fused_auto_threshold)
+        if th < 0:
+            raise ValueError(
+                f"fused_auto_threshold must be >= 0, got {fused_auto_threshold!r}"
+            )
+        t["fused_auto_threshold"] = th
+    _tunables = t
+    return dict(t)
+
+
+def runtime_tunables() -> dict:
+    """The effective runtime tunables (defaults merged with overrides)."""
+    return dict(_tunables)
+
+
+def effective_fused_group() -> int:
+    """The fused pipeline's streaming-group size, tunable overrides applied."""
+    return _tunables["fused_group"]
+
+
+def effective_fused_auto_threshold() -> int:
+    """The ``fusion="auto"`` staged-slab threshold, tunable overrides applied."""
+    return _tunables["fused_auto_threshold"]
+
 
 #: Atom forms accepted inside a hybrid stack.
 _ATOM_TYPES = (str, FMMAlgorithm)
@@ -266,7 +333,36 @@ def resolve_fusion(fusion, variant: str, staged_elements: int) -> str:
         return fusion
     if normalize_variant(variant) == "naive":
         return "staged"
-    return "fused" if staged_elements > FUSED_AUTO_THRESHOLD else "staged"
+    return "fused" if staged_elements > effective_fused_auto_threshold() else "staged"
+
+
+def normalize_backend(backend) -> str:
+    """Validate the ``backend`` leaf-kernel knob against the live registry.
+
+    ``None`` means the reference interpreter (the numpy task-graph leaf).
+    Unknown names raise listing every registered backend; explicitly
+    requesting a registered backend whose optional dependency is missing
+    raises naming the dependency — a silent fallback would misreport what
+    executed.  Like catalog lookups, the registry import is deferred so
+    spec stays import-light.
+    """
+    if backend is None:
+        return "reference"
+    from repro import kernels
+
+    names = kernels.backend_names()
+    if not isinstance(backend, str) or backend.lower() not in names:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {list(names)}"
+        )
+    name = backend.lower()
+    missing = kernels.get_backend(name).missing()
+    if missing:
+        raise ValueError(
+            f"backend {name!r} requires the optional dependency "
+            f"{missing!r}, which is not installed"
+        )
+    return name
 
 
 def normalize_tune(tune) -> str:

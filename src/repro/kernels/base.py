@@ -1,0 +1,133 @@
+"""The leaf-kernel backend substrate: one protocol, many implementations.
+
+The paper's performance result comes from *generating specialized kernels*
+rather than interpreting coefficient tables per call.  This module defines
+the seam that makes the leaf executor pluggable: a :class:`LeafBackend`
+supplies (a) the per-product leaf the interpreted task-graph pipeline
+drives (gather / fproduct-strip / scatter-accumulate), and (b) optionally
+a compiled whole-core kernel for calls it can specialize, keyed per plan
+by ``(dtype, variant, fusion)`` (:func:`kernel_key`).
+
+``core/runtime.py`` dispatches every execution through a backend resolved
+from the registry (:mod:`repro.kernels`); backends that cannot serve a
+particular call (batched operands, mismatched dtype, ``threads > 1``)
+return ``None`` from :meth:`LeafBackend.kernel_for` and the call runs on
+the reference interpreter — behavior stays identical, only the execution
+engine changes, and the :class:`~repro.core.runtime.ExecutionReport`
+records which path actually ran.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BackendInfo", "KernelEntry", "LeafBackend", "kernel_key"]
+
+
+def kernel_key(cplan, fusion: str) -> tuple:
+    """The per-plan kernel cache key: ``(dtype, variant, fusion)``.
+
+    Shape and schedule are the plan's identity already (kernels are cached
+    *alongside* their plan), so only the execution-mode axes remain.
+    """
+    return (cplan.dtype.name, cplan.variant, fusion)
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Registry-facing description of one backend (``repro backends``)."""
+
+    name: str
+    available: bool
+    requires: str | None
+    summary: str
+
+
+@dataclass(eq=False)
+class KernelEntry:
+    """One compiled whole-core kernel, cached alongside its plan.
+
+    The compiled closure owns preallocated buffers, so concurrent
+    executions of the *same* plan serialize on :attr:`lock` (the
+    interpreted pipeline keeps serving unrelated concurrency).
+    ``hits`` counts cache hits after compilation — the execution report
+    derives its ``kernel_cached`` flag from it.
+    """
+
+    fn: Callable
+    source: str
+    path: str  # "compiled" (plain exec) or "jit" (numba-wrapped)
+    key: tuple
+    group: int
+    workspace_bytes: int
+    hits: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def run(self, A, B, C):
+        with self.lock:
+            return self.fn(A, B, C)
+
+
+class LeafBackend:
+    """Base class of every leaf-kernel backend.
+
+    Subclasses set :attr:`name` / :attr:`summary` (and :attr:`requires`
+    when they depend on an optional import) and override
+    :meth:`kernel_for` when they can compile whole-core kernels.  The
+    default implementation is a pure interpreter backend: every call runs
+    through :meth:`leaf` on the task-graph pipeline.
+    """
+
+    name: str = "backend"
+    summary: str = ""
+    #: Import name of the optional dependency gating this backend, if any.
+    requires: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Availability
+    # ------------------------------------------------------------------ #
+    def missing(self) -> str | None:
+        """The unimportable dependency name, or ``None`` when available."""
+        if self.requires is None:
+            return None
+        return None if importlib.util.find_spec(self.requires) else self.requires
+
+    def available(self) -> bool:
+        return self.missing() is None
+
+    def info(self) -> BackendInfo:
+        return BackendInfo(
+            name=self.name,
+            available=self.available(),
+            requires=self.requires,
+            summary=self.summary,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution entry points
+    # ------------------------------------------------------------------ #
+    def leaf(self):
+        """The per-product leaf driving the interpreted task-graph path."""
+        from repro.kernels.reference import NUMPY_LEAF
+
+        return NUMPY_LEAF
+
+    def kernel_for(self, cplan, A, B, C, fusion: str, threads: int,
+                   vector_cap: int) -> KernelEntry | None:
+        """A compiled whole-core kernel serving this exact call, or ``None``.
+
+        ``None`` means "interpret this one": the runtime falls back to the
+        task-graph pipeline with :meth:`leaf`, so a backend only ever
+        accelerates calls it can serve bit-for-bit-compatibly.
+        """
+        return None
+
+    def cache_stats(self) -> dict:
+        """Compile/cache counters (``repro backends``, tests)."""
+        return {"plans": 0, "kernels": 0, "compiles": 0, "hits": 0}
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,64 @@
+"""Optional Numba wrapper over the specialized emission.
+
+When ``numba`` is importable the backend registers as available and wraps
+each emitted kernel in ``numba.njit`` lazily: the first call attempts the
+JIT compile and **silently falls back** to the plain exec-compiled kernel
+on any failure (numba's nopython mode does not cover every numpy feature
+the emitter uses — e.g. ``out=`` on ``take``/``stack`` — and coverage
+varies by version).  Numba compiles before executing any of the function
+body, so a failed attempt leaves ``C`` untouched and the fallback is
+exact.  Without ``numba`` installed the backend stays registered but
+unavailable: ``repro backends`` shows the missing dependency, and
+explicitly requesting ``backend="numba"`` raises at spec validation.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelEntry
+from repro.kernels.specialized import SpecializedBackend
+
+__all__ = ["NumbaBackend"]
+
+
+def _jit_dispatcher(plain_fn):
+    """Try-JIT-once-then-settle wrapper around one emitted kernel."""
+    state = {"jit": None, "failed": False}
+
+    def runner(A, B, C):
+        if not state["failed"]:
+            jit = state["jit"]
+            if jit is None:
+                try:
+                    import numba
+
+                    jit = state["jit"] = numba.njit(plain_fn)
+                except Exception:
+                    state["failed"] = True
+                    return plain_fn(A, B, C)
+            try:
+                # Lazy nopython compilation happens here, before any of
+                # the kernel body runs: a typing failure cannot leave C
+                # partially updated.
+                return jit(A, B, C)
+            except Exception:
+                state["failed"] = True
+                state["jit"] = None
+        return plain_fn(A, B, C)
+
+    return runner
+
+
+class NumbaBackend(SpecializedBackend):
+    name = "numba"
+    requires = "numba"
+    summary = (
+        "numba @njit wrapper over the specialized kernels "
+        "(silent per-kernel fallback to the plain compiled form)"
+    )
+
+    def _compile_entry(self, cplan, fusion: str) -> KernelEntry:
+        entry = super()._compile_entry(cplan, fusion)
+        if self.available():
+            entry.fn = _jit_dispatcher(entry.fn)
+            entry.path = "jit"
+        return entry

@@ -1,0 +1,121 @@
+"""The reference backend: the numpy interpreter's leaf, as a plugin.
+
+This is the former ``core/runtime.py`` leaf machinery — the weighted
+block-view gather, the dtype-matched scatter-accumulate, and the
+:class:`NumpyProductLeaf` that streams one product at a time — refactored
+behind the :class:`~repro.kernels.base.LeafBackend` protocol so the
+runtime dispatches *every* backend the same way.  The reference backend
+compiles nothing: :meth:`ReferenceBackend.kernel_for` always returns
+``None`` and every call runs on the interpreted task-graph pipeline,
+which keeps it the bitwise-exactness baseline the parity suite pins all
+other backends against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import LeafBackend
+
+__all__ = [
+    "NUMPY_LEAF",
+    "NumpyProductLeaf",
+    "ReferenceBackend",
+    "gather",
+    "scatter_accumulate",
+]
+
+
+def gather(terms, views, out) -> None:
+    """Weighted sum of block views written into a recycled buffer.
+
+    Coefficients are python floats (plan invariant), so NEP-50 weak-scalar
+    promotion never upcasts float32 intermediates.
+    """
+    (i0, c0) = terms[0]
+    v0 = views[i0]
+    if c0 == 1.0:
+        np.copyto(out, v0)
+    elif c0 == -1.0:
+        np.negative(v0, out=out)
+    else:
+        np.multiply(v0, c0, out=out)
+    for i, c in terms[1:]:
+        v = views[i]
+        if c == 1.0:
+            out += v
+        elif c == -1.0:
+            out -= v
+        else:
+            out += c * v
+
+
+def scatter_accumulate(step, M, Ct, scratch=None) -> None:
+    """Immediately accumulate one computed product into its C tiles.
+
+    The ±1 fast paths cover the discrete catalog.  A non-unit coefficient
+    (float-status entries) scales through ``scratch`` — a preallocated
+    block-sized strip buffer — when the pipeline provides one, so the
+    accumulate stays dtype-matched and allocation-free; without a scratch
+    buffer it falls back to one block-sized ``w * M`` temporary per term
+    (bounded by a single block, not by R, so the fused pipeline's
+    O(workers · group) footprint claim is unaffected either way).
+    """
+    for i, w in step.c_terms:
+        v = Ct[i]
+        if w == 1.0:
+            v += M
+        elif w == -1.0:
+            v -= M
+        elif scratch is not None:
+            np.multiply(M, w, out=scratch)
+            v += scratch
+        else:
+            v += w * M
+
+
+class NumpyProductLeaf:
+    """Default leaf kernel: weighted gathers + one ``matmul`` per product.
+
+    Stateless and shared (:data:`NUMPY_LEAF`); works on 2-D and batched
+    operands alike because every operation runs on the trailing two axes.
+    """
+
+    supports_batch = True    #: leading batch axes handled natively
+    parallel_fringe = True   #: fringe tasks may run on the pool
+    #: Per-slot recycled buffers this leaf's ``product`` actually reads:
+    #: the ungathered pipeline allocates exactly these (a fully-fused
+    #: kernel like the BLIS abc leaf needs none).
+    needs_buffers = ("S", "T", "M")
+
+    def begin(self, n_slots: int) -> None:
+        """Per-execution setup hook (stateless here)."""
+
+    def finish(self) -> None:
+        """Per-execution teardown hook (stateless here)."""
+
+    def product(self, step, Av, Bv, Ct, S, T, M, slot: int) -> None:
+        """Stream one product: gather combos, multiply, scatter-accumulate."""
+        gather(step.a_terms, Av, S)
+        gather(step.b_terms, Bv, T)
+        np.matmul(S, T, out=M)
+        scatter_accumulate(step, M, Ct)
+
+    def fringe(self, f, A, B, C) -> None:
+        C[..., f.c_rows, f.c_cols] += (
+            A[..., f.a_rows, f.a_cols] @ B[..., f.b_rows, f.b_cols]
+        )
+
+
+#: The shared stateless default leaf.
+NUMPY_LEAF = NumpyProductLeaf()
+
+
+class ReferenceBackend(LeafBackend):
+    """The numpy interpreter as a backend: compiles nothing, serves all."""
+
+    name = "reference"
+    summary = (
+        "numpy task-graph interpreter (the exactness baseline; "
+        "serves every call shape)"
+    )

@@ -1,0 +1,105 @@
+"""The specialized backend: per-plan exec-compiled whole-core kernels.
+
+For each :class:`~repro.core.compile.CompiledPlan` this backend asks
+:func:`repro.core.codegen.compile_plan_kernel` to emit a dependency-free
+numpy kernel — coefficient loops unrolled into literal expressions,
+gather/scatter index arrays precomputed once, every buffer preallocated
+in the plan dtype — and caches it *alongside the plan*: the cache is a
+``WeakKeyDictionary`` keyed by plan identity, so evicting a plan from the
+plan cache (and dropping user references) evicts its kernels with it.
+Within a plan, kernels are keyed ``(dtype, variant, fusion)``
+(:func:`~repro.kernels.base.kernel_key`).
+
+The backend only serves calls it can specialize exactly: serial 2-D
+C-contiguous operands in the plan's own dtype, with the staged shape
+additionally honoring the interpreter's ``vector_cap`` gate.  Everything
+else returns ``None`` and runs on the reference interpreter — the report
+then shows ``backend_path="interpreted"``, never a silent behavior change.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.core.codegen import compile_plan_kernel
+from repro.kernels.base import KernelEntry, LeafBackend, kernel_key
+
+__all__ = ["SpecializedBackend"]
+
+
+class SpecializedBackend(LeafBackend):
+    name = "specialized"
+    summary = (
+        "per-plan exec-compiled numpy kernels (unrolled coefficients, "
+        "precomputed gather/scatter indices, dtype-matched scatter)"
+    )
+
+    def __init__(self) -> None:
+        self._kernels: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._lock = threading.Lock()
+        self._compiles = 0
+        self._hits = 0
+
+    # ------------------------------------------------------------------ #
+    def _compile_entry(self, cplan, fusion: str) -> KernelEntry:
+        kern = compile_plan_kernel(cplan, fusion=fusion)
+        return KernelEntry(
+            fn=kern.fn,
+            source=kern.source,
+            path="compiled",
+            key=kernel_key(cplan, fusion),
+            group=kern.group,
+            workspace_bytes=kern.workspace_bytes,
+        )
+
+    def kernel_for(self, cplan, A, B, C, fusion, threads, vector_cap):
+        if threads != 1 or A.ndim != 2:
+            return None
+        if not (A.flags.c_contiguous and B.flags.c_contiguous
+                and C.flags.c_contiguous):
+            return None
+        dt = cplan.dtype
+        if A.dtype != dt or B.dtype != dt or C.dtype != dt:
+            return None
+        pp = cplan.peel_plan
+        if not pp.has_core:
+            return None
+        if fusion == "staged":
+            mp, kp, npp = pp.core
+            Mt, Kt, Nt = cplan.dims_total
+            bm, bk, bn = mp // Mt, kp // Kt, npp // Nt
+            # Same stacked-intermediate bound as the interpreter's arena
+            # path: past it the interpreter falls back to the per-step
+            # loop, and the kernel's O(R) slabs would be just as oversized.
+            if cplan.rank_total * (bm * bk + bk * bn + bm * bn) > vector_cap:
+                return None
+        key = kernel_key(cplan, fusion)
+        with self._lock:
+            per_plan = self._kernels.get(cplan)
+            if per_plan is None:
+                per_plan = {}
+                self._kernels[cplan] = per_plan
+            entry = per_plan.get(key)
+            if entry is not None:
+                entry.hits += 1
+                self._hits += 1
+                return entry
+        entry = self._compile_entry(cplan, fusion)  # emit outside the lock
+        with self._lock:
+            winner = per_plan.setdefault(key, entry)
+            if winner is entry:
+                self._compiles += 1
+            else:  # a concurrent compile won the race; count as a hit
+                winner.hits += 1
+                self._hits += 1
+        return winner
+
+    def cache_stats(self) -> dict:
+        with self._lock:
+            return {
+                "plans": len(self._kernels),
+                "kernels": sum(len(d) for d in self._kernels.values()),
+                "compiles": self._compiles,
+                "hits": self._hits,
+            }

@@ -20,14 +20,42 @@ from repro.model.machines import MachineParams
 from repro.model.terms import TermTable, gemm_term_table, term_table
 
 __all__ = [
+    "BACKEND_CALL_OVERHEAD",
     "ModelPrediction",
     "effective_gflops",
+    "predict_backend_overhead",
     "predict_fmm",
     "predict_gemm",
     "predict_workspace_bytes",
     "predict_fusion_savings",
     "calibrate_lambda",
 ]
+
+#: Per-call leaf-dispatch overhead (seconds) by backend: the Python task
+#: machinery one serial interpreted execution pays versus a compiled
+#: whole-core kernel (microsecond scale — measured by
+#: ``benchmarks/bench_kernel_backends.py``; it only matters for small
+#: cores, which is exactly where the specialized backend wins).  This is
+#: how the model prices the ``backend`` dimension of ``engine="auto"``.
+BACKEND_CALL_OVERHEAD = {
+    "reference": 1.1e-4,
+    "specialized": 4.5e-5,
+    "numba": 4.5e-5,
+}
+
+
+def predict_backend_overhead(backend: str, threads: int = 1) -> float:
+    """Priced per-call overhead of one leaf backend's dispatch path.
+
+    Compiling backends only serve serial 2-D calls; with ``threads > 1``
+    they delegate to the interpreted pipeline, so their priced overhead
+    equals the reference backend's — the model never predicts a win a
+    backend cannot deliver.  Unknown names price as the reference
+    interpreter (the path they would actually execute on).
+    """
+    if threads > 1:
+        backend = "reference"
+    return BACKEND_CALL_OVERHEAD.get(backend, BACKEND_CALL_OVERHEAD["reference"])
 
 
 @dataclass(frozen=True)
@@ -138,11 +166,16 @@ def predict_workspace_bytes(
     if fusion == "staged":
         elements = operand_slabs + R * per_product + Pc * bm * bn
     else:
-        from repro.core.runtime import DEFAULT_FUSED_GROUP
+        from repro.core.spec import effective_fused_group
 
         slots = max(1, min(int(threads), R))
-        group = min(DEFAULT_FUSED_GROUP, R)
+        group = min(effective_fused_group(), R)
         elements = operand_slabs + slots * group * per_product
+        W = ml.W
+        if bool(((W != 0) & (W != 1) & (W != -1)).any()):
+            # Mirror of the runtime's per-slot scatter scratch strip
+            # (allocated only for plans with non-±1 C coefficients).
+            elements += slots * bm * bn
         if slots > 1:
             elements += slots * Pc * bm * bn
     return int(elements) * np.dtype(dtype).itemsize

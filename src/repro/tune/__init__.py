@@ -20,6 +20,7 @@ from repro.tune.tuner import (
     TuneReport,
     calibrate_machine,
     fit_machine_params,
+    tune_fused_group,
     tune_problem,
     tune_sweep,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "TuneReport",
     "tune_problem",
     "tune_sweep",
+    "tune_fused_group",
     "calibrate_machine",
     "fit_machine_params",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "TuneReport",
     "tune_problem",
     "tune_sweep",
+    "tune_fused_group",
     "calibrate_machine",
     "fit_machine_params",
 ]
@@ -93,7 +94,10 @@ def tune_problem(
         the ``auto`` thread class.
     top : int, optional
         Model finalists to measure (the classical GEMM baseline is always
-        measured in addition).  Default 3.
+        measured in addition, and the rank-1 finalist is re-measured
+        through every available non-reference leaf backend when its
+        thread pick is serial — the backend dimension of the tuned
+        config).  Default 3.
     max_levels : int, optional
         Deepest schedule the model enumerates (mixed per-level stacks
         included).  Default 2.
@@ -135,23 +139,39 @@ def tune_problem(
     ranked = rank_candidates(
         enumerate_candidates(m, k, n, machine, max_levels=max_levels)
     )
-    finalists: list[tuple] = []  # (algorithm_spec, levels, variant, ml_or_None, label)
+    # (algorithm_spec, levels, variant, ml_or_None, label, backend)
+    finalists: list[tuple] = []
     for c in ranked[: max(1, top)]:
         finalists.append((c.shapes, len(c.shapes), c.variant, c.multilevel(),
-                          c.label))
-    finalists.append(("classical", 1, "abc", None, "classical/abc"))
+                          c.label, "reference"))
+    finalists.append(("classical", 1, "abc", None, "classical/abc",
+                      "reference"))
     model_rank1 = ranked[0].label if ranked else "classical/abc"
+
+    # The backend dimension: re-enter the model's favorite through each
+    # non-reference backend that is available *and* serves the candidate's
+    # thread pick (compiling backends are serial-2-D specialists — a
+    # threaded duplicate would just re-measure the interpreter).
+    from repro import kernels
+
+    if ranked:
+        spec0, lv0, var0, ml0, lab0, _ = finalists[0]
+        t0 = _candidate_threads(threads, m, k, n, ml0, var0)
+        if t0 == 1:
+            for b in kernels.available_backends():
+                if b.name != "reference":
+                    finalists.append((spec0, lv0, var0, ml0, lab0, b.name))
 
     base_cfg = measure_config or MeasureConfig()
     deadline = t_start + budget_s
     measured: list[tuple[Measurement, tuple]] = []
-    for i, (spec, levels, variant, ml, _label) in enumerate(finalists):
+    for i, (spec, levels, variant, ml, _label, backend) in enumerate(finalists):
         remaining = max(deadline - time.perf_counter(), 1e-3)
         slice_s = remaining / (len(finalists) - i)
         t = _candidate_threads(threads, m, k, n, ml, variant)
         meas = measure_candidate(
             m, k, n, spec, levels=levels, variant=variant, dtype=dt,
-            engine="direct", threads=t,
+            engine="direct", threads=t, backend=backend,
             config=MeasureConfig(
                 warmup=base_cfg.warmup, repeats=base_cfg.repeats,
                 inner=base_cfg.inner, budget_s=slice_s, pin_gc=base_cfg.pin_gc,
@@ -165,6 +185,7 @@ def tune_problem(
             "variant": variant,
             "engine": "direct",
             "threads": int(t),
+            "backend": backend,
         }
         measured.append((meas, cfg_doc))
 
@@ -218,6 +239,60 @@ def tune_sweep(
                          **kwargs)
         )
     return reports
+
+
+def tune_fused_group(
+    m: int = 240,
+    k: int = 240,
+    n: int = 240,
+    *,
+    algorithm="strassen",
+    levels: int = 2,
+    dtype=np.float64,
+    candidates: tuple[int, ...] = (4, 8, 16, 32),
+    store: WisdomStore | None = None,
+    measure_config: MeasureConfig | None = None,
+    record: bool = True,
+) -> int:
+    """Measure the fused-pipeline group size on this host and record it.
+
+    The fused runtime streams products through per-worker buffer groups
+    of ``DEFAULT_FUSED_GROUP`` strips; the sweet spot is a cache
+    property, so it is a per-machine tunable, not a constant.  This
+    times one representative fused multiply per candidate group size
+    (via :func:`repro.core.spec.set_runtime_tunables`) and persists the
+    winner in the wisdom store's per-fingerprint tunables section —
+    every later process that loads the store runs with the measured
+    group (see :meth:`~repro.tune.wisdom.WisdomStore.apply_tunables`).
+    Returns the winning group size; the process is left running with it
+    (``record=True``) or restored to its prior tunables.
+    """
+    from repro.core.spec import runtime_tunables, set_runtime_tunables
+
+    store = store if store is not None else default_store()
+    if not candidates:
+        raise ValueError("need at least one candidate group size")
+    prior = runtime_tunables()
+    results: list[tuple[float, int]] = []
+    try:
+        for g in candidates:
+            set_runtime_tunables(fused_group=int(g))
+            meas = measure_candidate(
+                m, k, n, algorithm, levels=levels, variant="abc",
+                dtype=dtype, engine="direct", threads=1, fusion="fused",
+                config=measure_config,
+            )
+            results.append((meas.time_s, int(g)))
+    finally:
+        set_runtime_tunables(
+            fused_group=prior["fused_group"],
+            fused_auto_threshold=prior["fused_auto_threshold"],
+        )
+    best = min(results)[1]
+    if record:
+        store.record_tunables(fused_group=best)
+        store.apply_tunables()
+    return best
 
 
 # ---------------------------------------------------------------------- #

@@ -42,8 +42,10 @@ from repro.model.machines import MachineParams
 
 __all__ = [
     "SCHEMA_VERSION",
+    "TUNABLE_KEYS",
     "WisdomStore",
     "config_signature",
+    "config_tuple",
     "machine_fingerprint",
     "fingerprint_digest",
     "problem_bucket",
@@ -59,6 +61,12 @@ SCHEMA_VERSION = 1
 WISDOM_ENV = "REPRO_WISDOM"
 
 _CONFIG_KEYS = ("algorithm", "levels", "variant", "engine", "threads")
+
+#: Optional per-fingerprint runtime tunables a wisdom file may carry
+#: (:func:`repro.core.spec.set_runtime_tunables` knobs): measured-best
+#: overrides of the fused-pipeline group size and the staged->fused
+#: auto-fusion footprint threshold for *this* machine.
+TUNABLE_KEYS = ("fused_group", "fused_auto_threshold")
 
 
 # ---------------------------------------------------------------------- #
@@ -163,7 +171,29 @@ def _validate_config(cfg) -> dict:
         raise ValueError(f"malformed wisdom engine {cfg['engine']!r}")
     if int(cfg["levels"]) < 1 or int(cfg["threads"]) < 1:
         raise ValueError("wisdom levels/threads must be >= 1")
+    backend = cfg.get("backend", "reference")
+    if not isinstance(backend, str) or not backend:
+        # Any *name* is storable (a file may record a backend this
+        # process lacks); selection degrades unknown/unavailable names
+        # to "reference" at dispatch time.
+        raise ValueError(f"malformed wisdom backend {backend!r}")
     return cfg
+
+
+def _validate_tunables(tun) -> dict:
+    """Schema-check a stored tunables mapping; raises ValueError when bad."""
+    if not isinstance(tun, dict):
+        raise ValueError(f"malformed wisdom tunables {tun!r}")
+    for key, value in tun.items():
+        if key not in TUNABLE_KEYS:
+            raise ValueError(f"unknown wisdom tunable {key!r}")
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(f"malformed wisdom tunable {key}={value!r}")
+        if key == "fused_group" and value < 1:
+            raise ValueError("wisdom fused_group must be >= 1")
+        if key == "fused_auto_threshold" and value < 0:
+            raise ValueError("wisdom fused_auto_threshold must be >= 0")
+    return tun
 
 
 def config_signature(cfg: dict) -> str:
@@ -183,13 +213,15 @@ def config_signature(cfg: dict) -> str:
 
 
 def config_tuple(cfg: dict) -> tuple:
-    """Stored config -> the ``(algorithm, levels, variant, engine, threads)``
-    tuple :func:`repro.core.selection.auto_config` returns."""
+    """Stored config -> the ``(algorithm, levels, variant, engine, threads,
+    backend)`` tuple :func:`repro.core.selection.auto_config` returns.
+    Configs recorded before the backend dimension existed read as
+    ``"reference"`` (the backend they actually measured)."""
     algo = cfg["algorithm"]
     if algo != "classical":
         algo = tuple(tuple(int(x) for x in s) for s in algo)
     return (algo, int(cfg["levels"]), cfg["variant"], cfg["engine"],
-            int(cfg["threads"]))
+            int(cfg["threads"]), cfg.get("backend", "reference"))
 
 
 # ---------------------------------------------------------------------- #
@@ -239,6 +271,7 @@ class WisdomStore:
         self._lock = threading.RLock()
         self._entries: dict[str, dict] = {}
         self._machine: dict | None = None
+        self._tunables: dict = {}
         self._fingerprint = machine_fingerprint()
         self._hot: OrderedDict[tuple, dict | None] = OrderedDict()
         self._hot_size = int(hot_size)
@@ -263,6 +296,7 @@ class WisdomStore:
         with self._lock:
             self._entries = {}
             self._machine = None
+            self._tunables = {}
             self._hot.clear()
             self.recovered_corrupt = False
             self.ignored_stale = False
@@ -280,6 +314,7 @@ class WisdomStore:
                 machine = doc.get("machine")
                 if machine is not None:
                     self._machine_params_from(machine)  # validates
+                tunables = _validate_tunables(doc.get("tunables", {}))
             except Exception:
                 self.recovered_corrupt = True
                 self._set_aside_corrupt()
@@ -289,6 +324,7 @@ class WisdomStore:
                 return
             self._entries = entries
             self._machine = machine
+            self._tunables = dict(tunables)
 
     def _set_aside_corrupt(self) -> None:
         try:
@@ -324,6 +360,9 @@ class WisdomStore:
             if self._machine is None and doc.get("machine") is not None:
                 self._machine_params_from(doc["machine"])  # validates
                 self._machine = doc["machine"]
+            # Tunables are deliberately NOT merged from disk: like a
+            # record(), the last record_tunables() wins — otherwise a
+            # cleared section would resurrect from the previous save.
             if merged:
                 self._hot.clear()
         except Exception:
@@ -343,6 +382,8 @@ class WisdomStore:
             }
             if self._machine is not None:
                 doc["machine"] = self._machine
+            if self._tunables:
+                doc["tunables"] = self._tunables
             payload = json.dumps(doc, indent=2, sort_keys=True) + "\n"
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -435,6 +476,56 @@ class WisdomStore:
         return bucket
 
     # ------------------------------------------------------------------ #
+    # Per-fingerprint runtime tunables
+    # ------------------------------------------------------------------ #
+    def record_tunables(
+        self,
+        *,
+        fused_group: int | None = None,
+        fused_auto_threshold: int | None = None,
+        save: bool = True,
+    ) -> dict:
+        """Persist measured-best runtime tunables for this machine.
+
+        Only the knobs passed non-``None`` are overridden; a call with
+        both ``None`` clears the section (back to the package defaults
+        ``DEFAULT_FUSED_GROUP`` / ``FUSED_AUTO_THRESHOLD``).  Returns the
+        stored mapping.  The overrides take effect process-wide when the
+        store is (or becomes) the default store — see
+        :meth:`apply_tunables`.
+        """
+        with self._lock:
+            tun = dict(self._tunables)
+            if fused_group is None and fused_auto_threshold is None:
+                tun = {}
+            if fused_group is not None:
+                tun["fused_group"] = int(fused_group)
+            if fused_auto_threshold is not None:
+                tun["fused_auto_threshold"] = int(fused_auto_threshold)
+            _validate_tunables(tun)
+            self._tunables = tun
+            if save:
+                self.save()
+        return dict(tun)
+
+    def tunables(self) -> dict:
+        """The stored per-fingerprint tunable overrides (may be empty)."""
+        with self._lock:
+            return dict(self._tunables)
+
+    def apply_tunables(self) -> dict:
+        """Install this store's tunable overrides into the running process
+        (:func:`repro.core.spec.set_runtime_tunables`); knobs the store
+        does not override revert to their package defaults.  Returns the
+        effective values.  :func:`default_store` calls this on first
+        resolution, so a wisdom file's tunables govern every multiply in
+        the process without explicit plumbing.
+        """
+        from repro.core.spec import set_runtime_tunables
+
+        return set_runtime_tunables(**self.tunables())
+
+    # ------------------------------------------------------------------ #
     # Calibrated machine model
     # ------------------------------------------------------------------ #
     def record_machine(self, params: MachineParams, *, save: bool = True) -> None:
@@ -478,6 +569,7 @@ class WisdomStore:
         with self._lock:
             self._entries.clear()
             self._machine = None
+            self._tunables = {}
             self._hot.clear()
             if save:
                 self.save(merge=False)
@@ -507,19 +599,35 @@ def default_wisdom_path() -> Path:
 
 
 def default_store() -> WisdomStore:
-    """The lazily-created process-wide store ``engine="auto"`` consults."""
+    """The lazily-created process-wide store ``engine="auto"`` consults.
+
+    First resolution also installs the store's per-fingerprint tunable
+    overrides (:meth:`WisdomStore.apply_tunables`).
+    """
     global _default
     with _default_lock:
         if _default is None:
             _default = WisdomStore(default_wisdom_path())
+            _default.apply_tunables()
         return _default
 
 
 def set_default_store(store: WisdomStore | str | Path | None) -> None:
-    """Swap the process-wide store (``None`` re-resolves lazily from env)."""
+    """Swap the process-wide store (``None`` re-resolves lazily from env).
+
+    The incoming store's tunable overrides are applied immediately;
+    ``None`` resets the runtime tunables to the package defaults (the
+    next :func:`default_store` call re-resolves and re-applies).
+    """
+    from repro.core.spec import set_runtime_tunables
+
     global _default
     with _default_lock:
         if store is None or isinstance(store, WisdomStore):
             _default = store
         else:
             _default = WisdomStore(store)
+        if _default is None:
+            set_runtime_tunables()
+        else:
+            _default.apply_tunables()

@@ -241,7 +241,9 @@ class TestAutoDispatch:
 
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, threads = auto_config(1536, 1536, 1536)
+        algorithm, levels, variant, engine, threads, backend = auto_config(
+            1536, 1536, 1536
+        )
         assert engine == "direct"
         assert variant in ("naive", "ab", "abc")
         assert algorithm != "classical" and levels >= 1
@@ -250,7 +252,7 @@ class TestAutoDispatch:
     def test_auto_config_tiny_problem_falls_back(self):
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, threads = auto_config(4, 4, 4)
+        algorithm, levels, variant, engine, threads, backend = auto_config(4, 4, 4)
         assert algorithm == "classical"
         assert threads == 1  # too small for thread-level parallelism
 

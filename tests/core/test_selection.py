@@ -80,7 +80,9 @@ class TestSkewedSelection:
         # when the problem's aspect ratio calls for it.
         from repro.core.selection import _model_config
 
-        algo, levels, variant, engine, threads = _model_config(1152, 384, 1152)
+        algo, levels, variant, engine, threads, backend = _model_config(
+            1152, 384, 1152
+        )
         assert algo != "classical"
         assert any(tuple(s) != (2, 2, 2) for s in algo), algo
 

@@ -120,7 +120,12 @@ class TestTuneAndWisdomCommands:
         docs = json.loads(capsys.readouterr().out)
         assert docs[0]["problem"] == [64, 64, 64]
         assert docs[0]["gflops"] > 0
-        assert len(docs[0]["measured"]) == 2  # top-1 + classical baseline
+        # top-1 + classical baseline + one backend duplicate of the
+        # rank-1 finalist per available non-reference backend.
+        labels = [ms["backend"] for ms in docs[0]["measured"]]
+        assert len(docs[0]["measured"]) >= 3
+        assert labels.count("reference") == 2
+        assert "specialized" in labels
 
     def test_tune_budget_suffixes(self, tmp_path):
         for budget in ("1", "1s", "1000ms"):

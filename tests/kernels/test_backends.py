@@ -1,0 +1,125 @@
+"""Registry and protocol behavior of the pluggable leaf backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.kernels.base import LeafBackend
+from repro.kernels.reference import NUMPY_LEAF
+
+
+class TestRegistry:
+    def test_shipped_backends_registered_reference_first(self):
+        names = kernels.backend_names()
+        assert names[0] == "reference"
+        assert set(names) >= {"reference", "specialized", "numba"}
+
+    def test_get_backend_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="reference"):
+            kernels.get_backend("no-such-backend")
+
+    def test_register_duplicate_rejected_unless_replace(self):
+        backend = kernels.get_backend("reference")
+        with pytest.raises(ValueError, match="already registered"):
+            kernels.register_backend(backend)
+        kernels.register_backend(backend, replace=True)  # idempotent
+
+    def test_available_excludes_missing_deps(self):
+        available = {b.name for b in kernels.available_backends()}
+        assert "reference" in available
+        assert "specialized" in available
+        try:
+            import numba  # noqa: F401
+            assert "numba" in available
+        except ImportError:
+            assert "numba" not in available
+
+    def test_backend_infos_shape(self):
+        infos = {i.name: i for i in kernels.backend_infos()}
+        assert infos["reference"].available is True
+        assert infos["reference"].requires is None
+        assert infos["numba"].requires == "numba"
+        for info in infos.values():
+            assert info.summary
+
+
+class TestProtocol:
+    def test_reference_leaf_is_the_interpreter_singleton(self):
+        assert kernels.get_backend("reference").leaf() is NUMPY_LEAF
+
+    def test_default_kernel_for_is_none(self, rng):
+        from repro.core import compile as plancache
+
+        class Plain(LeafBackend):
+            name = "plain-test"
+
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        A = rng.standard_normal((64, 64))
+        entry = Plain().kernel_for(cplan, A, A, A.copy(), "staged", 1, 10**9)
+        assert entry is None
+        assert Plain().cache_stats()["kernels"] == 0
+
+    def test_normalize_backend(self):
+        from repro.core.spec import normalize_backend
+
+        assert normalize_backend(None) == "reference"
+        assert normalize_backend("specialized") == "specialized"
+        with pytest.raises(ValueError, match="unknown backend"):
+            normalize_backend("bogus")
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(ValueError, match="numba"):
+                normalize_backend("numba")
+
+
+class TestDispatch:
+    def test_report_records_backend_and_path(self, rng):
+        import repro
+
+        A = rng.standard_normal((64, 64))
+        B = rng.standard_normal((64, 64))
+        repro.multiply(A, B, algorithm="strassen", backend="reference")
+        rep = repro.last_report()
+        assert rep.backend == "reference"
+        assert rep.backend_path == "interpreted"
+        assert rep.kernel_cached is None
+
+        repro.multiply(A, B, algorithm="strassen", backend="specialized")
+        rep = repro.last_report()
+        assert rep.backend == "specialized"
+        assert rep.backend_path in ("compiled", "jit")
+        assert rep.kernel_cached in (False, True)
+
+    def test_blocked_engine_rejects_compiling_backend(self, rng):
+        import repro
+
+        A = rng.standard_normal((32, 32))
+        with pytest.raises(ValueError, match="blocked"):
+            repro.multiply(A, A, engine="blocked", backend="specialized")
+
+    def test_explicit_leaf_demands_reference(self, rng):
+        from repro.core import compile as plancache
+        from repro.core.runtime import execute_plan
+        from repro.kernels.reference import NumpyProductLeaf
+
+        cplan = plancache.compile((32, 32, 32), "strassen", 1, "abc")
+        A = rng.standard_normal((32, 32))
+        C = np.zeros((32, 32))
+        with pytest.raises(ValueError, match="leaf"):
+            execute_plan(cplan, A, A, C, leaf=NumpyProductLeaf(),
+                         backend="specialized")
+
+    def test_batched_request_delegates_to_interpreter(self, rng):
+        import repro
+
+        A = rng.standard_normal((4, 32, 32))
+        B = rng.standard_normal((4, 32, 32))
+        C = repro.multiply_batched(A, B, algorithm="strassen",
+                                   backend="specialized")
+        rep = repro.last_report()
+        assert rep.backend == "specialized"
+        assert rep.backend_path == "interpreted"
+        np.testing.assert_allclose(C, A @ B, atol=1e-10)

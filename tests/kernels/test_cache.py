@@ -1,0 +1,103 @@
+"""Per-plan kernel cache: compile once, hit afterwards, die with the plan."""
+
+from __future__ import annotations
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core import compile as plancache
+from repro.core.runtime import execute_plan, last_report
+from repro.kernels.base import kernel_key
+from repro.kernels.specialized import SpecializedBackend
+
+
+@pytest.fixture
+def backend():
+    """A private backend instance so counters start at zero."""
+    return SpecializedBackend()
+
+
+def _operands(shape, dtype=np.float64, seed=3):
+    m, k, n = shape
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((m, k)).astype(dtype)
+    B = rng.standard_normal((k, n)).astype(dtype)
+    return A, B, np.zeros((m, n), dtype=dtype)
+
+
+class TestCompileOnce:
+    def test_repeat_calls_compile_one_kernel(self, backend):
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        A, B, C = _operands((64, 64, 64))
+        entries = []
+        for _ in range(4):
+            entry = backend.kernel_for(cplan, A, B, C, "staged", 1, 10**9)
+            assert entry is not None
+            entries.append(entry)
+        assert len({id(e) for e in entries}) == 1
+        stats = backend.cache_stats()
+        assert stats == {"plans": 1, "kernels": 1, "compiles": 1, "hits": 3}
+        assert entries[0].hits == 3
+        assert entries[0].key == kernel_key(cplan, "staged")
+
+    def test_distinct_fusions_compile_distinct_kernels(self, backend):
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        A, B, C = _operands((64, 64, 64))
+        staged = backend.kernel_for(cplan, A, B, C, "staged", 1, 10**9)
+        fused = backend.kernel_for(cplan, A, B, C, "fused", 1, 10**9)
+        assert staged is not fused
+        stats = backend.cache_stats()
+        assert stats["plans"] == 1 and stats["kernels"] == 2
+        assert stats["compiles"] == 2 and stats["hits"] == 0
+
+    def test_kernel_cached_flag_in_report(self):
+        # A fresh plan key so the process-wide backend has no entry yet.
+        cplan = plancache.compile((72, 60, 72), "<3,2,3>", 1, "abc")
+        A, B, C = _operands((72, 60, 72))
+        execute_plan(cplan, A, B, C, backend="specialized")
+        first = last_report()
+        execute_plan(cplan, A, B, C, backend="specialized")
+        second = last_report()
+        assert first.core_path == "kernel" and second.core_path == "kernel"
+        assert first.kernel_cached is False
+        assert second.kernel_cached is True
+
+    def test_kernel_source_is_carried(self, backend):
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        A, B, C = _operands((64, 64, 64))
+        entry = backend.kernel_for(cplan, A, B, C, "fused", 1, 10**9)
+        assert "def fmm_kernel_" in entry.source
+        assert entry.path in ("compiled", "jit")
+        assert entry.workspace_bytes > 0
+
+
+class TestEviction:
+    def test_kernels_die_with_their_plan(self, backend):
+        cplan = plancache.compile((60, 60, 60), "<3,3,3>", 1, "abc")
+        A, B, C = _operands((60, 60, 60))
+        assert backend.kernel_for(cplan, A, B, C, "staged", 1, 10**9)
+        assert backend.cache_stats()["plans"] == 1
+        del cplan
+        plancache.plan_cache_clear()
+        gc.collect()
+        assert backend.cache_stats()["plans"] == 0
+        assert backend.cache_stats()["kernels"] == 0
+
+    def test_eviction_then_recompile(self, backend):
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        A, B, C = _operands((64, 64, 64))
+        backend.kernel_for(cplan, A, B, C, "staged", 1, 10**9)
+        del cplan
+        plancache.plan_cache_clear()
+        gc.collect()
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc")
+        entry = backend.kernel_for(cplan, A, B, C, "staged", 1, 10**9)
+        assert entry is not None
+        assert backend.cache_stats()["compiles"] == 2
+
+    def test_process_backend_stats_visible_in_registry(self):
+        stats = kernels.get_backend("specialized").cache_stats()
+        assert set(stats) == {"plans", "kernels", "compiles", "hits"}

@@ -1,0 +1,165 @@
+"""Backend parity: every registered backend against the interpreter.
+
+The reference backend *is* the interpreter, so its parity check is
+bitwise.  Compiling backends legally reassociate sums (operand combos
+run as dense GEMMs instead of per-term gathers), so they get a
+dtype-appropriate tolerance instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core import compile as plancache
+from repro.core.runtime import execute_plan, last_report
+
+#: (label, shape, algorithm-spec, levels) — square, rectangular, mixed
+#: per-level schedules, a fringe-peeling shape, and the non-unit-C-
+#: coefficient algorithm that exercises the scatter scratch strip.
+SCHEDULES = [
+    ("square-2lvl", (96, 96, 96), "strassen", 2),
+    ("rect", (96, 64, 96), "<3,2,3>", 1),
+    ("mixed", (96, 64, 96), "<3,2,3>@1,strassen@1", 2),
+    ("fringe", (100, 100, 100), "strassen", 1),
+    ("float-coeffs", (96, 96, 96), "smirnov333", 1),
+]
+
+DTYPES = [np.float64, np.float32]
+VARIANTS = ["naive", "ab", "abc"]
+FUSIONS = ["staged", "fused"]
+
+
+def _operands(shape, dtype, batch=None, seed=7):
+    m, k, n = shape
+    rng = np.random.default_rng(seed)
+    sa = (m, k) if batch is None else (batch, m, k)
+    sb = (k, n) if batch is None else (batch, k, n)
+    A = rng.standard_normal(sa).astype(dtype)
+    B = rng.standard_normal(sb).astype(dtype)
+    C = np.zeros(sa[:-1] + (n,), dtype=dtype)
+    return A, B, C
+
+
+def _run(backend, shape, spec, levels, variant, fusion, dtype, threads=1):
+    cplan = plancache.compile(shape, spec, levels, variant,
+                              dtype=dtype, fusion=fusion)
+    A, B, C = _operands(shape, dtype)
+    execute_plan(cplan, A, B, C, threads=threads, backend=backend)
+    return C, last_report()
+
+
+def _tolerance(dtype, shape):
+    # Scaled for the k-sized dot products both pipelines accumulate.
+    eps = np.finfo(dtype).eps
+    return 50.0 * eps * shape[1]
+
+
+class TestParityMatrix:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+    @pytest.mark.parametrize("fusion", FUSIONS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("label,shape,spec,levels",
+                             SCHEDULES, ids=[s[0] for s in SCHEDULES])
+    def test_backends_match_interpreter(self, label, shape, spec, levels,
+                                        variant, fusion, dtype):
+        base, base_rep = _run("reference", shape, spec, levels,
+                              variant, fusion, dtype)
+        assert base_rep.backend_path == "interpreted"
+        for b in kernels.available_backends():
+            got, rep = _run(b.name, shape, spec, levels, variant,
+                            fusion, dtype)
+            assert rep.backend == b.name
+            if b.name == "reference":
+                np.testing.assert_array_equal(got, base)
+            else:
+                scale = max(1.0, float(np.abs(base).max()))
+                err = float(np.abs(got - base).max()) / scale
+                assert err <= _tolerance(dtype, shape), (
+                    f"{b.name} diverged on {label}/{variant}/{fusion}: {err}"
+                )
+
+    def test_exactness_vs_matmul(self):
+        # The compiled kernel is not just self-consistent — it is right.
+        for b in kernels.available_backends():
+            C, _ = _run(b.name, (96, 96, 96), "strassen", 2,
+                        "abc", "fused", np.float64)
+            A, B, _ = _operands((96, 96, 96), np.float64)
+            np.testing.assert_allclose(C, A @ B, atol=1e-10)
+
+
+class TestDelegation:
+    """Call shapes compiling backends hand back to the interpreter."""
+
+    def test_threads_delegate_and_stay_reproducible(self):
+        shape = (96, 96, 96)
+        runs = []
+        for _ in range(2):
+            C, rep = _run("specialized", shape, "strassen", 2,
+                          "abc", "fused", np.float64, threads=2)
+            assert rep.backend == "specialized"
+            assert rep.backend_path == "interpreted"
+            runs.append(C)
+        # Deterministic slot order: threaded reruns are bitwise equal.
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_noncontiguous_operand_delegates(self):
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc",
+                                  dtype=np.float64)
+        A_big, B, C = _operands((64, 128, 64), np.float64)
+        A = A_big[:, ::2]  # non-contiguous view
+        execute_plan(cplan, A, B[:64], C, backend="specialized")
+        rep = last_report()
+        assert rep.backend_path == "interpreted"
+        np.testing.assert_allclose(C, A @ B[:64], atol=1e-10)
+
+    def test_dtype_mismatch_delegates(self):
+        # float32 plan executed with float64 operands: the compiled
+        # kernel's preallocated buffers cannot serve it.
+        cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc",
+                                  dtype=np.float32)
+        A, B, C = _operands((64, 64, 64), np.float64)
+        execute_plan(cplan, A, B, C, backend="specialized")
+        assert last_report().backend_path == "interpreted"
+
+
+class TestFloat32Scratch:
+    def test_nonunit_coefficients_use_dtype_matched_scratch(self):
+        # smirnov333 carries non-unit C coefficients; the fused
+        # interpreter path must stay in float32 (no float64 upcast
+        # round trip) and still match the float64 reference closely.
+        shape = (96, 96, 96)
+        cplan = plancache.compile(shape, "smirnov333", 1, "abc",
+                                  dtype=np.float32, fusion="fused")
+        assert cplan.has_nonunit_c_coeffs
+        A, B, C = _operands(shape, np.float32)
+        execute_plan(cplan, A, B, C, backend="reference")
+        exact = A.astype(np.float64) @ B.astype(np.float64)
+        scale = max(1.0, float(np.abs(exact).max()))
+        err = float(np.abs(C - exact).max()) / scale
+        assert err < 5e-4
+
+    def test_scratch_strip_in_workspace_model(self):
+        from repro.core.runtime import _grouped_workspace_spec
+        from repro.core.spec import resolve_levels
+        from repro.model.perfmodel import predict_workspace_bytes
+
+        # Runtime: smirnov333 (non-unit C coefficients) checks out a
+        # per-slot scratch strip; strassen (all +-1) does not.
+        cplan = plancache.compile((96, 96, 96), "smirnov333", 1, "abc",
+                                  fusion="fused")
+        spec = _grouped_workspace_spec(cplan, (), 32, 32, 32, 1, 8)
+        assert spec["scratch"][0] == (1, 32, 32)
+        cplan_u = plancache.compile((96, 96, 96), "strassen", 1, "abc",
+                                    fusion="fused")
+        assert "scratch" not in _grouped_workspace_spec(
+            cplan_u, (), 48, 48, 48, 1, 8
+        )
+        # Model twin: the fused prediction prices exactly one extra
+        # bm*bn strip per slot for the non-unit-coefficient algorithm.
+        ml = resolve_levels("smirnov333", 1)
+        base = predict_workspace_bytes(96, 96, 96, ml, fusion="fused")
+        W = ml.W
+        assert bool(((W != 0) & (W != 1) & (W != -1)).any())
+        assert base >= 32 * 32 * 8  # includes the slots * bm * bn strip

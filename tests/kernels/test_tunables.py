@@ -1,0 +1,139 @@
+"""Runtime tunables: spec knobs, wisdom persistence, tuner helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spec import (
+    DEFAULT_FUSED_GROUP,
+    FUSED_AUTO_THRESHOLD,
+    TUNABLE_DEFAULTS,
+    effective_fused_auto_threshold,
+    effective_fused_group,
+    runtime_tunables,
+    set_runtime_tunables,
+)
+from repro.tune.wisdom import WisdomStore, set_default_store
+
+
+@pytest.fixture(autouse=True)
+def _restore_tunables():
+    yield
+    set_runtime_tunables()
+
+
+class TestSpecKnobs:
+    def test_defaults(self):
+        assert TUNABLE_DEFAULTS == {
+            "fused_group": DEFAULT_FUSED_GROUP,
+            "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
+        }
+        assert effective_fused_group() == DEFAULT_FUSED_GROUP
+        assert effective_fused_auto_threshold() == FUSED_AUTO_THRESHOLD
+
+    def test_override_and_reset(self):
+        out = set_runtime_tunables(fused_group=16, fused_auto_threshold=1024)
+        assert out == {"fused_group": 16, "fused_auto_threshold": 1024}
+        assert effective_fused_group() == 16
+        # Each call fully respecifies: omitting a knob reverts it.
+        set_runtime_tunables(fused_group=32)
+        assert effective_fused_auto_threshold() == FUSED_AUTO_THRESHOLD
+        set_runtime_tunables()
+        assert runtime_tunables() == TUNABLE_DEFAULTS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            set_runtime_tunables(fused_group=0)
+        with pytest.raises(ValueError):
+            set_runtime_tunables(fused_auto_threshold=-1)
+
+    def test_auto_fusion_threshold_is_live(self):
+        from repro.core.spec import resolve_fusion
+
+        # A threshold of 0 pushes every abc plan to fused...
+        set_runtime_tunables(fused_auto_threshold=0)
+        assert resolve_fusion("auto", "abc", staged_elements=10) == "fused"
+        # ...and a huge one keeps small plans staged.
+        set_runtime_tunables(fused_auto_threshold=1 << 60)
+        assert resolve_fusion("auto", "abc", staged_elements=10) == "staged"
+
+    def test_fused_group_reaches_the_runtime(self, rng):
+        import repro
+
+        A = rng.standard_normal((96, 96))
+        B = rng.standard_normal((96, 96))
+        set_runtime_tunables(fused_group=3)
+        C = repro.multiply(A, B, algorithm="strassen", levels=2,
+                           fusion="fused")
+        rep = repro.last_report()
+        assert rep.fusion == "fused"
+        np.testing.assert_allclose(C, A @ B, atol=1e-10)
+
+
+class TestWisdomTunables:
+    def test_round_trip(self, tmp_path):
+        store = WisdomStore(tmp_path / "w.json")
+        store.record_tunables(fused_group=16)
+        store.record_tunables(fused_auto_threshold=4096)  # merges
+        assert store.tunables() == {
+            "fused_group": 16, "fused_auto_threshold": 4096,
+        }
+        reborn = WisdomStore(store.path)
+        assert reborn.tunables() == store.tunables()
+
+    def test_clear_section(self, tmp_path):
+        store = WisdomStore(tmp_path / "w.json")
+        store.record_tunables(fused_group=16)
+        store.record_tunables()  # both None -> clears
+        assert store.tunables() == {}
+
+    def test_malformed_tunables_set_file_aside(self, tmp_path):
+        import json
+
+        store = WisdomStore(tmp_path / "w.json")
+        store.record_tunables(fused_group=16)
+        doc = json.loads(store.path.read_text())
+        doc["tunables"] = {"fused_group": "huge"}
+        store.path.write_text(json.dumps(doc))
+        reborn = WisdomStore(store.path)
+        assert reborn.recovered_corrupt
+        assert reborn.tunables() == {}
+
+    def test_default_store_applies_tunables(self, tmp_path):
+        store = WisdomStore(tmp_path / "w.json")
+        store.record_tunables(fused_group=24)
+        set_default_store(store)
+        try:
+            assert effective_fused_group() == 24
+        finally:
+            set_default_store(None)
+        assert effective_fused_group() == DEFAULT_FUSED_GROUP
+
+    def test_validation_rejects_bad_knobs(self, tmp_path):
+        store = WisdomStore(tmp_path / "w.json")
+        with pytest.raises(ValueError):
+            store.record_tunables(fused_group=0)
+
+
+class TestTuneFusedGroup:
+    def test_measures_records_and_applies(self, tmp_path):
+        from repro.tune.measure import MeasureConfig
+        from repro.tune.tuner import tune_fused_group
+
+        store = WisdomStore(tmp_path / "w.json")
+        fast = MeasureConfig(warmup=1, repeats=1, inner=1, budget_s=0.5)
+        best = tune_fused_group(
+            64, 64, 64, algorithm="strassen", levels=1,
+            candidates=(4, 8), store=store, measure_config=fast,
+        )
+        assert best in (4, 8)
+        assert store.tunables()["fused_group"] == best
+        assert effective_fused_group() == best
+
+    def test_no_candidates_rejected(self, tmp_path):
+        from repro.tune.tuner import tune_fused_group
+
+        with pytest.raises(ValueError):
+            tune_fused_group(candidates=(),
+                             store=WisdomStore(tmp_path / "w.json"))

@@ -26,7 +26,12 @@ class TestTuneProblem:
     def test_measures_model_top_plus_classical(self, store):
         rep = tune_problem(64, 64, 64, store=store, top=2, budget_s=1.0,
                            measure_config=FAST)
-        assert len(rep.measurements) == 3  # top-2 + GEMM baseline
+        # top-2 + GEMM baseline + one duplicate of the rank-1
+        # finalist per available non-reference backend
+        backends = [ms.backend for ms in rep.measurements]
+        assert backends.count("reference") == 3
+        assert "specialized" in backends
+        assert len(rep.measurements) >= 4
         labels = {m.label for m in rep.measurements}
         assert any("classical" in lab for lab in labels)
 
@@ -67,8 +72,9 @@ class TestTuneProblem:
     def test_config_is_auto_config_shaped(self, store):
         rep = tune_problem(64, 64, 64, store=store, budget_s=1.0,
                            measure_config=FAST)
-        algo, levels, variant, engine, threads = rep.config
+        algo, levels, variant, engine, threads, backend = rep.config
         assert engine == "direct" and threads >= 1
+        assert backend in ("reference", "specialized", "numba")
         assert variant in ("naive", "ab", "abc")
         assert algo == "classical" or isinstance(algo, tuple)
 

@@ -72,7 +72,7 @@ class TestRoundTrip:
         store.record(96, 96, 96, config=sample_config(2), gflops=5.0,
                      time_s=1e-3, samples=9)
         assert store.lookup_tuple(96, 96, 96) == (
-            ((2, 2, 2), (2, 2, 2)), 2, "abc", "direct", 1
+            ((2, 2, 2), (2, 2, 2)), 2, "abc", "direct", 1, "reference"
         )
 
     def test_survives_process_restart(self, store, sample_config):
@@ -91,7 +91,7 @@ class TestRoundTrip:
         cfg = dict(sample_config(), algorithm="classical")
         store.record(8, 8, 8, config=cfg, gflops=1.0, time_s=1e-3, samples=3)
         assert store.lookup_tuple(8, 8, 8) == (
-            "classical", 1, "abc", "direct", 1
+            "classical", 1, "abc", "direct", 1, "reference"
         )
 
     def test_file_is_versioned_json(self, store, sample_config):

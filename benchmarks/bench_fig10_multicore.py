@@ -105,18 +105,22 @@ def test_fig10_bandwidth_ceiling(paper_machine_10core, benchmark):
 def test_fig10_modeled_vs_measured_scaling(benchmark):
     """Modeled and measured strong scaling side by side on this machine.
 
-    The modeled curve is the paper's machine model; the measured curve is
-    the real task-graph runtime (:mod:`repro.core.runtime`) executing the
-    same configuration at each thread count.  On shared 1-2 core CI the
-    measured curve carries little signal, so the assertion is only that
-    threading never catastrophically degrades; run
-    ``benchmarks/bench_parallel_runtime.py`` on a >= 4-core box for the
-    2x acceptance bar.
+    The modeled curve is the paper's machine model; the measured curves
+    are the real task-graph runtime (:mod:`repro.core.runtime`) executing
+    the same configuration at each worker count under both worker modes —
+    the shared thread pool and the GIL-free shared-memory process runtime
+    (:mod:`repro.core.procpool`).  On shared 1-2 core CI the measured
+    curves carry little signal, so the assertion is only that neither
+    worker mode catastrophically degrades; run
+    ``benchmarks/bench_parallel_runtime.py`` and
+    ``benchmarks/bench_process_runtime.py`` on a >= 4-core box for the
+    2x / 1.5x acceptance bars.
     """
     import os
 
     from repro.core.executor import resolve_levels
     from repro.core.parallel import measured_scaling_curve, scaling_curve
+    from repro.core.procpool import shutdown_process_pools
 
     m = k = n = 768
     threads = tuple(t for t in (1, 2, 4) if t <= (os.cpu_count() or 1)) or (1,)
@@ -127,17 +131,29 @@ def test_fig10_modeled_vs_measured_scaling(benchmark):
                     threads_list=threads, repeats=2),
         rounds=1, iterations=1,
     )
+    try:
+        measured_proc = measured_scaling_curve(
+            m, k, n, algorithm="strassen", levels=1, variant="abc",
+            threads_list=threads, repeats=2, workers="processes",
+        )
+    finally:
+        shutdown_process_pools()
     modeled = {
         p.cores: p
         for p in scaling_curve(m, k, n, resolve_levels("strassen", 1), "abc",
                                max_cores=max(threads))
     }
-    print(f"\n{'threads':>7} {'measured s':>11} {'meas spdup':>11} "
-          f"{'model spdup':>12}")
+    proc_by_cores = {p.cores: p for p in measured_proc}
+    print(f"\n{'workers':>7} {'threads s':>10} {'procs s':>9} "
+          f"{'thr spdup':>10} {'proc spdup':>11} {'model spdup':>12}")
     for p in measured:
         mp = modeled.get(p.cores)
-        print(f"{p.cores:7d} {p.time:11.4f} {p.speedup:10.2f}x "
+        pp = proc_by_cores.get(p.cores)
+        print(f"{p.cores:7d} {p.time:10.4f} "
+              f"{pp.time if pp else float('nan'):9.4f} {p.speedup:9.2f}x "
+              f"{pp.speedup if pp else 1.0:10.2f}x "
               f"{mp.speedup if mp else 1.0:11.2f}x")
     assert measured[0].speedup == 1.0
-    # Threading must never catastrophically degrade the runtime.
+    # Neither worker mode may catastrophically degrade the runtime.
     assert all(p.time < measured[0].time * 3.0 for p in measured)
+    assert all(p.time < measured_proc[0].time * 3.0 for p in measured_proc)

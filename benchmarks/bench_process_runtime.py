@@ -1,0 +1,183 @@
+"""Process-runtime benchmark: GIL-free sharded execution vs the thread pool.
+
+The acceptance bench for the shared-memory multi-process runtime
+(:mod:`repro.core.procpool`): fig-10-style shapes are executed through
+the real task-graph runtime at the same worker count under both worker
+modes, and the measured thread-vs-process ratio is reported next to the
+performance model's prediction
+(:func:`repro.model.perfmodel.predict_worker_times`).  On a >= 4-core
+machine the process runtime must reach >= 1.5x the thread runtime on at
+least two of the shapes at 4 workers; on smaller hosts the speedup
+assertion is skipped (never faked) and the run is report-only.
+
+Run standalone (``python benchmarks/bench_process_runtime.py``) for a
+table plus a machine-readable ``benchmarks/results/
+BENCH_process_runtime.json`` record (shape, workers, per-mode seconds and
+GFLOPS, measured and modeled ratios), or through pytest for the
+regression-tracked assertions (correctness, report plumbing, and — where
+the cores exist — the 1.5x acceptance bar).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+#: Fig-10-style shapes: one square, one rank-k, one fixed-k panel.
+SHAPES = (
+    (2048, 2048, 2048),
+    (3072, 512, 3072),
+    (1536, 3072, 1536),
+)
+ALGORITHM = "strassen"
+LEVELS = 1
+WORKERS = 4
+
+
+def _measure_mode(shape, workers_mode, n_workers, repeats=3):
+    """Best-of-``repeats`` wall-clock for one shape under one worker mode."""
+    from repro.core.executor import multiply
+
+    m, k, n = shape
+    rng = np.random.default_rng(2017)
+    A = rng.standard_normal((m, k))
+    B = rng.standard_normal((k, n))
+    multiply(A, B, algorithm=ALGORITHM, levels=LEVELS,
+             threads=n_workers, workers=workers_mode)  # warm pools + plan
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        multiply(A, B, algorithm=ALGORITHM, levels=LEVELS,
+                 threads=n_workers, workers=workers_mode)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure(shapes=SHAPES, n_workers=WORKERS, repeats=3):
+    """Per-shape dict rows: measured thread/process times + model ratio."""
+    from repro.model.perfmodel import predict_worker_times
+
+    rows = []
+    for shape in shapes:
+        m, k, n = shape
+        t_thread = _measure_mode(shape, "threads", n_workers, repeats)
+        t_proc = _measure_mode(shape, "processes", n_workers, repeats)
+        flops = 2.0 * m * k * n
+        model_t, model_p = predict_worker_times(
+            m, k, n, t_serial=_measure_mode(shape, "threads", 1, 1),
+            workers=n_workers,
+        )
+        rows.append({
+            "shape": list(shape),
+            "algorithm": f"{ALGORITHM}-L{LEVELS}",
+            "workers": n_workers,
+            "threads_time_s": t_thread,
+            "processes_time_s": t_proc,
+            "threads_gflops": flops / t_thread / 1e9,
+            "processes_gflops": flops / t_proc / 1e9,
+            "measured_ratio": t_thread / t_proc,
+            "modeled_ratio": model_t / model_p,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# pytest mode
+# ---------------------------------------------------------------------- #
+def test_process_matches_thread_runtime():
+    """Both modes agree bitwise at the same worker count (small shapes)."""
+    from repro.core.executor import multiply
+    from repro.core.procpool import shutdown_process_pools
+
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((192, 192))
+    B = rng.standard_normal((192, 192))
+    try:
+        Ct = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS,
+                      threads=2, workers="threads")
+        Cp = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS,
+                      threads=2, workers="processes")
+    finally:
+        shutdown_process_pools()
+    assert np.array_equal(Ct, Cp)
+    assert np.abs(Cp - A @ B).max() < 1e-9
+
+
+def test_process_report_prices_ipc():
+    """The report's ipc_bytes matches the model's shm-traffic predictor."""
+    from repro.core.executor import multiply
+    from repro.core.procpool import shutdown_process_pools
+    from repro.core.runtime import last_report
+
+    rng = np.random.default_rng(9)
+    A = rng.standard_normal((256, 256))
+    B = rng.standard_normal((256, 256))
+    try:
+        multiply(A, B, algorithm=ALGORITHM, levels=LEVELS, procs=2)
+    finally:
+        shutdown_process_pools()
+    rep = last_report()
+    assert rep.worker_mode == "processes"
+    # The lowering ships the core slabs once: never more than the whole
+    # operands + two C passes, never less than one operand panel.
+    from repro.model.perfmodel import predict_ipc_bytes
+
+    assert 0 < rep.ipc_bytes <= predict_ipc_bytes(256, 256, 256)
+
+
+def test_process_speedup_on_multicore():
+    """Acceptance: >= 1.5x over threads on >= 2 fig-10 shapes (>= 4 cores)."""
+    import pytest
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip("needs a >= 4-core machine (acceptance criterion scope)")
+    from repro.core.procpool import shutdown_process_pools
+
+    try:
+        rows = measure(repeats=3)
+    finally:
+        shutdown_process_pools()
+    print()
+    for r in rows:
+        print(f"{r['shape']}: threads {r['threads_time_s']:.3f}s, "
+              f"processes {r['processes_time_s']:.3f}s "
+              f"({r['measured_ratio']:.2f}x, model {r['modeled_ratio']:.2f}x)")
+    wins = sum(r["measured_ratio"] >= 1.5 for r in rows)
+    assert wins >= 2, (
+        f"process runtime beat threads >= 1.5x on only {wins} of "
+        f"{len(rows)} shapes: "
+        + ", ".join(f"{r['shape']}={r['measured_ratio']:.2f}x" for r in rows)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode
+# ---------------------------------------------------------------------- #
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+    from repro.core.procpool import shutdown_process_pools
+
+    cores = os.cpu_count() or 1
+    n_workers = min(WORKERS, cores)
+    print(f"process-runtime benchmark: {ALGORITHM} L{LEVELS} at "
+          f"{n_workers} workers (host has {cores} cores)")
+    try:
+        rows = measure(n_workers=n_workers)
+    finally:
+        shutdown_process_pools()
+    print(f"{'shape':>18} {'threads s':>10} {'procs s':>9} "
+          f"{'measured':>9} {'modeled':>8}")
+    for r in rows:
+        shape = "x".join(str(s) for s in r["shape"])
+        print(f"{shape:>18} {r['threads_time_s']:10.3f} "
+              f"{r['processes_time_s']:9.3f} {r['measured_ratio']:8.2f}x "
+              f"{r['modeled_ratio']:7.2f}x")
+    out = write_bench_json("process_runtime",
+                           {"workers": n_workers, "points": rows})
+    print(f"[saved {out}]")
+
+
+if __name__ == "__main__":
+    main()

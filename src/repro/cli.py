@@ -64,11 +64,17 @@ def cmd_multiply(args) -> int:
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
             tune=args.tune, fusion=args.fusion, backend=args.backend,
+            workers=args.workers, procs=args.procs,
         )
     elif args.engine == "blocked":
         if args.backend not in (None, "reference"):
             raise SystemExit(
                 f"--backend {args.backend} is only valid with --engine direct"
+            )
+        if args.workers == "processes" or args.procs is not None:
+            raise SystemExit(
+                "--workers processes / --procs are only valid with "
+                "--engine direct or auto"
             )
         # BlockedEngine normalizes threads itself (None -> 1, 0/neg raise).
         eng = BlockedEngine(variant=args.variant, threads=args.threads)
@@ -80,6 +86,7 @@ def cmd_multiply(args) -> int:
             A, B, algorithm=ml if ml is not None else "strassen",
             variant=args.variant, engine=args.engine, threads=args.threads,
             tune=args.tune, fusion=args.fusion, backend=args.backend,
+            workers=args.workers, procs=args.procs,
         )
     from repro.core.runtime import last_report
 
@@ -88,6 +95,11 @@ def cmd_multiply(args) -> int:
         print(f"runtime: {rep.fusion} lowering, {rep.threads} thread(s), "
               f"backend {rep.backend} ({rep.backend_path}), "
               f"peak workspace {rep.peak_workspace_bytes / 2**20:.2f} MiB")
+        if args.report:
+            print(f"report: worker_mode={rep.worker_mode} "
+                  f"n_workers={rep.n_workers} "
+                  f"ipc_bytes={rep.ipc_bytes} "
+                  f"core_path={rep.core_path} n_tasks={rep.n_tasks}")
     err = float(np.abs(C - A @ B).max())
     scale = max(1.0, float(np.abs(C).max()))
     tol = 1e-6 if dtype == np.float64 else 1e-2
@@ -427,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "interpreter, per-plan compiled kernels, or their "
                         "numba-JIT wrapper; default follows --engine auto's "
                         "pick, else reference")
+    p.add_argument("--workers", choices=("threads", "processes"), default=None,
+                   help="runtime worker mode (direct engine): the shared "
+                        "thread pool, or GIL-free worker processes over "
+                        "shared-memory segments; default follows --engine "
+                        "auto's pick, else threads")
+    p.add_argument("--procs", type=int, default=None,
+                   help="shorthand for --workers processes --threads N")
+    p.add_argument("--report", action="store_true",
+                   help="print the execution report's worker fields "
+                        "(worker_mode, n_workers, ipc_bytes, core path)")
 
     p = sub.add_parser("select", help="model-guided selection")
     _add_shape(p)

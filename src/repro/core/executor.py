@@ -47,6 +47,7 @@ from repro.core.spec import (
     normalize_threads,
     normalize_tune,
     normalize_variant,
+    normalize_workers,
     resolve_levels,
 )
 from repro.core.variants import BlisProductLeaf
@@ -89,6 +90,30 @@ def _compile_for(A: np.ndarray, B: np.ndarray, algorithm, variant: str) -> Compi
     )
 
 
+def _resolve_workers(workers, procs, threads):
+    """Fold the ``workers``/``procs`` knobs into a ``(workers, threads)`` pair.
+
+    ``procs=N`` is shorthand for ``workers="processes", threads=N``; it
+    conflicts with an explicit ``workers="threads"`` or a *different*
+    explicit ``threads`` count.
+    """
+    workers = normalize_workers(workers)
+    if procs is None:
+        return workers, threads
+    procs = normalize_threads(procs)
+    if workers is not None and workers != "processes":
+        raise ValueError(
+            f"procs={procs} requests the process runtime; it cannot be "
+            f"combined with workers={workers!r}"
+        )
+    if threads is not None and threads != procs:
+        raise ValueError(
+            f"procs={procs} conflicts with threads={threads}; pass one "
+            "worker count, not two"
+        )
+    return "processes", procs
+
+
 class DirectEngine:
     """Thin client of the task-graph runtime (:mod:`repro.core.runtime`).
 
@@ -111,6 +136,10 @@ class DirectEngine:
         per-plan whole-core kernels and transparently delegate to the
         interpreted pipeline for call shapes they do not serve — check
         ``last_report.backend_path``).
+    workers:
+        Runtime worker mode: ``"threads"`` (default) runs the task DAG on
+        the shared thread pool; ``"processes"`` on the shared-memory
+        process pool (GIL-free; see :mod:`repro.core.procpool`).
     """
 
     def __init__(
@@ -119,11 +148,13 @@ class DirectEngine:
         vector_cap: int = runtime.DEFAULT_VECTOR_CAP,
         chunk_target: int = runtime.DEFAULT_CHUNK_TARGET,
         backend: str | None = None,
+        workers: str | None = None,
     ) -> None:
         self.threads = normalize_threads(threads) or 1
         self.vector_cap = int(vector_cap)
         self.chunk_target = int(chunk_target)
         self.backend = normalize_backend(backend)
+        self.workers = normalize_workers(workers)
         self.last_peel = None
         self.last_plan: CompiledPlan | None = None
         self.last_report: runtime.ExecutionReport | None = None
@@ -159,6 +190,7 @@ class DirectEngine:
             vector_cap=self.vector_cap,
             chunk_target=self.chunk_target,
             backend=self.backend,
+            workers=self.workers,
         )
         self.last_report = runtime.last_report()
         return out
@@ -255,16 +287,23 @@ class BlockedEngine:
 
 def _dispatch(
     engine: str, cplan: CompiledPlan, A, B, C, params, threads, mode,
-    backend: str = "reference",
+    backend: str = "reference", workers: str | None = None,
 ):
     if engine == "direct":
-        DirectEngine(threads=threads, backend=backend).execute(cplan, A, B, C)
+        DirectEngine(threads=threads, backend=backend,
+                     workers=workers).execute(cplan, A, B, C)
     elif engine == "blocked":
         if backend != "reference":
             raise ValueError(
                 "engine='blocked' executes through its packed BLIS leaf "
                 f"kernel; backend={backend!r} is only valid with the "
                 "direct engine"
+            )
+        if workers == "processes":
+            raise ValueError(
+                "engine='blocked' is an in-process instrumented substrate "
+                "(its counters live in this process); workers='processes' "
+                "is only valid with the direct engine"
             )
         BlockedEngine(
             params=params, variant=cplan.variant, threads=threads, mode=mode
@@ -291,6 +330,8 @@ def multiply(
     tune: str = "readonly",
     fusion: str = "auto",
     backend: str | None = None,
+    workers: str | None = None,
+    procs: int | None = None,
 ) -> np.ndarray:
     """Fast matrix multiplication ``C + A @ B`` — the one-call public API.
 
@@ -363,6 +404,20 @@ def multiply(
         ``last_report().backend_path``.  Default picks the backend under
         ``engine="auto"`` (wisdom / model priced) and ``"reference"``
         otherwise.  Only valid with the direct engine.
+    workers : {"threads", "processes"}, optional
+        Runtime worker mode.  ``"threads"`` runs the task DAG on the
+        shared thread pool; ``"processes"`` runs the core on a persistent
+        pool of worker *processes* over shared-memory operand segments
+        (:mod:`repro.core.procpool`) — GIL-free, bitwise-identical to the
+        thread path at the same worker count.  Default resolves under
+        ``engine="auto"`` (wisdom / model priced, observable via
+        ``last_report().worker_mode``) and ``"threads"`` otherwise.
+        At ``threads=1`` either mode executes inline (serial).  Only
+        valid with the direct engine.
+    procs : int, optional
+        Shorthand for ``workers="processes", threads=procs``.  Conflicts
+        with ``workers="threads"`` and with a *different* explicit
+        ``threads`` count.
 
     Returns
     -------
@@ -403,6 +458,7 @@ def multiply(
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
     fusion = normalize_fusion(fusion)
+    workers, threads = _resolve_workers(workers, procs, threads)
     if backend is not None:
         backend = normalize_backend(backend)
     A = np.asarray(A)
@@ -417,13 +473,16 @@ def multiply(
     if engine == "auto":
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, auto_threads, auto_backend = (
+        (algorithm, levels, variant, engine, auto_threads, auto_backend,
+         auto_workers) = (
             auto_config(m, k, n, dtype=dt.name, threads=threads, tune=tune)
         )
         if threads is None:
             threads = auto_threads
         if backend is None:
             backend = auto_backend
+        if workers is None:
+            workers = auto_workers
     if threads is None:
         threads = 1
     if backend is None:
@@ -433,7 +492,7 @@ def multiply(
     cplan = plancache.compile(
         (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
     )
-    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend)
+    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend, workers)
     return C
 
 
@@ -452,6 +511,8 @@ def multiply_batched(
     tune: str = "readonly",
     fusion: str = "auto",
     backend: str | None = None,
+    workers: str | None = None,
+    procs: int | None = None,
 ) -> np.ndarray:
     """Batched fast multiply: ``C[i] + A[i] @ B[i]`` for a same-shape stack.
 
@@ -472,7 +533,7 @@ def multiply_batched(
     C : (batch, m, n) ndarray, optional
         Accumulation target; allocated (zeros) when omitted.
     algorithm, levels, variant, engine, params, threads, mode, dtype, tune, \
-fusion, backend
+fusion, backend, workers, procs
         As in :func:`multiply` (``algorithm`` accepts the same schedule
         grammar, including ``"atom@count"`` strings); under
         ``engine="auto"`` the thread pick weighs the *whole batch's*
@@ -504,6 +565,7 @@ fusion, backend
     threads = normalize_threads(threads)
     tune = normalize_tune(tune)
     fusion = normalize_fusion(fusion)
+    workers, threads = _resolve_workers(workers, procs, threads)
     if backend is not None:
         backend = normalize_backend(backend)
     A = np.asarray(A)
@@ -530,11 +592,11 @@ fusion, backend
     A = np.ascontiguousarray(np.broadcast_to(A, (batch, m, k)), dtype=dt)
     B = np.ascontiguousarray(np.broadcast_to(B, (batch, k, n)), dtype=dt)
     if engine == "auto":
-        from repro.core.parallel import pick_threads
+        from repro.core.parallel import pick_threads, pick_workers
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, _, auto_backend = auto_config(
-            m, k, n, dtype=dt.name, threads=threads, tune=tune
+        algorithm, levels, variant, engine, _, auto_backend, auto_workers = (
+            auto_config(m, k, n, dtype=dt.name, threads=threads, tune=tune)
         )
         if backend is None:
             backend = auto_backend
@@ -549,6 +611,13 @@ fusion, backend
                 m, k, n, ml, variant,
                 min_flops=2.0 * 256**3 / max(batch, 1),
             )
+            # The worker-mode price depends on the thread count, so the
+            # batch-aware re-pick invalidates the auto_config verdict.
+            auto_workers = pick_workers(
+                m, k, n, ml, variant, threads=threads, dtype=dt
+            )
+        if workers is None:
+            workers = auto_workers
     if threads is None:
         threads = 1
     if backend is None:
@@ -560,7 +629,7 @@ fusion, backend
     cplan = plancache.compile(
         (m, k, n), algorithm, levels, variant, dtype=dt, fusion=fusion
     )
-    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend)
+    _dispatch(engine, cplan, A, B, C, params, threads, mode, backend, workers)
     return C
 
 

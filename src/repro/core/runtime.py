@@ -67,7 +67,9 @@ absorb the plan dtype (e.g. integer ``C``).
 
 from __future__ import annotations
 
+import atexit
 import math
+import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -75,14 +77,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import kernels as kernel_backends
+from repro.core import procpool
 from repro.core.compile import CompiledPlan
 from repro.core.spec import (
     DEFAULT_FUSED_GROUP,
     effective_fused_group,
     normalize_backend,
+    normalize_workers,
     validate_resolved_fusion,
 )
-from repro.core.workspace import workspace_arena
+from repro.core.workspace import pack_layout, shared_arena, workspace_arena
 from repro.kernels.reference import (
     NUMPY_LEAF,
     NumpyProductLeaf,
@@ -117,6 +121,7 @@ DEFAULT_CHUNK_TARGET = 1 << 17
 # ---------------------------------------------------------------------- #
 _pool_lock = threading.Lock()
 _pools: dict[int, ThreadPoolExecutor] = {}
+_pools_atexit = False
 
 
 def get_pool(workers: int) -> ThreadPoolExecutor:
@@ -124,12 +129,17 @@ def get_pool(workers: int) -> ThreadPoolExecutor:
 
     Pools persist for the life of the process and are shared by every
     execution requesting the same worker count — no per-call pool spin-up
-    or teardown.
+    or teardown.  Teardown is registered with ``atexit`` on first use
+    (the process-pool twin in :mod:`repro.core.procpool` does the same).
     """
+    global _pools_atexit
     workers = int(workers)
     if workers < 1:
         raise ValueError("workers must be >= 1")
     with _pool_lock:
+        if not _pools_atexit:
+            atexit.register(shutdown_pools)
+            _pools_atexit = True
         pool = _pools.get(workers)
         if pool is None:
             pool = ThreadPoolExecutor(
@@ -152,6 +162,22 @@ def shutdown_pools() -> None:
         _pools.clear()
     for p in pools:
         p.shutdown(wait=True)
+
+
+def _drop_pools_after_fork() -> None:  # pragma: no cover - fork hook
+    """A forked child inherits the pool dict but none of the threads.
+
+    Dropping the dead executors (without joining their nonexistent
+    threads) keeps the child from ever dispatching onto them, and
+    resetting the atexit flag lets the child register its own teardown.
+    """
+    global _pool_lock, _pools_atexit
+    _pool_lock = threading.Lock()
+    _pools.clear()
+    _pools_atexit = False
+
+
+os.register_at_fork(after_in_child=_drop_pools_after_fork)
 
 
 # ---------------------------------------------------------------------- #
@@ -641,13 +667,30 @@ class ExecutionReport:
         (:mod:`repro.kernels`); ``"reference"`` is the interpreter.
     backend_path:
         How the backend served the core: ``"compiled"`` (exec-compiled
-        specialized kernel), ``"jit"`` (numba-wrapped kernel) or
+        specialized kernel), ``"jit"`` (numba-wrapped kernel),
+        ``"compiled-parallel"`` / ``"jit-parallel"`` (the phase-parallel
+        emission driven through the thread pool at ``threads > 1``) or
         ``"interpreted"`` (delegated to the task-graph pipeline —
-        always the case for the reference backend).
+        always the case for the reference backend and for the process
+        runtime, whose workers cannot share a kernel's process-local
+        buffers).
     kernel_cached:
         On the kernel path: ``False`` when this call compiled the
         kernel, ``True`` when it reused a cached one.  ``None`` off the
         kernel path.
+    worker_mode:
+        How the core's tasks actually executed: ``"serial"`` (inline, no
+        pool — including every ``threads=1`` call and the per-step
+        fallback), ``"threads"`` (shared thread pool) or ``"processes"``
+        (GIL-free worker-process pool over shared memory).  May differ
+        from the *requested* mode when the core could not shard (e.g. a
+        pure-fringe problem).
+    n_workers:
+        Workers the executing pool used (1 when ``worker_mode="serial"``).
+    ipc_bytes:
+        Bytes staged into / copied out of shared-memory segments by this
+        call (operand slabs in, C accumulator in + out).  0 off the
+        process path — thread workers share the caller's address space.
     """
 
     shape: tuple[int, int, int]
@@ -661,6 +704,9 @@ class ExecutionReport:
     backend: str = "reference"
     backend_path: str = "interpreted"
     kernel_cached: bool | None = None
+    worker_mode: str = "serial"
+    n_workers: int = 1
+    ipc_bytes: int = 0
 
 
 _report_tls = threading.local()
@@ -709,13 +755,21 @@ def execute_plan(
     leaf=None,
     fusion: str | None = None,
     backend: str | None = None,
+    workers: str | None = None,
 ) -> np.ndarray:
     """Execute ``C += A @ B`` under a compiled plan on ``threads`` workers.
 
     Operands may be 2-D or batched ``(batch, rows, cols)`` stacks whose
     trailing dims match the plan.  ``threads=1`` runs the same task
     schedule inline; ``threads>1`` fans phases out over the shared worker
-    pool.  ``backend`` selects the leaf-kernel backend by registry name
+    pool.  ``workers`` selects the pool kind: ``"threads"`` (default)
+    shares the caller's address space (and its GIL); ``"processes"``
+    fans the same phases out over the persistent worker-process pool
+    (:mod:`repro.core.procpool`), staging operands and the C accumulator
+    through shared-memory segments — workers rebuild the identical
+    bindings over bit-identical operand copies, so a process execution
+    is bitwise-equal to the thread execution at the same worker count.
+    ``backend`` selects the leaf-kernel backend by registry name
     (:mod:`repro.kernels`; default ``"reference"``): a compiling backend
     serves the core with a per-plan specialized kernel when it can and
     delegates to the interpreted pipeline when it cannot — behavior is
@@ -724,17 +778,20 @@ def execute_plan(
     :class:`repro.core.variants.BlisProductLeaf`); every custom leaf
     executes on the fused per-product pipeline — the staged slab phases
     are pure-NumPy math that would bypass its kernel — and is mutually
-    exclusive with a non-reference ``backend``.
+    exclusive with a non-reference ``backend`` and with
+    ``workers="processes"`` (its kernel state lives in this process).
     ``fusion`` overrides the plan's resolved lowering mode (benchmarks
     compare ``"staged"`` vs ``"fused"`` on the same plan this way).
     ``arena`` overrides the global workspace arena (tests).
 
     Every call publishes an :class:`ExecutionReport` — including the
-    measured peak workspace bytes — retrievable via :func:`last_report`.
+    measured peak workspace bytes, the executing worker mode and the
+    shared-memory traffic — retrievable via :func:`last_report`.
     """
     threads = int(threads)
     if threads < 1:
         raise ValueError("threads must be >= 1")
+    worker_mode = normalize_workers(workers) or "threads"
     check_exec_shapes(cplan, A, B, C)
     arena = arena if arena is not None else workspace_arena
     backend_name = normalize_backend(backend)
@@ -742,6 +799,11 @@ def execute_plan(
         raise ValueError(
             "a custom leaf kernel executes on the reference pipeline; "
             f"it cannot be combined with backend={backend_name!r}"
+        )
+    if leaf is not None and leaf is not NUMPY_LEAF and worker_mode == "processes":
+        raise ValueError(
+            "a custom leaf kernel executes in this process; it cannot be "
+            'combined with workers="processes"'
         )
     backend_obj = kernel_backends.get_backend(backend_name)
     leaf = backend_obj.leaf() if leaf is None else leaf
@@ -756,16 +818,21 @@ def execute_plan(
         # its product() is always honored.
         fusion_eff = "fused"
 
+    use_procs = worker_mode == "processes" and threads > 1
     batch = int(math.prod(A.shape[:-2])) if A.ndim > 2 else 1
     core_path = "none"
     backend_path = "interpreted"
     kernel_cached = None
     n_tasks = 0
     steps_bytes = 0
+    ipc_bytes = 0
+    core_pooled = False
     meter = arena.start_meter()
     try:
         kernel_entry = None
-        if pp.has_core and backend_name != "reference":
+        if pp.has_core and backend_name != "reference" and not use_procs:
+            # Compiled kernels execute in this process (their buffers are
+            # process-local), so the process mode always interprets.
             kernel_entry = backend_obj.kernel_for(
                 cplan, A, B, C, fusion_eff, threads, vector_cap
             )
@@ -777,6 +844,7 @@ def execute_plan(
             backend_path = kernel_entry.path
             kernel_cached = kernel_entry.hits > 0
             steps_bytes = kernel_entry.workspace_bytes
+            core_pooled = threads > 1
             kernel_entry.run(A, B, C)
         elif pp.has_core:
             mp, kp, np_ = pp.core
@@ -805,7 +873,9 @@ def execute_plan(
                 gathered = fusion_eff == "staged" or leaf is NUMPY_LEAF
                 graph = lower_plan(cplan, threads, fusion_eff, gathered)
                 n_tasks = graph.n_tasks
-                pool = get_pool(threads) if threads > 1 else None
+                proc_pool = procpool.get_process_pool(threads) if use_procs else None
+                pool = get_pool(threads) if threads > 1 and not use_procs else None
+                core_pooled = threads > 1
                 core_phases = [p for p in graph.phases if p[0].kind != "fringe"]
                 n_slots = max(graph.n_slots, 1)
                 group = min(effective_fused_group(), cplan.rank_total)
@@ -813,11 +883,13 @@ def execute_plan(
                 try:
                     if Ac.ndim == 3 and not leaf.supports_batch:
                         for b in range(Ac.shape[0]):
-                            _run_core(
+                            ipc, shm = _run_core(
                                 cplan, Ac[b], Bc[b], Cc[b], bm, bk, bn,
                                 core_phases, pool, arena, fusion_eff,
-                                gathered, n_slots, group, leaf,
+                                gathered, n_slots, group, leaf, proc_pool,
                             )
+                            ipc_bytes += ipc
+                            steps_bytes = max(steps_bytes, shm)
                     elif Ac.ndim == 3:
                         # Chunk so the live intermediates stay near
                         # chunk_target elements: staged slabs scale with
@@ -832,17 +904,19 @@ def execute_plan(
                             1, min(Ac.shape[0], chunk_target // max(work, 1))
                         )
                         for i in range(0, Ac.shape[0], chunk):
-                            _run_core(
+                            ipc, shm = _run_core(
                                 cplan, Ac[i : i + chunk], Bc[i : i + chunk],
                                 Cc[i : i + chunk], bm, bk, bn,
                                 core_phases, pool, arena, fusion_eff,
-                                gathered, n_slots, group, leaf,
+                                gathered, n_slots, group, leaf, proc_pool,
                             )
+                            ipc_bytes += ipc
+                            steps_bytes = max(steps_bytes, shm)
                     else:
-                        _run_core(
+                        ipc_bytes, steps_bytes = _run_core(
                             cplan, Ac, Bc, Cc, bm, bk, bn,
                             core_phases, pool, arena, fusion_eff,
-                            gathered, n_slots, group, leaf,
+                            gathered, n_slots, group, leaf, proc_pool,
                         )
                 finally:
                     leaf.finish()
@@ -874,6 +948,12 @@ def execute_plan(
                 fb.run(Task("fringe", i, i + 1))
     finally:
         peak = max(arena.finish_meter(meter), steps_bytes)
+    if not core_pooled:
+        worker_mode_eff = "serial"
+    elif use_procs:
+        worker_mode_eff = "processes"
+    else:
+        worker_mode_eff = "threads"
     _publish_report(ExecutionReport(
         shape=cplan.shape,
         batch=batch,
@@ -886,14 +966,23 @@ def execute_plan(
         backend=backend_name,
         backend_path=backend_path,
         kernel_cached=kernel_cached,
+        worker_mode=worker_mode_eff,
+        n_workers=threads if core_pooled else 1,
+        ipc_bytes=ipc_bytes,
     ))
     return C
 
 
 def _run_core(
     cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena, fusion,
-    gathered, n_slots, group, leaf,
+    gathered, n_slots, group, leaf, proc_pool=None,
 ):
+    """Run one core (one batch chunk); returns ``(ipc_bytes, shm_bytes)``."""
+    if proc_pool is not None:
+        return _run_core_processes(
+            cplan, Ac, Bc, Cc, bm, bk, bn, phases, proc_pool, fusion,
+            n_slots, group,
+        )
     lead = Ac.shape[:-2]
     if fusion == "staged":
         ws = arena.acquire(
@@ -927,6 +1016,69 @@ def _run_core(
             _run_phase(binding, phase, pool)
     finally:
         arena.release(ws)
+    return 0, 0
+
+
+def _run_core_processes(
+    cplan, Ac, Bc, Cc, bm, bk, bn, phases, proc_pool, fusion,
+    n_slots, group,
+):
+    """Run one core on the worker-process pool over shared memory.
+
+    The parent copies the (possibly strided) core operand regions and the
+    C accumulator into one packed shared segment, broadcasts the plan and
+    a bind descriptor, then drives each phase as one task-list message
+    per worker with a barrier on the acks.  Workers rebuild the *same*
+    bindings over the shm views, so arithmetic — including the fused
+    pipeline's slot-order ``Cacc`` reduce — matches the thread path task
+    for task; the copy-in/copy-out round trip is exact, so the result is
+    bitwise-equal to the thread execution at the same worker count.
+    Returns ``(ipc_bytes, segment_bytes)`` for the execution report.
+    """
+    lead = Ac.shape[:-2]
+    if fusion == "staged":
+        spec = _staged_workspace_spec(cplan, lead, bm, bk, bn)
+        mode = "staged"
+    else:
+        spec = _grouped_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group)
+        mode = "grouped"
+    entries = [
+        ("Ac", Ac.shape, Ac.dtype),
+        ("Bc", Bc.shape, Bc.dtype),
+        ("Cc", Cc.shape, Cc.dtype),
+    ] + [(name, shape, dt) for name, (shape, dt) in spec.items()]
+    layout, total = pack_layout(entries)
+    seg_key = (cplan.key, lead, mode, n_slots, group,
+               Ac.dtype.str, Bc.dtype.str, Cc.dtype.str)
+    n_workers = proc_pool.max_workers
+    with proc_pool.session():
+        seg = shared_arena.acquire(seg_key, total)
+        try:
+            views = seg.views(layout)
+            views["Ac"][...] = Ac
+            views["Bc"][...] = Bc
+            views["Cc"][...] = Cc
+            plan_token = proc_pool.broadcast_plan(cplan)
+            proc_pool.bind({
+                "plan_key": plan_token,
+                "segment": seg.name,
+                "layout": layout,
+                "mode": mode,
+                "bm": bm, "bk": bk, "bn": bn,
+                "n_slots": n_slots, "group": group,
+            })
+            for phase in phases:
+                assignments: list[list] = [[] for _ in range(n_workers)]
+                for i, t in enumerate(phase):
+                    assignments[i % n_workers].append(
+                        (t.kind, t.lo, t.hi, t.slot)
+                    )
+                proc_pool.run_phase(assignments)
+            proc_pool.unbind()
+            Cc[...] = views["Cc"]
+        finally:
+            shared_arena.release(seg)
+    return Ac.nbytes + Bc.nbytes + 2 * Cc.nbytes, total
 
 
 # ---------------------------------------------------------------------- #

@@ -206,14 +206,15 @@ def select(
     return winner, ranked
 
 
-def _model_backend(threads: int) -> str:
-    """The model's pick of the ``backend`` dimension for one thread count.
+def _model_backend(threads: int, workers: str = "threads") -> str:
+    """The model's pick of the ``backend`` dimension for one worker setup.
 
     Ranks the *available* registered backends by their priced per-call
     dispatch overhead (:func:`repro.model.perfmodel.
-    predict_backend_overhead`), registration order breaking ties — so a
-    serial call prices the specialized compiled kernels as the win, and a
-    threaded call (which a compiling backend would delegate anyway)
+    predict_backend_overhead`), registration order breaking ties — so
+    serial and thread-pooled calls price the specialized compiled kernels
+    as the win, and a process-runtime call (which a compiling backend
+    would delegate anyway — worker processes cannot share its buffers)
     resolves to the reference interpreter.
     """
     from repro import kernels
@@ -222,7 +223,8 @@ def _model_backend(threads: int) -> str:
     names = [b.name for b in kernels.available_backends()]
     return min(
         names,
-        key=lambda nm: (predict_backend_overhead(nm, threads), names.index(nm)),
+        key=lambda nm: (
+            predict_backend_overhead(nm, threads, workers), names.index(nm)),
     )
 
 
@@ -237,24 +239,27 @@ def _model_config(
     """Pure model-guided configuration (the cold path of :func:`auto_config`).
 
     Ranks the generated family with the §4.4 performance model and returns
-    ``(algorithm, levels, variant, engine, threads, backend)`` ready for
-    the plan compiler and runtime: the winning per-level shape stack and
-    variant when the model predicts FMM beats the GEMM baseline, else the
-    classical ``<1,1,1>`` plan (a single plain matmul).  The execution
-    engine is the direct task-graph runtime — the wall-clock-fast path of
-    this substrate; callers wanting the instrumented blocked substrate ask
-    for it explicitly.  ``threads`` comes from the canonical multicore
-    scaling model (:func:`repro.core.parallel.pick_threads`, which walks
-    the paper-testbed ``machine_factory`` since ``machine`` here is a
-    single configuration point, not a cores->bandwidth family), capped by
-    the cores this host actually has.  ``backend`` is the priced
-    leaf-backend pick (:func:`_model_backend`).
+    ``(algorithm, levels, variant, engine, threads, backend, workers)``
+    ready for the plan compiler and runtime: the winning per-level shape
+    stack and variant when the model predicts FMM beats the GEMM baseline,
+    else the classical ``<1,1,1>`` plan (a single plain matmul).  The
+    execution engine is the direct task-graph runtime — the
+    wall-clock-fast path of this substrate; callers wanting the
+    instrumented blocked substrate ask for it explicitly.  ``threads``
+    comes from the canonical multicore scaling model
+    (:func:`repro.core.parallel.pick_threads`, which walks the
+    paper-testbed ``machine_factory`` since ``machine`` here is a single
+    configuration point, not a cores->bandwidth family), capped by the
+    cores this host actually has.  ``backend`` is the priced leaf-backend
+    pick (:func:`_model_backend`); ``workers`` the priced thread-vs-
+    process runtime pick at that thread count
+    (:func:`repro.core.parallel.pick_workers`).
 
     Decisions are memoized per ``(m, k, n, machine, max_levels)``, so the
     enumeration cost is paid once per problem shape *per process* — the
     wisdom store is what survives restarts.
     """
-    from repro.core.parallel import pick_threads
+    from repro.core.parallel import pick_threads, pick_workers
     from repro.model.machines import generic_laptop
 
     machine = machine or generic_laptop()
@@ -262,11 +267,14 @@ def _model_config(
     best = rank_candidates(candidates)[0] if candidates else None
     if best is None or best.prediction.time >= predict_gemm(m, k, n, machine).time:
         threads = pick_threads(m, k, n, None, "abc")
+        workers = pick_workers(m, k, n, None, "abc", threads=threads)
         return ("classical", 1, "abc", "direct", threads,
-                _model_backend(threads))
-    threads = pick_threads(m, k, n, best.multilevel(), best.variant)
+                _model_backend(threads, workers), workers)
+    ml = best.multilevel()
+    threads = pick_threads(m, k, n, ml, best.variant)
+    workers = pick_workers(m, k, n, ml, best.variant, threads=threads)
     return (best.shapes, len(best.shapes), best.variant, "direct", threads,
-            _model_backend(threads))
+            _model_backend(threads, workers), workers)
 
 
 def auto_config(
@@ -296,11 +304,13 @@ def auto_config(
     is the ``auto`` thread class); they do not affect the model path,
     whose thread pick is derived from the scaling model either way.
 
-    Returns the 6-tuple ``(algorithm, levels, variant, engine, threads,
-    backend)``.  A wisdom hit whose recorded backend is not available in
-    this process (e.g. a ``"numba"`` win replayed where numba is not
-    installed) degrades the backend — and only the backend — to
-    ``"reference"``.
+    Returns the 7-tuple ``(algorithm, levels, variant, engine, threads,
+    backend, workers)``.  A wisdom hit whose recorded backend is not
+    available in this process (e.g. a ``"numba"`` win replayed where
+    numba is not installed) degrades the backend — and only the backend —
+    to ``"reference"``.  ``workers`` is the thread-vs-process runtime
+    mode (wisdom files recorded before the dimension existed read as
+    ``"threads"``, the mode they actually measured).
     """
     from repro.core.spec import normalize_tune
 
@@ -311,7 +321,7 @@ def auto_config(
         store = default_store()
         hit = store.lookup_tuple(m, k, n, dtype=dtype, threads=threads)
         if hit is not None:
-            return (*hit[:5], _usable_backend(hit[5]))
+            return (*hit[:5], _usable_backend(hit[5]), hit[6])
         if tune == "on":
             from repro.tune.tuner import tune_problem
 
@@ -320,7 +330,7 @@ def auto_config(
                 max_levels=max_levels, machine=machine, store=store,
             )
             cfg = report.config
-            return (*cfg[:5], _usable_backend(cfg[5]))
+            return (*cfg[:5], _usable_backend(cfg[5]), cfg[6])
         if machine is None:
             machine = store.machine_params()
     return _model_config(m, k, n, machine, max_levels)

@@ -52,6 +52,7 @@ __all__ = [
     "FUSED_AUTO_THRESHOLD",
     "TUNE_MODES",
     "VARIANTS",
+    "WORKER_MODES",
     "Schedule",
     "effective_fused_auto_threshold",
     "effective_fused_group",
@@ -62,6 +63,7 @@ __all__ = [
     "normalize_threads",
     "normalize_tune",
     "normalize_variant",
+    "normalize_workers",
     "resolve_fusion",
     "resolve_levels",
     "runtime_tunables",
@@ -80,6 +82,11 @@ VARIANTS = ("naive", "ab", "abc")
 
 #: Accepted values of the ``fusion`` lowering knob.
 FUSION_MODES = ("auto", "staged", "fused")
+
+#: Accepted values of the ``workers`` execution-mode knob: thread pools
+#: (GIL-shared, zero-copy) vs worker-process pools (GIL-free, operands
+#: staged through shared memory).
+WORKER_MODES = ("threads", "processes")
 
 #: Stacked-intermediate size (elements across all R products' S/T/M slabs)
 #: above which ``fusion="auto"`` lowers ab/abc plans to the streaming fused
@@ -256,6 +263,26 @@ def normalize_threads(threads) -> int | None:
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
     return int(threads)
+
+
+def normalize_workers(workers) -> str | None:
+    """Validate the ``workers`` execution-mode knob.
+
+    ``None`` passes through (meaning "unspecified — resolve later", e.g.
+    from the auto-dispatch worker-mode model); ``"threads"`` runs the
+    task graph on the shared thread pool, ``"processes"`` on the
+    GIL-free worker-process pool with operands staged through shared
+    memory.  Anything else raises here, at spec-normalization time.
+    Serial execution is not a mode: it is either mode at ``threads=1``.
+    """
+    if workers is None:
+        return None
+    if not isinstance(workers, str) or workers.lower() not in WORKER_MODES:
+        raise ValueError(
+            f"unknown workers mode {workers!r}; expected one of "
+            f"{list(WORKER_MODES)}"
+        )
+    return workers.lower()
 
 
 def normalize_variant(variant) -> str:

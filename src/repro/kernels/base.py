@@ -10,7 +10,7 @@ by ``(dtype, variant, fusion)`` (:func:`kernel_key`).
 
 ``core/runtime.py`` dispatches every execution through a backend resolved
 from the registry (:mod:`repro.kernels`); backends that cannot serve a
-particular call (batched operands, mismatched dtype, ``threads > 1``)
+particular call (batched operands, mismatched dtype, the process runtime)
 return ``None`` from :meth:`LeafBackend.kernel_for` and the call runs on
 the reference interpreter — behavior stays identical, only the execution
 engine changes, and the :class:`~repro.core.runtime.ExecutionReport`
@@ -24,16 +24,24 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-__all__ = ["BackendInfo", "KernelEntry", "LeafBackend", "kernel_key"]
+__all__ = [
+    "BackendInfo",
+    "KernelEntry",
+    "LeafBackend",
+    "ParallelKernelEntry",
+    "kernel_key",
+]
 
 
-def kernel_key(cplan, fusion: str) -> tuple:
-    """The per-plan kernel cache key: ``(dtype, variant, fusion)``.
+def kernel_key(cplan, fusion: str, threads: int = 1) -> tuple:
+    """The per-plan kernel cache key: ``(dtype, variant, fusion, threads)``.
 
     Shape and schedule are the plan's identity already (kernels are cached
-    *alongside* their plan), so only the execution-mode axes remain.
+    *alongside* their plan), so only the execution-mode axes remain —
+    including ``threads``, since a parallel kernel's emitted phase
+    partition is specialized to one worker count.
     """
-    return (cplan.dtype.name, cplan.variant, fusion)
+    return (cplan.dtype.name, cplan.variant, fusion, int(threads))
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,44 @@ class KernelEntry:
     def run(self, A, B, C):
         with self.lock:
             return self.fn(A, B, C)
+
+
+@dataclass(eq=False)
+class ParallelKernelEntry:
+    """One compiled *parallel* whole-core kernel, cached alongside its plan.
+
+    ``phases`` is a grid of per-worker closures over shared preallocated
+    buffers (see :class:`repro.core.codegen.ParallelPlanKernel`);
+    :meth:`run` drives each phase through the shared ``threads``-worker
+    thread pool with a barrier between phases — the same drained
+    ``pool.map`` discipline as the interpreter's task phases.  Like
+    :class:`KernelEntry`, the closures own their buffers, so concurrent
+    executions of the same entry serialize on :attr:`lock`.
+    """
+
+    phases: tuple
+    source: str
+    path: str  # "compiled-parallel" (plain exec) or "jit-parallel"
+    key: tuple
+    group: int
+    workspace_bytes: int
+    threads: int
+    hits: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def run(self, A, B, C):
+        # Deferred import: the runtime imports this package at load time.
+        from repro.core.runtime import get_pool
+
+        pool = get_pool(self.threads)
+        with self.lock:
+            for fns in self.phases:
+                if len(fns) == 1:
+                    fns[0](A, B, C)
+                else:
+                    for _ in pool.map(lambda fn: fn(A, B, C), fns):
+                        pass
+        return C
 
 
 class LeafBackend:
@@ -116,7 +162,7 @@ class LeafBackend:
         return NUMPY_LEAF
 
     def kernel_for(self, cplan, A, B, C, fusion: str, threads: int,
-                   vector_cap: int) -> KernelEntry | None:
+                   vector_cap: int) -> KernelEntry | ParallelKernelEntry | None:
         """A compiled whole-core kernel serving this exact call, or ``None``.
 
         ``None`` means "interpret this one": the runtime falls back to the

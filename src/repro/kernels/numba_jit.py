@@ -14,7 +14,7 @@ explicitly requesting ``backend="numba"`` raises at spec validation.
 
 from __future__ import annotations
 
-from repro.kernels.base import KernelEntry
+from repro.kernels.base import KernelEntry, ParallelKernelEntry
 from repro.kernels.specialized import SpecializedBackend
 
 __all__ = ["NumbaBackend"]
@@ -56,9 +56,20 @@ class NumbaBackend(SpecializedBackend):
         "(silent per-kernel fallback to the plain compiled form)"
     )
 
-    def _compile_entry(self, cplan, fusion: str) -> KernelEntry:
-        entry = super()._compile_entry(cplan, fusion)
+    def _compile_entry(
+        self, cplan, fusion: str, threads: int = 1
+    ) -> KernelEntry | ParallelKernelEntry:
+        entry = super()._compile_entry(cplan, fusion, threads)
         if self.available():
-            entry.fn = _jit_dispatcher(entry.fn)
-            entry.path = "jit"
+            if isinstance(entry, ParallelKernelEntry):
+                # Each (phase, worker) closure gets its own dispatcher so a
+                # typing failure in one phase falls back only that closure.
+                entry.phases = tuple(
+                    tuple(_jit_dispatcher(fn) for fn in fns)
+                    for fns in entry.phases
+                )
+                entry.path = "jit-parallel"
+            else:
+                entry.fn = _jit_dispatcher(entry.fn)
+                entry.path = "jit"
         return entry

@@ -7,12 +7,16 @@ gather/scatter index arrays precomputed once, every buffer preallocated
 in the plan dtype — and caches it *alongside the plan*: the cache is a
 ``WeakKeyDictionary`` keyed by plan identity, so evicting a plan from the
 plan cache (and dropping user references) evicts its kernels with it.
-Within a plan, kernels are keyed ``(dtype, variant, fusion)``
+Within a plan, kernels are keyed ``(dtype, variant, fusion, threads)``
 (:func:`~repro.kernels.base.kernel_key`).
 
-The backend only serves calls it can specialize exactly: serial 2-D
-C-contiguous operands in the plan's own dtype, with the staged shape
-additionally honoring the interpreter's ``vector_cap`` gate.  Everything
+The backend serves calls it can specialize exactly: 2-D C-contiguous
+operands in the plan's own dtype, with the staged shape additionally
+honoring the interpreter's ``vector_cap`` gate.  ``threads > 1`` compiles
+a *parallel* kernel — one closure per (phase, worker) over shared
+preallocated buffers, driven through the shared thread pool
+(``backend_path="compiled-parallel"``; see
+:func:`repro.core.codegen.generate_parallel_kernel_source`).  Everything
 else returns ``None`` and runs on the reference interpreter — the report
 then shows ``backend_path="interpreted"``, never a silent behavior change.
 """
@@ -22,8 +26,13 @@ from __future__ import annotations
 import threading
 import weakref
 
-from repro.core.codegen import compile_plan_kernel
-from repro.kernels.base import KernelEntry, LeafBackend, kernel_key
+from repro.core.codegen import compile_parallel_plan_kernel, compile_plan_kernel
+from repro.kernels.base import (
+    KernelEntry,
+    LeafBackend,
+    ParallelKernelEntry,
+    kernel_key,
+)
 
 __all__ = ["SpecializedBackend"]
 
@@ -32,7 +41,8 @@ class SpecializedBackend(LeafBackend):
     name = "specialized"
     summary = (
         "per-plan exec-compiled numpy kernels (unrolled coefficients, "
-        "precomputed gather/scatter indices, dtype-matched scatter)"
+        "precomputed gather/scatter indices, dtype-matched scatter; "
+        "phase-parallel emission for threads > 1)"
     )
 
     def __init__(self) -> None:
@@ -42,7 +52,18 @@ class SpecializedBackend(LeafBackend):
         self._hits = 0
 
     # ------------------------------------------------------------------ #
-    def _compile_entry(self, cplan, fusion: str) -> KernelEntry:
+    def _compile_entry(self, cplan, fusion: str, threads: int = 1):
+        if threads > 1:
+            kern = compile_parallel_plan_kernel(cplan, threads, fusion=fusion)
+            return ParallelKernelEntry(
+                phases=kern.phases,
+                source=kern.source,
+                path="compiled-parallel",
+                key=kernel_key(cplan, fusion, threads),
+                group=kern.group,
+                workspace_bytes=kern.workspace_bytes,
+                threads=kern.threads,
+            )
         kern = compile_plan_kernel(cplan, fusion=fusion)
         return KernelEntry(
             fn=kern.fn,
@@ -54,7 +75,7 @@ class SpecializedBackend(LeafBackend):
         )
 
     def kernel_for(self, cplan, A, B, C, fusion, threads, vector_cap):
-        if threads != 1 or A.ndim != 2:
+        if A.ndim != 2:
             return None
         if not (A.flags.c_contiguous and B.flags.c_contiguous
                 and C.flags.c_contiguous):
@@ -74,7 +95,7 @@ class SpecializedBackend(LeafBackend):
             # loop, and the kernel's O(R) slabs would be just as oversized.
             if cplan.rank_total * (bm * bk + bk * bn + bm * bn) > vector_cap:
                 return None
-        key = kernel_key(cplan, fusion)
+        key = kernel_key(cplan, fusion, threads)
         with self._lock:
             per_plan = self._kernels.get(cplan)
             if per_plan is None:
@@ -85,7 +106,8 @@ class SpecializedBackend(LeafBackend):
                 entry.hits += 1
                 self._hits += 1
                 return entry
-        entry = self._compile_entry(cplan, fusion)  # emit outside the lock
+        # emit outside the lock
+        entry = self._compile_entry(cplan, fusion, threads)
         with self._lock:
             winner = per_plan.setdefault(key, entry)
             if winner is entry:

@@ -69,6 +69,7 @@ class Measurement:
     best_s: float            #: global minimum sample
     samples: int             #: timed calls actually taken
     backend: str = "reference"   #: leaf backend the samples executed on
+    workers: str = "threads"     #: worker mode the samples executed under
     group_minima: tuple[float, ...] = field(repr=False, default=())
 
     @property
@@ -79,16 +80,20 @@ class Measurement:
 
 
 def _runner(cplan: CompiledPlan, engine: str, threads: int, params, mode,
-            backend: str = "reference"):
+            backend: str = "reference", workers: str | None = None):
     """Build the ``fn(A, B, C)`` the harness times, matching ``multiply``."""
     from repro.core.executor import BlockedEngine, DirectEngine
 
     if engine == "direct":
-        eng = DirectEngine(threads=threads, backend=backend)
+        eng = DirectEngine(threads=threads, backend=backend, workers=workers)
     elif engine == "blocked":
         if backend != "reference":
             raise ValueError(
                 f"backend={backend!r} is only measurable on the direct engine"
+            )
+        if workers == "processes":
+            raise ValueError(
+                "workers='processes' is only measurable on the direct engine"
             )
         eng = BlockedEngine(params=params, variant=cplan.variant,
                             threads=threads, mode=mode)
@@ -107,6 +112,7 @@ def measure_plan(
     mode: str = "slab",
     seed: int = 0,
     backend: str | None = None,
+    workers: str | None = None,
 ) -> Measurement:
     """Time one compiled plan on this machine.
 
@@ -116,19 +122,23 @@ def measure_plan(
     paying a re-zero inside the samples.  ``backend`` selects the leaf
     backend (direct engine only); compiling backends pay their one-time
     kernel compile inside the warmup calls, so the timed samples see the
-    cached-kernel steady state ``multiply`` reaches.
+    cached-kernel steady state ``multiply`` reaches.  ``workers``
+    selects the runtime's worker mode — ``"processes"`` measures the
+    shared-memory process runtime, with pool spin-up and segment
+    allocation likewise absorbed by the warmup calls.
     """
-    from repro.core.spec import normalize_backend, normalize_threads
+    from repro.core.spec import normalize_backend, normalize_threads, normalize_workers
 
     cfg = config or MeasureConfig()
     threads = normalize_threads(threads) or 1  # fail before any warmup
     backend = normalize_backend(backend)
+    workers = normalize_workers(workers)
     m, k, n = cplan.shape
     rng = np.random.default_rng(seed)
     A = rng.standard_normal((m, k)).astype(cplan.dtype, copy=False)
     B = rng.standard_normal((k, n)).astype(cplan.dtype, copy=False)
     C = np.zeros((m, n), dtype=cplan.dtype)
-    fn = _runner(cplan, engine, threads, params, mode, backend)
+    fn = _runner(cplan, engine, threads, params, mode, backend, workers)
 
     deadline = None if cfg.budget_s is None else time.perf_counter() + cfg.budget_s
     for _ in range(cfg.warmup):
@@ -170,6 +180,7 @@ def measure_plan(
         best_s=min(group_minima),
         samples=samples,
         backend=backend,
+        workers=workers or "threads",
         group_minima=tuple(group_minima),
     )
 
@@ -189,6 +200,7 @@ def measure_candidate(
     seed: int = 0,
     fusion: str = "auto",
     backend: str | None = None,
+    workers: str | None = None,
 ) -> Measurement:
     """Compile (or fetch from the plan cache) and time one configuration.
 
@@ -205,4 +217,4 @@ def measure_candidate(
     cplan = plancache.compile((int(m), int(k), int(n)), algorithm, levels,
                               variant, dtype=dtype, fusion=fusion)
     return measure_plan(cplan, engine=engine, threads=threads, config=config,
-                        seed=seed, backend=backend)
+                        seed=seed, backend=backend, workers=workers)

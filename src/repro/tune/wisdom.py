@@ -177,6 +177,11 @@ def _validate_config(cfg) -> dict:
         # process lacks); selection degrades unknown/unavailable names
         # to "reference" at dispatch time.
         raise ValueError(f"malformed wisdom backend {backend!r}")
+    from repro.core.spec import WORKER_MODES
+
+    workers = cfg.get("workers", "threads")
+    if workers not in WORKER_MODES:
+        raise ValueError(f"malformed wisdom workers {workers!r}")
     return cfg
 
 
@@ -214,14 +219,16 @@ def config_signature(cfg: dict) -> str:
 
 def config_tuple(cfg: dict) -> tuple:
     """Stored config -> the ``(algorithm, levels, variant, engine, threads,
-    backend)`` tuple :func:`repro.core.selection.auto_config` returns.
-    Configs recorded before the backend dimension existed read as
-    ``"reference"`` (the backend they actually measured)."""
+    backend, workers)`` tuple :func:`repro.core.selection.auto_config`
+    returns.  Configs recorded before the backend / workers dimensions
+    existed read as ``"reference"`` / ``"threads"`` (what they actually
+    measured)."""
     algo = cfg["algorithm"]
     if algo != "classical":
         algo = tuple(tuple(int(x) for x in s) for s in algo)
     return (algo, int(cfg["levels"]), cfg["variant"], cfg["engine"],
-            int(cfg["threads"]), cfg.get("backend", "reference"))
+            int(cfg["threads"]), cfg.get("backend", "reference"),
+            cfg.get("workers", "threads"))
 
 
 # ---------------------------------------------------------------------- #

@@ -241,20 +241,24 @@ class TestAutoDispatch:
 
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, threads, backend = auto_config(
-            1536, 1536, 1536
+        algorithm, levels, variant, engine, threads, backend, workers = (
+            auto_config(1536, 1536, 1536)
         )
         assert engine == "direct"
         assert variant in ("naive", "ab", "abc")
         assert algorithm != "classical" and levels >= 1
         assert 1 <= threads <= (os.cpu_count() or 1)
+        assert workers in ("threads", "processes")
 
     def test_auto_config_tiny_problem_falls_back(self):
         from repro.core.selection import auto_config
 
-        algorithm, levels, variant, engine, threads, backend = auto_config(4, 4, 4)
+        algorithm, levels, variant, engine, threads, backend, workers = (
+            auto_config(4, 4, 4)
+        )
         assert algorithm == "classical"
         assert threads == 1  # too small for thread-level parallelism
+        assert workers == "threads"  # nothing for the process runtime here
 
     def test_apply_once_uses_plan_cache(self, rng):
         from repro.algorithms.strassen import strassen

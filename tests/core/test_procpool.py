@@ -1,0 +1,105 @@
+"""Tests for the persistent worker-process pool (core/procpool.py)."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.core import procpool
+from repro.core.procpool import (
+    default_start_method,
+    get_process_pool,
+    process_pool_info,
+    shutdown_process_pools,
+)
+
+START_METHODS = [
+    m for m in ("fork", "spawn") if m in mp.get_all_start_methods()
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    shutdown_process_pools()
+
+
+class TestDefaultStartMethod:
+    def test_is_available(self):
+        assert default_start_method() in mp.get_all_start_methods()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert default_start_method() == "spawn"
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "telepathy")
+        with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+            default_start_method()
+
+
+class TestProcessPool:
+    def test_ping_returns_worker_pids(self):
+        pool = get_process_pool(2)
+        pids = pool.ping()
+        assert len(pids) == 2
+        assert len(set(pids)) == 2
+        assert os.getpid() not in pids
+
+    def test_pool_reused_across_requests(self):
+        pool = get_process_pool(2)
+        assert get_process_pool(2) is pool
+
+    def test_distinct_counts_distinct_pools(self):
+        assert get_process_pool(1) is not get_process_pool(2)
+
+    def test_pool_info_covers_live_pools(self):
+        pool = get_process_pool(2)
+        info = process_pool_info()
+        key = (2, pool.start_method)
+        assert key in info
+        assert info[key]["workers"] == 2
+        assert info[key]["alive"] == 2
+        assert info[key]["start_method"] == pool.start_method
+
+    def test_shutdown_drops_workers_and_registry(self):
+        pool = get_process_pool(2)
+        procs = list(pool._procs)
+        shutdown_process_pools()
+        assert process_pool_info() == {}
+        for p in procs:
+            p.join(timeout=10)
+            assert not p.is_alive()
+
+    def test_broken_pool_replaced(self):
+        pool = get_process_pool(1)
+        pool.broken = True
+        fresh = get_process_pool(1)
+        assert fresh is not pool
+        assert fresh.ping()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            get_process_pool(0)
+
+    @pytest.mark.parametrize("method", START_METHODS)
+    def test_start_methods(self, method):
+        pool = get_process_pool(2, start_method=method)
+        assert pool.start_method == method
+        assert len(pool.ping()) == 2
+
+    def test_fork_registry_reset_leaves_parent_pool_alone(self):
+        # Simulate the at-fork child hook: the child must drop the
+        # inherited registry entries without touching the parent's
+        # worker processes.
+        pool = get_process_pool(2)
+        saved = dict(procpool._proc_pools)
+        try:
+            procpool._reset_after_fork_in_child()
+            assert procpool._proc_pools == {}
+            assert pool.alive() == 2  # parent workers untouched
+        finally:
+            with procpool._proc_lock:
+                procpool._proc_pools.update(saved)

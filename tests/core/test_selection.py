@@ -80,7 +80,7 @@ class TestSkewedSelection:
         # when the problem's aspect ratio calls for it.
         from repro.core.selection import _model_config
 
-        algo, levels, variant, engine, threads, backend = _model_config(
+        algo, levels, variant, engine, threads, backend, workers = _model_config(
             1152, 384, 1152
         )
         assert algo != "classical"

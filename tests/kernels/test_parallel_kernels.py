@@ -1,0 +1,139 @@
+"""The phase-parallel kernel emission: specialized backends at threads > 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.executor import multiply
+from repro.core.runtime import last_report
+from repro.kernels import get_backend
+from repro.kernels.base import ParallelKernelEntry, kernel_key
+
+
+def _mats(m, k, n, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, k)), rng.standard_normal((k, n))
+
+
+class TestParallelKernelPath:
+    @pytest.mark.parametrize("fusion", ["staged", "fused"])
+    def test_backend_path_reflects_parallel_kernel(self, fusion):
+        A, B = _mats(96, 96, 96)
+        multiply(A, B, algorithm="strassen", threads=2,
+                 backend="specialized", fusion=fusion)
+        rep = last_report()
+        assert rep.backend_path == "compiled-parallel"
+        assert rep.core_path == "kernel"
+        assert rep.worker_mode == "threads"
+        assert rep.n_workers == 2
+
+    def test_staged_bitwise_vs_serial_kernel(self):
+        A, B = _mats(96, 96, 96)
+        Cs = multiply(A, B, algorithm="strassen", threads=1,
+                      backend="specialized", fusion="staged")
+        Cp = multiply(A, B, algorithm="strassen", threads=2,
+                      backend="specialized", fusion="staged")
+        assert np.array_equal(Cs, Cp)
+
+    def test_fused_matches_serial_kernel(self):
+        A, B = _mats(96, 96, 96)
+        Cs = multiply(A, B, algorithm="strassen", threads=1,
+                      backend="specialized", fusion="fused")
+        Cp = multiply(A, B, algorithm="strassen", threads=2,
+                      backend="specialized", fusion="fused")
+        np.testing.assert_allclose(Cs, Cp, rtol=1e-12, atol=1e-12)
+
+    def test_matches_interpreter(self):
+        A, B = _mats(72, 96, 72)
+        for fusion in ("staged", "fused"):
+            Ck = multiply(A, B, algorithm="<3,4,3>", threads=2,
+                          backend="specialized", fusion=fusion)
+            Ci = multiply(A, B, algorithm="<3,4,3>", threads=2,
+                          backend="reference", fusion=fusion)
+            np.testing.assert_allclose(Ck, Ci, rtol=1e-12, atol=1e-12)
+
+    def test_ragged_fringe_served(self):
+        # The kernel serves the peeled core; fringes run the serial loop.
+        A, B = _mats(101, 97, 103)
+        C = multiply(A, B, algorithm="strassen", threads=2,
+                     backend="specialized")
+        assert last_report().backend_path == "compiled-parallel"
+        assert np.allclose(C, A @ B)
+
+    def test_process_runtime_never_uses_kernels(self):
+        from repro.core.procpool import shutdown_process_pools
+
+        A, B = _mats(96, 96, 96)
+        try:
+            multiply(A, B, algorithm="strassen", threads=2,
+                     workers="processes", backend="specialized")
+        finally:
+            shutdown_process_pools()
+        rep = last_report()
+        # Compiled kernel buffers are process-local: process mode
+        # interprets, and the report says so.
+        assert rep.backend_path == "interpreted"
+        assert rep.worker_mode == "processes"
+
+
+class TestParallelKernelCache:
+    def test_cached_per_thread_count(self):
+        A, B = _mats(64, 64, 64, seed=5)
+        backend = get_backend("specialized")
+        before = backend.cache_stats()["compiles"]
+        multiply(A, B, algorithm="<2,2,2>", levels=1, threads=2,
+                 backend="specialized", fusion="staged")
+        assert not last_report().kernel_cached
+        multiply(A, B, algorithm="<2,2,2>", levels=1, threads=2,
+                 backend="specialized", fusion="staged")
+        assert last_report().kernel_cached
+        multiply(A, B, algorithm="<2,2,2>", levels=1, threads=3,
+                 backend="specialized", fusion="staged")
+        assert not last_report().kernel_cached  # new partition, new kernel
+        assert backend.cache_stats()["compiles"] == before + 2
+
+    def test_kernel_key_carries_threads(self):
+        class _Plan:
+            dtype = np.dtype(np.float64)
+            variant = "abc"
+
+        k1 = kernel_key(_Plan, "staged")
+        k2 = kernel_key(_Plan, "staged", 2)
+        assert k1 != k2
+        assert k1[:3] == k2[:3]
+
+
+class TestEmission:
+    def test_phase_grid_shape(self):
+        from repro.core.codegen import compile_parallel_plan_kernel
+        from repro.core.compile import compile as compile_plan
+
+        cplan = compile_plan((96, 96, 96), "strassen", 1, "abc")
+        kern = compile_parallel_plan_kernel(cplan, 2, fusion="staged")
+        assert kern.threads == 2
+        assert len(kern.phases) >= 2
+        for fns in kern.phases:
+            assert 1 <= len(fns) <= 2
+            assert all(callable(fn) for fn in fns)
+        assert "def " in kern.source
+
+    def test_threads_one_rejected(self):
+        from repro.core.codegen import compile_parallel_plan_kernel
+        from repro.core.compile import compile as compile_plan
+
+        cplan = compile_plan((64, 64, 64), "strassen", 1, "abc")
+        with pytest.raises(ValueError):
+            compile_parallel_plan_kernel(cplan, 1)
+
+    def test_entry_type(self):
+        A, B = _mats(64, 64, 64)
+        backend = get_backend("specialized")
+        multiply(A, B, algorithm="strassen", threads=2,
+                 backend="specialized", fusion="staged")
+        entries = [
+            e for d in backend._kernels.values() for e in d.values()
+            if isinstance(e, ParallelKernelEntry)
+        ]
+        assert entries
+        assert all(e.path == "compiled-parallel" for e in entries)

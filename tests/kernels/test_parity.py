@@ -92,17 +92,34 @@ class TestParityMatrix:
 class TestDelegation:
     """Call shapes compiling backends hand back to the interpreter."""
 
-    def test_threads_delegate_and_stay_reproducible(self):
+    def test_threads_served_and_stay_reproducible(self):
+        # Thread-pooled calls no longer delegate: the backend emits a
+        # phase-parallel kernel for them (deterministic slot order, so
+        # threaded reruns stay bitwise equal).
         shape = (96, 96, 96)
         runs = []
         for _ in range(2):
             C, rep = _run("specialized", shape, "strassen", 2,
                           "abc", "fused", np.float64, threads=2)
             assert rep.backend == "specialized"
-            assert rep.backend_path == "interpreted"
+            assert rep.backend_path == "compiled-parallel"
             runs.append(C)
-        # Deterministic slot order: threaded reruns are bitwise equal.
         np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_process_runtime_delegates(self):
+        from repro.core.procpool import shutdown_process_pools
+
+        cplan = plancache.compile((96, 96, 96), "strassen", 1, "abc",
+                                  dtype=np.float64)
+        A, B, C = _operands((96, 96, 96), np.float64)
+        try:
+            execute_plan(cplan, A, B, C, backend="specialized",
+                         threads=2, workers="processes")
+        finally:
+            shutdown_process_pools()
+        rep = last_report()
+        assert rep.backend_path == "interpreted"
+        np.testing.assert_allclose(C, A @ B, atol=1e-10)
 
     def test_noncontiguous_operand_delegates(self):
         cplan = plancache.compile((64, 64, 64), "strassen", 1, "abc",

@@ -72,9 +72,10 @@ class TestTuneProblem:
     def test_config_is_auto_config_shaped(self, store):
         rep = tune_problem(64, 64, 64, store=store, budget_s=1.0,
                            measure_config=FAST)
-        algo, levels, variant, engine, threads, backend = rep.config
+        algo, levels, variant, engine, threads, backend, workers = rep.config
         assert engine == "direct" and threads >= 1
         assert backend in ("reference", "specialized", "numba")
+        assert workers in ("threads", "processes")
         assert variant in ("naive", "ab", "abc")
         assert algo == "classical" or isinstance(algo, tuple)
 

@@ -72,7 +72,8 @@ class TestRoundTrip:
         store.record(96, 96, 96, config=sample_config(2), gflops=5.0,
                      time_s=1e-3, samples=9)
         assert store.lookup_tuple(96, 96, 96) == (
-            ((2, 2, 2), (2, 2, 2)), 2, "abc", "direct", 1, "reference"
+            ((2, 2, 2), (2, 2, 2)), 2, "abc", "direct", 1, "reference",
+            "threads",
         )
 
     def test_survives_process_restart(self, store, sample_config):
@@ -91,7 +92,7 @@ class TestRoundTrip:
         cfg = dict(sample_config(), algorithm="classical")
         store.record(8, 8, 8, config=cfg, gflops=1.0, time_s=1e-3, samples=3)
         assert store.lookup_tuple(8, 8, 8) == (
-            "classical", 1, "abc", "direct", 1, "reference"
+            "classical", 1, "abc", "direct", 1, "reference", "threads"
         )
 
     def test_file_is_versioned_json(self, store, sample_config):
@@ -105,6 +106,30 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             store.record(96, 96, 96, config={"algorithm": "nonsense"},
                          gflops=1.0, time_s=1e-3, samples=1)
+
+    def test_worker_mode_round_trips(self, store, sample_config):
+        from repro.tune.wisdom import config_tuple
+
+        cfg = {**sample_config(), "threads": 2, "workers": "processes"}
+        store.record(96, 96, 96, config=cfg, gflops=5.0, time_s=1e-3,
+                     samples=3)
+        hit = WisdomStore(store.path).lookup(96, 96, 96)
+        assert hit["workers"] == "processes"
+        assert config_tuple(hit)[6] == "processes"
+
+    def test_workers_defaults_to_threads(self, store, sample_config):
+        from repro.tune.wisdom import config_tuple
+
+        cfg = sample_config()  # pre-worker-mode configs carry no key
+        store.record(96, 96, 96, config=cfg, gflops=5.0, time_s=1e-3,
+                     samples=3)
+        assert config_tuple(store.lookup(96, 96, 96))[6] == "threads"
+
+    def test_invalid_worker_mode_rejected(self, store, sample_config):
+        cfg = {**sample_config(), "workers": "fibers"}
+        with pytest.raises(ValueError, match="workers"):
+            store.record(96, 96, 96, config=cfg, gflops=5.0, time_s=1e-3,
+                         samples=1)
 
     def test_machine_params_round_trip(self, store):
         from repro.model.machines import generic_laptop

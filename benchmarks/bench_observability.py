@@ -1,0 +1,159 @@
+"""Observability overhead benchmark: tracing must be free when off.
+
+The span tracer (:mod:`repro.obs.trace`) instruments the hottest paths
+in the stack — plan-cache lookup, every runtime phase, arena
+acquire/recycle, kernel dispatch.  Its contract is that the disabled
+fast path is a flag check plus returning a shared no-op context
+manager, cheap enough that serving workloads never pay for the
+instrumentation they are not using.
+
+This benchmark pins that contract down two ways:
+
+* microbenchmark the disabled ``span()`` call directly (nanoseconds
+  per call), and
+* bound the end-to-end cost: count the spans one cached multiply would
+  emit, multiply by the per-call cost, and compare against the measured
+  cached-multiply latency from the plan-cache workload.
+
+The pytest acceptance gates the end-to-end fraction below 2% — the
+CI overhead-regression smoke.  Run standalone
+(``python benchmarks/bench_observability.py``) for the summary table
+and the ``BENCH_observability.json`` telemetry record.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+N = 96
+LEVELS = 2
+SPAN_ITERS = 200_000
+REPEATS = 3
+
+#: Acceptance bar: disabled-tracer cost as a fraction of one cached
+#: multiply (the worst realistic ratio: tiny problem, hot plan cache).
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+def _operands(n=N):
+    rng = np.random.default_rng(2017)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+def disabled_span_cost_ns(iters: int = SPAN_ITERS) -> float:
+    """Best-of-REPEATS nanoseconds per disabled ``span()`` call."""
+    from repro.obs import trace
+
+    assert not trace.is_enabled()
+    best = float("inf")
+    span = trace.span
+    for _ in range(REPEATS):
+        t0 = time.perf_counter_ns()
+        for _ in range(iters):
+            with span("bench", "bench"):
+                pass
+        best = min(best, (time.perf_counter_ns() - t0) / iters)
+    return best
+
+
+def spans_per_multiply() -> int:
+    """Span records one warm (plan-cached) multiply emits."""
+    from repro.core.executor import multiply
+    from repro.obs import trace
+
+    A, B = _operands()
+    multiply(A, B, algorithm="strassen", levels=LEVELS)  # compile outside
+    trace.enable()
+    trace.clear()
+    try:
+        multiply(A, B, algorithm="strassen", levels=LEVELS)
+        count = len(trace.spans())
+    finally:
+        trace.disable()
+        trace.clear()
+    return count
+
+
+def cached_multiply_s() -> float:
+    """Best-of-REPEATS seconds for one warm cached multiply."""
+    from repro.core.executor import multiply
+
+    A, B = _operands()
+    multiply(A, B, algorithm="strassen", levels=LEVELS)  # warm-up/compile
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(50):
+            multiply(A, B, algorithm="strassen", levels=LEVELS)
+        best = min(best, (time.perf_counter() - t0) / 50)
+    return best
+
+
+def measure() -> dict:
+    """The overhead record: per-span cost, span count, bounded fraction."""
+    cost_ns = disabled_span_cost_ns()
+    n_spans = spans_per_multiply()
+    call_s = cached_multiply_s()
+    overhead_s = cost_ns * 1e-9 * n_spans
+    return {
+        "shape": [N, N, N],
+        "algorithm": f"strassen-L{LEVELS}",
+        "disabled_span_ns": cost_ns,
+        "spans_per_multiply": n_spans,
+        "cached_multiply_us": call_s * 1e6,
+        "overhead_fraction": overhead_s / call_s,
+    }
+
+
+def test_disabled_tracer_overhead():
+    """Acceptance: disabled tracing costs < 2% of a hot cached multiply."""
+    rec = measure()
+    print(
+        f"\ndisabled span: {rec['disabled_span_ns']:.0f} ns/call x "
+        f"{rec['spans_per_multiply']} spans vs "
+        f"{rec['cached_multiply_us']:.0f} us/multiply -> "
+        f"{rec['overhead_fraction'] * 100:.3f}% overhead"
+    )
+    assert rec["overhead_fraction"] < MAX_OVERHEAD_FRACTION, (
+        f"disabled tracer overhead {rec['overhead_fraction'] * 100:.2f}% "
+        f"exceeds the {MAX_OVERHEAD_FRACTION * 100:.0f}% bar"
+    )
+
+
+def test_enabled_tracer_records_phases():
+    """Sanity: enabling actually records the runtime phase spans."""
+    from repro.core.executor import multiply
+    from repro.obs import trace
+
+    A, B = _operands()
+    multiply(A, B, algorithm="strassen", levels=1)
+    trace.enable()
+    trace.clear()
+    try:
+        multiply(A, B, algorithm="strassen", levels=1)
+        names = {s.name for s in trace.spans()}
+    finally:
+        trace.disable()
+        trace.clear()
+    assert "execute_plan" in names
+    assert any(n.startswith("phase:") for n in names)
+
+
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+
+    rec = measure()
+    print("observability overhead: disabled tracer on a hot cached multiply")
+    print(f"{'metric':<26} {'value':>12}")
+    print(f"{'disabled span ns/call':<26} {rec['disabled_span_ns']:>12.1f}")
+    print(f"{'spans per multiply':<26} {rec['spans_per_multiply']:>12d}")
+    print(f"{'cached multiply us':<26} {rec['cached_multiply_us']:>12.1f}")
+    print(f"{'overhead fraction':<26} {rec['overhead_fraction']:>11.5f}")
+    out = write_bench_json("observability", {"points": [rec]})
+    print(f"[saved {out}]")
+
+
+if __name__ == "__main__":
+    main()

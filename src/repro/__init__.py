@@ -47,6 +47,14 @@ Public surface
 * :func:`set_runtime_tunables` / :func:`runtime_tunables` — per-machine
   runtime knobs (fused group size, auto-fusion threshold); wisdom files
   carry measured overrides (:func:`tune_fused_group`).
+* :mod:`repro.obs` — the observability layer: span tracing with Chrome
+  trace-event export (:mod:`repro.obs.trace`), the process-wide metrics
+  registry (:func:`metrics_snapshot`), a bounded ExecutionReport history
+  with per-plan aggregation (:func:`report_history` /
+  :func:`report_stats`), and namespaced stdlib logging
+  (``REPRO_LOG_LEVEL`` attaches a stderr handler).  ``repro trace run``
+  and ``repro stats`` surface it from the shell;
+  :func:`seed_wisdom_from_observations` turns the history into wisdom.
 * :func:`build_plan` / :func:`generate_source` — the code generator.
 """
 
@@ -121,6 +129,12 @@ from repro.model.perfmodel import (
     predict_gemm,
     predict_workspace_bytes,
 )
+from repro.obs import trace
+from repro.obs.metrics import snapshot as metrics_snapshot
+from repro.obs.reports import (
+    aggregate as report_stats,
+    recent as report_history,
+)
 from repro.tune import (
     MeasureConfig,
     Measurement,
@@ -129,6 +143,8 @@ from repro.tune import (
     calibrate_machine,
     default_store,
     measure_candidate,
+    observed_measurements,
+    seed_wisdom_from_observations,
     set_default_store,
     tune_fused_group,
     tune_problem,
@@ -205,6 +221,12 @@ __all__ = [
     "tune_sweep",
     "tune_fused_group",
     "calibrate_machine",
+    "trace",
+    "metrics_snapshot",
+    "report_history",
+    "report_stats",
+    "observed_measurements",
+    "seed_wisdom_from_observations",
     "LeafBackend",
     "available_backends",
     "backend_infos",

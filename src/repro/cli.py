@@ -8,6 +8,8 @@ Commands
 ``tune``      Measure the model's favorites; persist the winner as wisdom.
 ``wisdom``    Inspect or clear the persistent autotuning wisdom store.
 ``backends``  List leaf-kernel backends, availability and kernel caches.
+``trace``     Record a multiply under the span tracer; write a Chrome trace.
+``stats``     Print the process-wide metrics snapshot and report history.
 ``codegen``   Emit generated Python source for an algorithm/variant.
 ``model``     Print modeled Effective GFLOPS for a configuration sweep.
 ``discover``  Run the ALS search for a (m, k, n, rank) target.
@@ -99,7 +101,21 @@ def cmd_multiply(args) -> int:
             print(f"report: worker_mode={rep.worker_mode} "
                   f"n_workers={rep.n_workers} "
                   f"ipc_bytes={rep.ipc_bytes} "
-                  f"core_path={rep.core_path} n_tasks={rep.n_tasks}")
+                  f"core_path={rep.core_path} n_tasks={rep.n_tasks} "
+                  f"n_chunks={rep.n_chunks}")
+            from repro.core.compile import plan_cache_info
+            from repro.obs import reports as obs_reports
+
+            st = obs_reports.stats_for(rep)
+            ci = plan_cache_info()
+            hit_rate = ci.hits / max(ci.hits + ci.misses, 1)
+            if st is not None:
+                print(f"history: n={st.count} "
+                      f"p50={st.p50_s * 1e3:.2f}ms "
+                      f"p95={st.p95_s * 1e3:.2f}ms "
+                      f"peak {st.peak_bytes_hw / 2**20:.2f} MiB; "
+                      f"plan-cache hit-rate {hit_rate:.0%} "
+                      f"({ci.hits}/{ci.hits + ci.misses})")
     err = float(np.abs(C - A @ B).max())
     scale = max(1.0, float(np.abs(C).max()))
     tol = 1e-6 if dtype == np.float64 else 1e-2
@@ -107,6 +123,88 @@ def cmd_multiply(args) -> int:
     print(f"{label} on {args.m}x{args.k}x{args.n}{batch_note} "
           f"[{C.dtype}]: max |C - AB| = {err:.3e}")
     return 0 if err / scale < tol else 1
+
+
+def cmd_trace(args) -> int:
+    from repro.core.executor import multiply, multiply_batched
+    from repro.obs import trace
+
+    rng = np.random.default_rng(args.seed)
+    dtype = np.float32 if args.dtype == "float32" else np.float64
+    shape_a, shape_b = (args.m, args.k), (args.k, args.n)
+    if args.batch > 1:
+        shape_a, shape_b = (args.batch,) + shape_a, (args.batch,) + shape_b
+    A = rng.standard_normal(shape_a).astype(dtype)
+    B = rng.standard_normal(shape_b).astype(dtype)
+    if args.engine == "auto":
+        ml = None
+    else:
+        ml = _parse_algorithm(args.algorithm, args.levels)
+    call = multiply_batched if args.batch > 1 else multiply
+    repeat = max(args.repeat, 1)
+    trace.enable(args.capacity)
+    trace.clear()
+    try:
+        # Run at least twice by default: the cold call records the plan
+        # compile, the warm one the plan-cache hit + steady-state phases.
+        for _ in range(repeat):
+            call(A, B, algorithm=ml if ml is not None else "strassen",
+                 variant=args.variant, engine=args.engine,
+                 threads=args.threads, tune="off", fusion=args.fusion,
+                 backend=args.backend, workers=args.workers,
+                 procs=args.procs)
+        doc = trace.export_chrome(args.out)
+    finally:
+        trace.disable()
+    events = doc["traceEvents"]
+    cats: dict[str, int] = {}
+    pids = set()
+    for ev in events:
+        cats[ev["cat"]] = cats.get(ev["cat"], 0) + 1
+        pids.add(ev["pid"])
+    print(f"wrote {args.out}: {len(events)} events from {len(pids)} "
+          f"process(es) over {repeat} run(s) "
+          f"(open in chrome://tracing or Perfetto)")
+    for cat in sorted(cats):
+        print(f"  {cat:8s} {cats[cat]:6d} events")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    # Touch the runtime so its counters/gauges exist even in a process
+    # that has not executed anything yet.
+    import repro.core.runtime  # noqa: F401
+    from dataclasses import asdict
+
+    from repro.obs import metrics, reports
+
+    snap = metrics.snapshot()
+    agg = reports.aggregate()
+    if args.json:
+        print(json.dumps(
+            {"metrics": snap,
+             "reports": {k: asdict(st) for k, st in sorted(agg.items())}},
+            indent=2, sort_keys=True, default=str))
+        return 0
+    print("counters:")
+    for name, val in snap["counters"].items():
+        print(f"  {name:28s} {val}")
+    print("gauges:")
+    for name, val in snap["gauges"].items():
+        print(f"  {name:28s} {val}")
+    print("histograms:")
+    for name, val in snap["histograms"].items():
+        print(f"  {name:28s} {val}")
+    if agg:
+        print(f"report history ({len(reports.recent())} retained):")
+        for key, st in sorted(agg.items()):
+            print(f"  {key}: n={st.count} p50={st.p50_s * 1e3:.2f}ms "
+                  f"p95={st.p95_s * 1e3:.2f}ms best={st.best_s * 1e3:.2f}ms "
+                  f"peak {st.peak_bytes_hw / 2**20:.2f} MiB "
+                  f"backends={st.backends} modes={st.worker_modes}")
+    else:
+        print("report history: empty (nothing executed in this process)")
+    return 0
 
 
 def cmd_select(args) -> int:
@@ -493,6 +591,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "backend and report its execution path")
     p.add_argument("--json", action="store_true")
 
+    p = sub.add_parser("trace",
+                       help="record a multiply under the span tracer")
+    p.add_argument("action", nargs="?", choices=("run",), default="run")
+    _add_shape(p)
+    p.add_argument("--algorithm", default="strassen")
+    p.add_argument("--levels", type=int, default=1)
+    p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
+    p.add_argument("--engine", choices=("direct", "auto"), default="direct")
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--dtype", choices=("float32", "float64"),
+                   default="float64")
+    p.add_argument("--batch", type=int, default=1)
+    p.add_argument("--fusion", choices=("auto", "staged", "fused"),
+                   default="auto")
+    p.add_argument("--backend", choices=("reference", "specialized", "numba"),
+                   default=None)
+    p.add_argument("--workers", choices=("threads", "processes"),
+                   default=None)
+    p.add_argument("--procs", type=int, default=None,
+                   help="shorthand for --workers processes --threads N")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="runs to record; the first shows the plan compile, "
+                        "later ones the cached steady state (default 2)")
+    p.add_argument("--capacity", type=int, default=None,
+                   help="span ring capacity (default 8192)")
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="Chrome trace-event JSON output path "
+                        "(default trace.json)")
+
+    p = sub.add_parser("stats",
+                       help="print the metrics snapshot and report history")
+    p.add_argument("--json", action="store_true",
+                   help="emit the snapshot as machine-readable JSON")
+
     p = sub.add_parser("codegen", help="emit generated Python source")
     _add_shape(p)
     p.add_argument("--algorithm", default="strassen")
@@ -526,6 +659,8 @@ def main(argv=None) -> int:
         "tune": cmd_tune,
         "wisdom": cmd_wisdom,
         "backends": cmd_backends,
+        "trace": cmd_trace,
+        "stats": cmd_stats,
         "codegen": cmd_codegen,
         "model": cmd_model,
         "discover": cmd_discover,

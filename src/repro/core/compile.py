@@ -43,6 +43,10 @@ from repro.core.spec import (
     spec_key,
     staged_slab_elements,
 )
+from repro.obs import trace as _trace
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = [
     "CompiledPlan",
@@ -173,6 +177,16 @@ class CompiledPlan:
             for _, w in s.c_terms
         )
 
+    @cached_property
+    def schedule_signature(self) -> str:
+        """The :attr:`schedule`'s string signature (e.g. ``"<2,2,2>@2"``).
+
+        Cached because the telemetry layer stamps it on every
+        :class:`~repro.core.runtime.ExecutionReport`: building the
+        signature walks the catalog per level, far too slow for the
+        per-call hot path, while the cached string is a field read."""
+        return self.schedule.signature
+
     # ------------------------------------------------------------------ #
     # View extraction (works for 2-D and batched ``(..., rows, cols)``)
     # ------------------------------------------------------------------ #
@@ -277,42 +291,52 @@ def compile(
         if hit is not None:
             _cache.move_to_end(slot)
             _hits += 1
-            return hit
-        _misses += 1
+        else:
+            _misses += 1
+    if hit is not None:
+        _trace.instant("plan_cache.hit", "compile")
+        return hit
+    _trace.instant("plan_cache.miss", "compile")
 
-    # Resolve the lowering mode before the expensive lowering: the
-    # canonical cache slot carries the *resolved* fusion mode and an
-    # ``"auto"`` request links to it, so auto and its resolved explicit
-    # twin share one CompiledPlan — and an auto request whose explicit
-    # twin is already cached never rebuilds it.
-    ml = resolve_levels(algorithm, levels)
-    fusion_resolved = resolve_fusion(
-        fusion, variant, staged_slab_elements(m, k, n, ml)
-    )
-    key_resolved = key[:5] + (fusion_resolved,) + key[6:]
-    if key_resolved != key:
-        with _lock:
-            existing = _cache.get(key_resolved)
-            if existing is not None:
-                _aliases[key] = key_resolved
-                _cache.move_to_end(key_resolved)
-                return existing
+    with _trace.span("plan.compile", "compile",
+                     shape=f"{m}x{k}x{n}", variant=variant):
+        # Resolve the lowering mode before the expensive lowering: the
+        # canonical cache slot carries the *resolved* fusion mode and an
+        # ``"auto"`` request links to it, so auto and its resolved explicit
+        # twin share one CompiledPlan — and an auto request whose explicit
+        # twin is already cached never rebuilds it.
+        ml = resolve_levels(algorithm, levels)
+        fusion_resolved = resolve_fusion(
+            fusion, variant, staged_slab_elements(m, k, n, ml)
+        )
+        key_resolved = key[:5] + (fusion_resolved,) + key[6:]
+        if key_resolved != key:
+            with _lock:
+                existing = _cache.get(key_resolved)
+                if existing is not None:
+                    _aliases[key] = key_resolved
+                    _cache.move_to_end(key_resolved)
+                    return existing
 
-    plan = build_plan(m, k, n, ml, variant)
-    Ut = np.ascontiguousarray(ml.U.T, dtype=dt)
-    Vt = np.ascontiguousarray(ml.V.T, dtype=dt)
-    W = np.ascontiguousarray(ml.W, dtype=dt)
-    for arr in (Ut, Vt, W):
-        arr.setflags(write=False)
-    compiled = CompiledPlan(
-        key=key_resolved,  # canonical: downstream caches key on cplan.key
-        plan=plan,
-        dtype=dt,
-        fusion=fusion_resolved,
-        Ut=Ut, Vt=Vt, W=W,
-        a_table=plan.block_table("A"),
-        b_table=plan.block_table("B"),
-        c_table=plan.block_table("C"),
+        plan = build_plan(m, k, n, ml, variant)
+        Ut = np.ascontiguousarray(ml.U.T, dtype=dt)
+        Vt = np.ascontiguousarray(ml.V.T, dtype=dt)
+        W = np.ascontiguousarray(ml.W, dtype=dt)
+        for arr in (Ut, Vt, W):
+            arr.setflags(write=False)
+        compiled = CompiledPlan(
+            key=key_resolved,  # canonical: downstream caches key on cplan.key
+            plan=plan,
+            dtype=dt,
+            fusion=fusion_resolved,
+            Ut=Ut, Vt=Vt, W=W,
+            a_table=plan.block_table("A"),
+            b_table=plan.block_table("B"),
+            c_table=plan.block_table("C"),
+        )
+    _log.debug(
+        "compiled plan %dx%dx%d %s variant=%s fusion=%s dtype=%s",
+        m, k, n, ml.name, variant, fusion_resolved, dt.name,
     )
     with _lock:
         # A concurrent compile may have raced us; keep the first entry so

@@ -31,7 +31,11 @@ Worker loop contract (one duplex pipe per worker, strictly ordered):
     task runs.
 ``("run", tasks)``
     Execute a list of ``(kind, lo, hi, slot)`` descriptors through the
-    bound binding; reply ``("ok",)`` or ``("err", traceback)``.
+    bound binding; reply ``("ok",)`` or ``("err", traceback)``.  When the
+    bind descriptor carried ``trace=True`` the worker wraps each task in
+    a :mod:`repro.obs.trace` span and replies ``("ok", spans)`` — the
+    parent merges the drained records into its own timeline, so a Chrome
+    trace shows worker tasks under their real pid.
 ``("unbind",)`` / ``("ping",)`` / ``("exit",)``
     Drop the binding / health-check (replies worker pid) / leave the loop.
 
@@ -47,6 +51,10 @@ import os
 import threading
 import traceback
 from collections import OrderedDict
+
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = [
     "DEFAULT_START_METHOD",
@@ -137,10 +145,12 @@ def _build_binding(cplan, desc, shm):
 def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
     """Blocking worker loop: strictly ordered ops over one duplex pipe."""
     from repro.core.runtime import Task
+    from repro.obs import trace as obs_trace
 
     plans: OrderedDict = OrderedDict()
     segments: dict = {}
     binding = None
+    tracing = False
     while True:
         try:
             msg = conn.recv()
@@ -160,13 +170,25 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in child processes
                         plans.popitem(last=False)
             elif op == "bind":
                 desc = msg[1]
+                tracing = bool(desc.get("trace"))
+                if tracing and not obs_trace.is_enabled():
+                    obs_trace.enable()
                 shm = _attach_segment(segments, desc["segment"])
                 binding = _build_binding(plans[desc["plan_key"]], desc, shm)
                 conn.send(("ok",))
             elif op == "run":
-                for t in msg[1]:
-                    binding.run(Task(*t))
-                conn.send(("ok",))
+                if tracing:
+                    for t in msg[1]:
+                        with obs_trace.span("task:" + t[0], "worker",
+                                            lo=t[1], hi=t[2], slot=t[3]):
+                            binding.run(Task(*t))
+                    # Ship this run's spans back on the ack; the parent
+                    # ingests them into the merged timeline.
+                    conn.send(("ok", obs_trace.drain()))
+                else:
+                    for t in msg[1]:
+                        binding.run(Task(*t))
+                    conn.send(("ok",))
             elif op == "unbind":
                 binding = None
             elif op == "ping":
@@ -240,6 +262,10 @@ class ProcessPool:
             child.close()
             self._conns.append(parent)
             self._procs.append(proc)
+        _log.debug(
+            "started process pool: %d workers (%s)",
+            workers, self.start_method,
+        )
 
     # ------------------------------------------------------------------ #
     def session(self):
@@ -248,13 +274,24 @@ class ProcessPool:
 
     def _fail(self, exc: BaseException):
         self.broken = True
+        _log.warning(
+            "process pool (%d workers, %s) lost a worker: %r",
+            self.max_workers, self.start_method, exc,
+        )
         raise RuntimeError(
             f"process pool ({self.max_workers} workers, "
             f"{self.start_method}) lost a worker: {exc!r}"
         ) from exc
 
-    def _recv_acks(self, conns) -> None:
+    def _recv_acks(self, conns) -> list:
+        """Barrier on one ack per connection; returns the ack payloads.
+
+        An ack is ``("ok",)`` or ``("ok", extra)`` — the ``extra`` slot
+        carries shipped-back trace spans on traced runs.  The returned
+        list holds one payload (or ``None``) per acked connection.
+        """
         errors = []
+        extras = []
         for conn in conns:
             try:
                 reply = conn.recv()
@@ -262,10 +299,13 @@ class ProcessPool:
                 self._fail(exc)
             if reply[0] == "err":
                 errors.append(reply[1])
+            else:
+                extras.append(reply[1] if len(reply) > 1 else None)
         if errors:
             raise RuntimeError(
                 "worker task failed:\n" + "\n".join(errors)
             )
+        return extras
 
     def broadcast_plan(self, cplan) -> tuple:
         """Ship a compiled plan to every worker once; returns its token.
@@ -298,11 +338,12 @@ class ProcessPool:
             self._fail(exc)
         self._recv_acks(self._conns)
 
-    def run_phase(self, assignments) -> None:
+    def run_phase(self, assignments) -> list:
         """Run one phase: ``assignments[i]`` is worker ``i``'s task list.
 
         Sends every non-empty list, then barriers on the acks — exactly
-        the thread path's drained ``pool.map``.
+        the thread path's drained ``pool.map``.  Returns the ack
+        payloads (per-worker trace-span batches on traced runs).
         """
         active = []
         try:
@@ -312,7 +353,7 @@ class ProcessPool:
                     active.append(conn)
         except (OSError, ValueError) as exc:
             self._fail(exc)
-        self._recv_acks(active)
+        return self._recv_acks(active)
 
     def unbind(self) -> None:
         try:

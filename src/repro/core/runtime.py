@@ -71,6 +71,7 @@ import atexit
 import math
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -79,6 +80,8 @@ import numpy as np
 from repro import kernels as kernel_backends
 from repro.core import procpool
 from repro.core.compile import CompiledPlan
+from repro.obs import metrics as obs_metrics, reports as obs_reports, trace as obs_trace
+from repro.obs.logcfg import get_logger
 from repro.core.spec import (
     DEFAULT_FUSED_GROUP,
     effective_fused_group,
@@ -115,6 +118,15 @@ DEFAULT_VECTOR_CAP = 1 << 24
 #: Intermediate-size target for slicing batches into cache-resident chunks.
 DEFAULT_CHUNK_TARGET = 1 << 17
 
+_log = get_logger(__name__)
+
+_m_executions = obs_metrics.counter(
+    "runtime.executions", "execute_plan calls completed"
+)
+_m_latency = obs_metrics.histogram(
+    "runtime.latency_s", "execute_plan wall-clock latency in seconds"
+)
+
 
 # ---------------------------------------------------------------------- #
 # Reusable worker pools
@@ -146,6 +158,7 @@ def get_pool(workers: int) -> ThreadPoolExecutor:
                 max_workers=workers, thread_name_prefix=f"repro-rt{workers}"
             )
             _pools[workers] = pool
+            _log.debug("created thread pool with %d workers", workers)
         return pool
 
 
@@ -568,13 +581,17 @@ class _FringeBinding:
 
 
 def _run_phase(binding, tasks, pool) -> None:
-    if pool is None or len(tasks) == 1:
-        for t in tasks:
-            binding.run(t)
-    else:
-        # list() is the barrier: it drains the map and re-raises worker
-        # exceptions before the next phase may start.
-        list(pool.map(binding.run, tasks))
+    inline = pool is None or len(tasks) == 1
+    with obs_trace.span("phase:" + tasks[0].kind, "phase",
+                        tasks=len(tasks),
+                        mode="inline" if inline else "pool"):
+        if inline:
+            for t in tasks:
+                binding.run(t)
+        else:
+            # list() is the barrier: it drains the map and re-raises worker
+            # exceptions before the next phase may start.
+            list(pool.map(binding.run, tasks))
 
 
 # ---------------------------------------------------------------------- #
@@ -691,6 +708,22 @@ class ExecutionReport:
         Bytes staged into / copied out of shared-memory segments by this
         call (operand slabs in, C accumulator in + out).  0 off the
         process path — thread workers share the caller's address space.
+        A batched execution reports the **sum** over its chunks.
+    schedule:
+        The plan's schedule signature (e.g. ``"<2,2,2>@2"``) — the key
+        the report history and wisdom seeding aggregate on.  Empty for
+        reports built without a plan.
+    dtype:
+        The plan compute dtype name (``"float64"``, ...).
+    duration_s:
+        Wall-clock seconds for the whole ``execute_plan`` call; the
+        report-history percentiles aggregate this.
+    n_chunks:
+        ``_run_core`` invocations this call made: 1 for a 2-D multiply,
+        the chunk count for a batched stack.  One report always covers
+        the *whole* call — ``ipc_bytes`` summed and
+        ``peak_workspace_bytes`` high-watered across chunks — so batched
+        callers never see a single chunk's numbers.
     """
 
     shape: tuple[int, int, int]
@@ -707,6 +740,10 @@ class ExecutionReport:
     worker_mode: str = "serial"
     n_workers: int = 1
     ipc_bytes: int = 0
+    schedule: str = ""
+    dtype: str = "float64"
+    duration_s: float = 0.0
+    n_chunks: int = 1
 
 
 _report_tls = threading.local()
@@ -724,6 +761,12 @@ def last_report() -> ExecutionReport | None:
 
 def _publish_report(report: ExecutionReport) -> None:
     _report_tls.report = report
+    # The bounded history (repro.obs.reports) is the canonical record;
+    # the thread-local above stays as the "my last call" convenience.
+    obs_reports.record(report)
+    _m_executions.inc()
+    if report.duration_s > 0.0:
+        _m_latency.observe(report.duration_s)
 
 
 # ---------------------------------------------------------------------- #
@@ -826,7 +869,18 @@ def execute_plan(
     n_tasks = 0
     steps_bytes = 0
     ipc_bytes = 0
+    n_chunks = 0
     core_pooled = False
+    t_start = time.perf_counter()
+    # Entered/exited by hand so the 120-line body below keeps its
+    # indentation; the span brackets exactly the metered region.
+    exec_span = obs_trace.span(
+        "execute_plan", "runtime",
+        shape=f"{cplan.shape[0]}x{cplan.shape[1]}x{cplan.shape[2]}",
+        batch=batch, fusion=fusion_eff, backend=backend_name,
+        threads=threads, workers=worker_mode,
+    )
+    exec_span.__enter__()
     meter = arena.start_meter()
     try:
         kernel_entry = None
@@ -890,6 +944,7 @@ def execute_plan(
                             )
                             ipc_bytes += ipc
                             steps_bytes = max(steps_bytes, shm)
+                            n_chunks += 1
                     elif Ac.ndim == 3:
                         # Chunk so the live intermediates stay near
                         # chunk_target elements: staged slabs scale with
@@ -912,7 +967,9 @@ def execute_plan(
                             )
                             ipc_bytes += ipc
                             steps_bytes = max(steps_bytes, shm)
+                            n_chunks += 1
                     else:
+                        n_chunks = 1
                         ipc_bytes, steps_bytes = _run_core(
                             cplan, Ac, Bc, Cc, bm, bk, bn,
                             core_phases, pool, arena, fusion_eff,
@@ -929,6 +986,10 @@ def execute_plan(
                     _run_phase(fb, phase, fringe_pool)
             else:
                 core_path = "steps"
+                _log.debug(
+                    "per-step serial fallback for %s (vector cap or "
+                    "non-castable C dtype)", cplan.shape,
+                )
                 # The fallback allocates its per-step S/T/M with plain
                 # numpy, outside the metered arena; report its analytic
                 # live footprint (one product's buffers) so the staged
@@ -948,6 +1009,8 @@ def execute_plan(
                 fb.run(Task("fringe", i, i + 1))
     finally:
         peak = max(arena.finish_meter(meter), steps_bytes)
+        exec_span.set(core_path=core_path, peak_bytes=peak)
+        exec_span.__exit__(None, None, None)
     if not core_pooled:
         worker_mode_eff = "serial"
     elif use_procs:
@@ -969,6 +1032,10 @@ def execute_plan(
         worker_mode=worker_mode_eff,
         n_workers=threads if core_pooled else 1,
         ipc_bytes=ipc_bytes,
+        schedule=cplan.schedule_signature,
+        dtype=cplan.dtype.name,
+        duration_s=time.perf_counter() - t_start,
+        n_chunks=max(n_chunks, 1),
     ))
     return C
 
@@ -1051,13 +1118,16 @@ def _run_core_processes(
     seg_key = (cplan.key, lead, mode, n_slots, group,
                Ac.dtype.str, Bc.dtype.str, Cc.dtype.str)
     n_workers = proc_pool.max_workers
+    tracing = obs_trace.is_enabled()
     with proc_pool.session():
         seg = shared_arena.acquire(seg_key, total)
         try:
             views = seg.views(layout)
-            views["Ac"][...] = Ac
-            views["Bc"][...] = Bc
-            views["Cc"][...] = Cc
+            with obs_trace.span("ipc.stage_in", "ipc",
+                                bytes=Ac.nbytes + Bc.nbytes + Cc.nbytes):
+                views["Ac"][...] = Ac
+                views["Bc"][...] = Bc
+                views["Cc"][...] = Cc
             plan_token = proc_pool.broadcast_plan(cplan)
             proc_pool.bind({
                 "plan_key": plan_token,
@@ -1066,6 +1136,7 @@ def _run_core_processes(
                 "mode": mode,
                 "bm": bm, "bk": bk, "bn": bn,
                 "n_slots": n_slots, "group": group,
+                "trace": tracing,
             })
             for phase in phases:
                 assignments: list[list] = [[] for _ in range(n_workers)]
@@ -1073,9 +1144,19 @@ def _run_core_processes(
                     assignments[i % n_workers].append(
                         (t.kind, t.lo, t.hi, t.slot)
                     )
-                proc_pool.run_phase(assignments)
+                kind = phase[0].kind
+                with obs_trace.span("phase:" + kind, "phase",
+                                    tasks=len(phase), mode="processes"):
+                    worker_spans = proc_pool.run_phase(assignments)
+                # Workers drain their local rings onto the run acks;
+                # merging here keeps one coherent multi-process timeline.
+                if tracing and worker_spans:
+                    for batch_recs in worker_spans:
+                        if batch_recs:
+                            obs_trace.ingest(batch_recs)
             proc_pool.unbind()
-            Cc[...] = views["Cc"]
+            with obs_trace.span("ipc.copy_out", "ipc", bytes=Cc.nbytes):
+                Cc[...] = views["Cc"]
         finally:
             shared_arena.release(seg)
     return Ac.nbytes + Bc.nbytes + 2 * Cc.nbytes, total

@@ -46,6 +46,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import trace as _trace
+
 __all__ = [
     "PeakMeter",
     "SHM_ALIGN",
@@ -159,32 +161,36 @@ class WorkspaceArena:
         build.  Keeping it a callable keeps the reuse hot path free of
         per-call spec construction.
         """
-        with self._lock:
-            pool = self._free.get(key)
-            if pool:
-                ws = pool.pop()
-                self._bytes_pooled -= ws.nbytes
-                self._reuses += 1
+        with _trace.span("arena.acquire", "arena") as sp:
+            with self._lock:
+                pool = self._free.get(key)
+                if pool:
+                    ws = pool.pop()
+                    self._bytes_pooled -= ws.nbytes
+                    self._reuses += 1
+                    self._in_use += 1
+                    self._note_in_use_locked(ws.nbytes)
+                    sp.set(reuse=True, bytes=ws.nbytes)
+                    return ws
+                self._allocations += 1
                 self._in_use += 1
+            # Build outside the lock: allocation can be slow and concurrent
+            # acquires of other keys should not serialize behind it.
+            ws = Workspace(
+                key=key,
+                buffers={
+                    name: np.empty(shape, dtype=dtype)
+                    for name, (shape, dtype) in spec_factory().items()
+                },
+            )
+            with self._lock:
+                self._bytes_allocated += ws.nbytes
                 self._note_in_use_locked(ws.nbytes)
-                return ws
-            self._allocations += 1
-            self._in_use += 1
-        # Build outside the lock: allocation can be slow and concurrent
-        # acquires of other keys should not serialize behind it.
-        ws = Workspace(
-            key=key,
-            buffers={
-                name: np.empty(shape, dtype=dtype)
-                for name, (shape, dtype) in spec_factory().items()
-            },
-        )
-        with self._lock:
-            self._bytes_allocated += ws.nbytes
-            self._note_in_use_locked(ws.nbytes)
-        return ws
+            sp.set(reuse=False, bytes=ws.nbytes)
+            return ws
 
     def release(self, ws: Workspace) -> None:
+        _trace.instant("arena.recycle", "arena", bytes=ws.nbytes)
         with self._lock:
             self._in_use -= 1
             self._note_in_use_locked(-ws.nbytes)

@@ -2,10 +2,11 @@
 
 When ``numba`` is importable the backend registers as available and wraps
 each emitted kernel in ``numba.njit`` lazily: the first call attempts the
-JIT compile and **silently falls back** to the plain exec-compiled kernel
-on any failure (numba's nopython mode does not cover every numpy feature
-the emitter uses — e.g. ``out=`` on ``take``/``stack`` — and coverage
-varies by version).  Numba compiles before executing any of the function
+JIT compile and falls back to the plain exec-compiled kernel on any
+failure, logging a warning on the ``repro.kernels.numba_jit`` logger
+(numba's nopython mode does not cover every numpy feature the emitter
+uses — e.g. ``out=`` on ``take``/``stack`` — and coverage varies by
+version).  Numba compiles before executing any of the function
 body, so a failed attempt leaves ``C`` untouched and the fallback is
 exact.  Without ``numba`` installed the backend stays registered but
 unavailable: ``repro backends`` shows the missing dependency, and
@@ -16,6 +17,9 @@ from __future__ import annotations
 
 from repro.kernels.base import KernelEntry, ParallelKernelEntry
 from repro.kernels.specialized import SpecializedBackend
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = ["NumbaBackend"]
 
@@ -34,6 +38,10 @@ def _jit_dispatcher(plain_fn):
                     jit = state["jit"] = numba.njit(plain_fn)
                 except Exception:
                     state["failed"] = True
+                    _log.warning(
+                        "numba njit wrap failed; kernel settles on the "
+                        "plain compiled form", exc_info=True,
+                    )
                     return plain_fn(A, B, C)
             try:
                 # Lazy nopython compilation happens here, before any of
@@ -43,6 +51,10 @@ def _jit_dispatcher(plain_fn):
             except Exception:
                 state["failed"] = True
                 state["jit"] = None
+                _log.warning(
+                    "numba JIT compile failed; kernel settles on the "
+                    "plain compiled form", exc_info=True,
+                )
         return plain_fn(A, B, C)
 
     return runner
@@ -53,7 +65,7 @@ class NumbaBackend(SpecializedBackend):
     requires = "numba"
     summary = (
         "numba @njit wrapper over the specialized kernels "
-        "(silent per-kernel fallback to the plain compiled form)"
+        "(logged per-kernel fallback to the plain compiled form)"
     )
 
     def _compile_entry(

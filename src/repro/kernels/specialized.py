@@ -33,6 +33,10 @@ from repro.kernels.base import (
     ParallelKernelEntry,
     kernel_key,
 )
+from repro.obs import trace as _trace
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = ["SpecializedBackend"]
 
@@ -105,9 +109,17 @@ class SpecializedBackend(LeafBackend):
             if entry is not None:
                 entry.hits += 1
                 self._hits += 1
-                return entry
+        if entry is not None:
+            _trace.instant("kernel.hit", "kernel", backend=self.name)
+            return entry
         # emit outside the lock
-        entry = self._compile_entry(cplan, fusion, threads)
+        with _trace.span("kernel.compile", "kernel",
+                         backend=self.name, threads=threads):
+            entry = self._compile_entry(cplan, fusion, threads)
+        _log.debug(
+            "compiled %s kernel for %s (fusion=%s, threads=%d)",
+            self.name, cplan.shape, fusion, threads,
+        )
         with self._lock:
             winner = per_plan.setdefault(key, entry)
             if winner is entry:

@@ -7,7 +7,9 @@ drive budgeted tuning loops that also back-fit the machine model itself
 (:mod:`repro.tune.tuner`).  ``multiply(engine="auto", tune="readonly")``
 consults this wisdom before falling back to the cold model; ``tune="on"``
 fills it on first miss; the ``repro tune`` / ``repro wisdom`` CLI manage
-it from the shell.
+it from the shell.  :mod:`repro.tune.observe` closes the loop from the
+other side: it seeds wisdom from the observability layer's ExecutionReport
+history, so live serving traffic becomes measurements for free.
 """
 
 from repro.tune.measure import (
@@ -15,6 +17,10 @@ from repro.tune.measure import (
     MeasureConfig,
     measure_candidate,
     measure_plan,
+)
+from repro.tune.observe import (
+    observed_measurements,
+    seed_wisdom_from_observations,
 )
 from repro.tune.tuner import (
     TuneReport,
@@ -54,4 +60,6 @@ __all__ = [
     "tune_fused_group",
     "calibrate_machine",
     "fit_machine_params",
+    "observed_measurements",
+    "seed_wisdom_from_observations",
 ]

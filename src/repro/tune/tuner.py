@@ -25,8 +25,11 @@ from repro.core.selection import enumerate_candidates, rank_candidates
 from repro.core.spec import normalize_threads
 from repro.model.machines import MachineParams, generic_laptop
 from repro.model.perfmodel import calibrate_lambda, effective_gflops
+from repro.obs.logcfg import get_logger
 from repro.tune.measure import MeasureConfig, Measurement, measure_candidate
 from repro.tune.wisdom import WisdomStore, default_store, fingerprint_digest
+
+_log = get_logger(__name__)
 
 __all__ = [
     "TuneReport",
@@ -216,6 +219,10 @@ def tune_problem(
         if meas_p.time_s < winner.time_s:
             winner, winner_cfg = measured[-1]
 
+    _log.info(
+        "tuned %dx%dx%d (%s): winner %s at %.2f GFLOP/s",
+        m, k, n, dt.name, winner.label, winner.gflops,
+    )
     bucket = None
     if record:
         bucket = store.record(

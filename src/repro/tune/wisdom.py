@@ -13,9 +13,10 @@ path, so it must never take the process down):
 
 * writes are atomic — serialize to a sibling temp file, ``os.replace``;
 * loads are schema-validated — a corrupt or alien file is set aside as
-  ``<path>.corrupt`` and the store degrades to empty (model-only
-  selection keeps working);
-* a fingerprint mismatch silently ignores the stale entries;
+  ``<path>.corrupt`` (with a warning on the ``repro.tune.wisdom``
+  logger) and the store degrades to empty (model-only selection keeps
+  working);
+* a fingerprint mismatch ignores the stale entries (logged at info);
 * lookups go through a small in-process LRU keyed on the exact
   ``(m, k, n, dtype, threads)`` so the hot dispatch path is a dict probe,
   not a log/bucket computation.
@@ -39,6 +40,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.model.machines import MachineParams
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -324,10 +328,20 @@ class WisdomStore:
                 tunables = _validate_tunables(doc.get("tunables", {}))
             except Exception:
                 self.recovered_corrupt = True
+                _log.warning(
+                    "wisdom file %s failed to parse/validate; setting it "
+                    "aside as %s and starting empty",
+                    self.path, self.path.with_suffix(self.path.suffix + ".corrupt"),
+                    exc_info=True,
+                )
                 self._set_aside_corrupt()
                 return
             if doc.get("fingerprint") != self._fingerprint:
                 self.ignored_stale = True
+                _log.info(
+                    "wisdom file %s was tuned on a different machine "
+                    "fingerprint; ignoring its entries", self.path,
+                )
                 return
             self._entries = entries
             self._machine = machine

@@ -208,3 +208,69 @@ class TestTuneAndWisdomCommands:
                    "--engine", "auto", "--tune", "off"])
         assert rc == 0
         assert "max |C - AB|" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    def test_multiply_report_prints_history(self, capsys):
+        rc = main(["multiply", "-m", "32", "-k", "32", "-n", "32",
+                   "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "report:" in out and "n_chunks=" in out
+        assert "history:" in out and "p95=" in out
+        assert "plan-cache hit-rate" in out
+
+    def test_trace_run_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", "run", "-m", "48", "-k", "48", "-n", "48",
+                   "-o", str(out_path)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "execute_plan" in names
+        assert "plan.compile" in names      # cold first run
+        assert "plan_cache.hit" in names    # warm second run
+        assert any(n.startswith("phase:") for n in names)
+
+    def test_trace_run_process_workers(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        rc = main(["trace", "run", "-m", "128", "-k", "128", "-n", "128",
+                   "--procs", "2", "--repeat", "1", "-o", str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert len(pids) >= 2  # parent + worker timelines merged
+
+    def test_trace_leaves_tracer_disabled(self, tmp_path):
+        from repro.obs import trace
+
+        main(["trace", "run", "-m", "32", "-k", "32", "-n", "32",
+              "-o", str(tmp_path / "t.json")])
+        assert not trace.is_enabled()
+
+    def test_stats_text(self, capsys):
+        rc = main(["stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out and "gauges:" in out
+        assert "plan_cache" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        main(["multiply", "-m", "32", "-k", "32", "-n", "32"])
+        capsys.readouterr()
+        rc = main(["stats", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        snap = doc["metrics"]
+        for name in ("plan_cache", "workspace.arena", "pools.threads",
+                     "pools.processes", "kernels.cache"):
+            assert name in snap["gauges"], name
+        assert snap["counters"]["runtime.executions"] >= 1
+        assert doc["reports"]  # the multiply above landed in the history

@@ -1,0 +1,178 @@
+"""Serving benchmark: coalesced batching vs naive per-request dispatch.
+
+The acceptance bench for the serving layer (:mod:`repro.serve`): the
+same small-matrix workload — the regime services actually see, where
+per-call overhead rivals the arithmetic — is pushed through a
+:class:`~repro.serve.MultiplyService` twice.  Once with coalescing on
+(the default batch window and max-batch), and once with
+``max_batch=1``, which is exactly naive per-request dispatch through
+the identical queue/scheduler machinery, so the ratio isolates what
+batching buys rather than penalizing the baseline with a different code
+path.  Coalesced throughput must reach **>= 1.3x** the naive dispatch
+throughput; the bitwise invariant (batch path == direct ``multiply``)
+is asserted on every measured run, not just in the test suite.
+
+Run standalone (``python benchmarks/bench_serve.py``) for a table plus
+a machine-readable ``benchmarks/results/BENCH_serve.json`` record
+(per-shape throughputs, speedup, coalesce ratios), or through pytest
+for the regression-tracked assertions — the wall-clock 1.3x bar runs in
+the pytest mode locally; CI keeps the standalone report-only run
+(shared runners are too noisy for timing gates).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+#: Small shapes: the service's home turf, where coalescing pays.
+SHAPES = (
+    (48, 48, 48),
+    (64, 64, 64),
+)
+ALGORITHM = "strassen"
+LEVELS = 1
+JOBS = 64
+SUBMITTERS = 4
+
+#: Acceptance bar: coalesced throughput vs naive per-request dispatch.
+SPEEDUP_BAR = 1.3
+
+
+def _run_service(A, B, *, max_batch, jobs=JOBS, submitters=SUBMITTERS):
+    """Push ``jobs`` submissions through one service; return
+    ``(elapsed_s, results, stats)``."""
+    from repro.serve import MultiplyService
+
+    svc = MultiplyService(max_batch=max_batch)
+    results = [None] * jobs
+    try:
+        # Warm the plan cache and the scheduler outside the timed window.
+        svc.submit(A, B, algorithm=ALGORITHM,
+                   levels=LEVELS).result(timeout=60.0)
+
+        def submit_range(lo, hi):
+            for i in range(lo, hi):
+                results[i] = svc.submit(A, B, algorithm=ALGORITHM,
+                                        levels=LEVELS)
+
+        per = jobs // submitters
+        bounds = [(t * per, (t + 1) * per if t < submitters - 1 else jobs)
+                  for t in range(submitters)]
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=submit_range, args=b)
+                   for b in bounds]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        out = [h.result(timeout=120.0) for h in results]
+        elapsed = time.perf_counter() - t0
+        stats = svc.stats()
+    finally:
+        svc.shutdown(timeout=120.0)
+    return elapsed, out, stats
+
+
+def measure(shapes=SHAPES, jobs=JOBS, repeats=3):
+    """Per-shape dict rows: coalesced vs per-request dispatch throughput."""
+    from repro.core.executor import multiply
+
+    rows = []
+    for m, k, n in shapes:
+        rng = np.random.default_rng(2017)
+        A = rng.standard_normal((m, k))
+        B = rng.standard_normal((k, n))
+        ref = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS)
+        best = {}
+        for label, max_batch in (("coalesced", None), ("naive", 1)):
+            best_t, stats = float("inf"), None
+            for _ in range(repeats):
+                elapsed, out, st = _run_service(A, B, max_batch=max_batch,
+                                                jobs=jobs)
+                # The invariant rides along on every measured run.
+                for C in out:
+                    assert np.array_equal(C, ref), (
+                        f"{label} dispatch diverged from direct multiply "
+                        f"on {m}x{k}x{n}")
+                if elapsed < best_t:
+                    best_t, stats = elapsed, st
+            best[label] = (best_t, stats)
+        t_co, st_co = best["coalesced"]
+        t_naive, st_naive = best["naive"]
+        rows.append({
+            "shape": [m, k, n],
+            "algorithm": f"{ALGORITHM}-L{LEVELS}",
+            "jobs": jobs,
+            "submitters": SUBMITTERS,
+            "coalesced_time_s": t_co,
+            "naive_time_s": t_naive,
+            "coalesced_jobs_per_s": jobs / t_co,
+            "naive_jobs_per_s": jobs / t_naive,
+            "speedup": t_naive / t_co,
+            "coalesced_batches": st_co["batches"],
+            "coalesce_ratio": st_co["coalesce_ratio"],
+            "naive_batches": st_naive["batches"],
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# pytest mode
+# ---------------------------------------------------------------------- #
+def test_service_results_match_direct_multiply():
+    """Deterministic part: the coalesced batch path is bitwise-faithful."""
+    from repro.core.executor import multiply
+
+    rng = np.random.default_rng(7)
+    A = rng.standard_normal((64, 64))
+    B = rng.standard_normal((64, 64))
+    _, out, stats = _run_service(A, B, max_batch=None, jobs=16,
+                                 submitters=2)
+    ref = multiply(A, B, algorithm=ALGORITHM, levels=LEVELS)
+    assert all(np.array_equal(C, ref) for C in out)
+    assert stats["errors"] == 0
+
+
+def test_coalesced_throughput_acceptance():
+    """Acceptance: coalescing >= 1.3x naive per-request dispatch."""
+    rows = measure(repeats=3)
+    print()
+    for r in rows:
+        print(f"{r['shape']}: coalesced {r['coalesced_jobs_per_s']:.0f} "
+              f"jobs/s ({r['coalesce_ratio']:.1f} jobs/batch), naive "
+              f"{r['naive_jobs_per_s']:.0f} jobs/s -> {r['speedup']:.2f}x")
+    wins = sum(r["speedup"] >= SPEEDUP_BAR for r in rows)
+    assert wins >= 1, (
+        f"coalescing beat per-request dispatch >= {SPEEDUP_BAR}x on none "
+        f"of {len(rows)} shapes: "
+        + ", ".join(f"{r['shape']}={r['speedup']:.2f}x" for r in rows)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# standalone mode
+# ---------------------------------------------------------------------- #
+def main() -> None:
+    from repro.bench.reporting import write_bench_json
+
+    rows = measure()
+    print(f"{'shape':>14} {'coalesced':>12} {'naive':>12} "
+          f"{'speedup':>8} {'jobs/batch':>11}")
+    for r in rows:
+        shape = "x".join(str(s) for s in r["shape"])
+        print(f"{shape:>14} {r['coalesced_jobs_per_s']:>9.0f}/s "
+              f"{r['naive_jobs_per_s']:>9.0f}/s "
+              f"{r['speedup']:>7.2f}x {r['coalesce_ratio']:>11.1f}")
+    path = write_bench_json("serve", {
+        "rows": rows,
+        "speedup_bar": SPEEDUP_BAR,
+        "bar_met": any(r["speedup"] >= SPEEDUP_BAR for r in rows),
+    })
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

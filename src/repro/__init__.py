@@ -45,8 +45,16 @@ Public surface
   wrapper; ``multiply(backend=...)`` selects one, ``engine="auto"``
   prices and tunes the choice.
 * :func:`set_runtime_tunables` / :func:`runtime_tunables` — per-machine
-  runtime knobs (fused group size, auto-fusion threshold); wisdom files
-  carry measured overrides (:func:`tune_fused_group`).
+  runtime knobs (fused group size, auto-fusion threshold, serve
+  coalescing window/batch cap); wisdom files carry measured overrides
+  (:func:`tune_fused_group`).
+* :class:`MultiplyService` / :class:`JobHandle` — the async serving
+  layer (:mod:`repro.serve`): ``submit(A, B, **spec)`` returns a job
+  handle, a scheduler thread coalesces same-plan requests into batched
+  executions, and a byte budget provides admission control
+  (:class:`ServiceOverloadedError`; policy knob ``queue`` / ``reject``
+  / ``serial``).  ``repro serve`` / ``repro jobs`` drive it from the
+  shell.
 * :mod:`repro.obs` — the observability layer: span tracing with Chrome
   trace-event export (:mod:`repro.obs.trace`), the process-wide metrics
   registry (:func:`metrics_snapshot`), a bounded ExecutionReport history
@@ -134,6 +142,14 @@ from repro.obs.metrics import snapshot as metrics_snapshot
 from repro.obs.reports import (
     aggregate as report_stats,
     recent as report_history,
+)
+from repro.serve import (
+    JobCancelledError,
+    JobHandle,
+    MultiplyService,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
 )
 from repro.tune import (
     MeasureConfig,
@@ -235,6 +251,12 @@ __all__ = [
     "normalize_backend",
     "runtime_tunables",
     "set_runtime_tunables",
+    "MultiplyService",
+    "JobHandle",
+    "JobCancelledError",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
     "build_plan",
     "generate_source",
     "compile_plan",

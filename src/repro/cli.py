@@ -10,6 +10,8 @@ Commands
 ``backends``  List leaf-kernel backends, availability and kernel caches.
 ``trace``     Record a multiply under the span tracer; write a Chrome trace.
 ``stats``     Print the process-wide metrics snapshot and report history.
+``serve``     Drive the async MultiplyService under synthetic load.
+``jobs``      Submit a handful of mixed jobs; print the per-job table.
 ``codegen``   Emit generated Python source for an algorithm/variant.
 ``model``     Print modeled Effective GFLOPS for a configuration sweep.
 ``discover``  Run the ALS search for a (m, k, n, rank) target.
@@ -204,6 +206,147 @@ def cmd_stats(args) -> int:
                   f"backends={st.backends} modes={st.worker_modes}")
     else:
         print("report history: empty (nothing executed in this process)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Spin a MultiplyService, fire a burst of same-plan jobs at it from
+    concurrent submitter threads, verify a sample, and print what the
+    coalescing scheduler made of the load."""
+    import threading
+
+    from repro.core.executor import multiply
+    from repro.obs import metrics
+    from repro.serve import MultiplyService, ServiceOverloadedError
+
+    rng = np.random.default_rng(args.seed)
+    dtype = np.float32 if args.dtype == "float32" else np.float64
+    workers, threads = args.workers, args.threads
+    if args.procs:
+        workers, threads = "processes", args.procs
+    A = rng.standard_normal((args.m, args.k)).astype(dtype)
+    B = rng.standard_normal((args.k, args.n)).astype(dtype)
+
+    svc = MultiplyService(
+        batch_window_s=(None if args.window_us is None
+                        else args.window_us / 1e6),
+        max_batch=args.max_batch,
+        byte_budget=(None if args.byte_budget_mb is None
+                     else int(args.byte_budget_mb * 2**20)),
+        policy=args.policy,
+        threads=threads,
+        workers=workers,
+    )
+    handles, errors = [], []
+    lock = threading.Lock()
+
+    def submitter(count):
+        for _ in range(count):
+            try:
+                h = svc.submit(A, B, algorithm=args.algorithm,
+                               levels=args.levels, variant=args.variant)
+            except ServiceOverloadedError as exc:
+                with lock:
+                    errors.append(exc)
+            else:
+                with lock:
+                    handles.append(h)
+
+    n_sub = max(1, args.submitters)
+    per = [args.jobs // n_sub + (1 if i < args.jobs % n_sub else 0)
+           for i in range(n_sub)]
+    ts = [threading.Thread(target=submitter, args=(c,)) for c in per if c]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    results = [h.result(timeout=120.0) for h in handles]
+    svc.shutdown(drain=True)
+
+    if handles:
+        C_ref = multiply(A, B, algorithm=args.algorithm, levels=args.levels,
+                         variant=args.variant, threads=threads,
+                         workers=workers)
+        if not np.array_equal(results[0], C_ref):
+            print("FAIL: service result != direct multiply")
+            return 1
+    st = svc.stats()
+    snap = metrics.snapshot()
+    lat = snap["histograms"].get("serve.job_latency_s", {})
+    payload = {
+        "shape": [args.m, args.k, args.n],
+        "dtype": dtype.__name__ if hasattr(dtype, "__name__") else str(dtype),
+        "jobs": args.jobs,
+        "submitters": n_sub,
+        "policy": svc.policy,
+        "workers": workers or "threads",
+        "threads": threads or 1,
+        "stats": st,
+        "rejected_at_submit": len(errors),
+        "latency_s": {k: lat.get(k) for k in ("count", "mean", "p50", "p95")},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    print(f"served {st['completed']} jobs in {st['batches']} batched runs "
+          f"(coalesce ratio {st['coalesce_ratio']:.1f}x, "
+          f"max batch {svc.max_batch}, window {svc.batch_window_s * 1e3:.1f}ms)")
+    print(f"  policy={svc.policy} rejected={st['rejected']} "
+          f"degraded={st['degraded_serial']} cancelled={st['cancelled']} "
+          f"errors={st['errors']}")
+    if lat:
+        print(f"  job latency p50={1e3 * (lat.get('p50') or 0):.2f}ms "
+              f"p95={1e3 * (lat.get('p95') or 0):.2f}ms")
+    print("  sample result verified against direct multiply: ok")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """Submit a few mixed-spec jobs (plus one cancellation) and print
+    each handle's lifecycle — the job-table view of the service."""
+    from repro.serve import JobCancelledError, MultiplyService
+    from repro.serve.testing import FaultInjectingExecutor
+
+    rng = np.random.default_rng(args.seed)
+    specs = [
+        (64, 64, 64, np.float64, "strassen", 1),
+        (64, 64, 64, np.float64, "strassen", 1),
+        (64, 64, 64, np.float32, "strassen", 1),
+        (96, 96, 96, np.float64, "strassen", 2),
+        (90, 96, 90, np.float64, "<3,2,3>", 1),
+    ]
+    ex = FaultInjectingExecutor()
+    svc = MultiplyService(executor=ex)
+    gate = ex.push_block()  # hold batch #1 so the table shows a cancel
+    handles = []
+    for m, k, n, dt, algo, lv in specs:
+        A = rng.standard_normal((m, k)).astype(dt)
+        B = rng.standard_normal((k, n)).astype(dt)
+        handles.append(svc.submit(A, B, algorithm=algo, levels=lv))
+    victim = handles[-1]
+    cancelled = victim.cancel()
+    gate.set()
+    for h in handles:
+        if h is not victim or not cancelled:
+            try:
+                h.result(timeout=60.0)
+            except JobCancelledError:
+                pass
+    svc.shutdown(drain=True)
+
+    print(f"{'job':8s} {'shape':14s} {'dtype':8s} {'status':10s} "
+          f"{'batch':5s} {'duration':>10s}  report")
+    for h in handles:
+        m, k, n = h.shape
+        rep = h.report()
+        dur = f"{rep.duration_s * 1e3:9.2f}ms" if rep else f"{'-':>11s}"
+        via = (f"{rep.worker_mode}/{rep.backend}" if rep else "-")
+        print(f"{h.id:8s} {m}x{k}x{n:<8d} {h.dtype.name:8s} {h.status:10s} "
+              f"{h.batch_size or '-':<5} {dur}  {via}")
+    st = svc.stats()
+    print(f"\n{st['completed']} complete, {st['cancelled']} cancelled, "
+          f"{st['batches']} batched runs "
+          f"(coalesce ratio {st['coalesce_ratio']:.1f}x)")
     return 0
 
 
@@ -626,6 +769,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the snapshot as machine-readable JSON")
 
+    p = sub.add_parser("serve",
+                       help="drive the async MultiplyService under load")
+    _add_shape(p)
+    p.add_argument("--algorithm", default="strassen")
+    p.add_argument("--levels", type=int, default=1)
+    p.add_argument("--variant", choices=("naive", "ab", "abc"), default="abc")
+    p.add_argument("--dtype", choices=("float32", "float64"),
+                   default="float64")
+    p.add_argument("--jobs", type=int, default=64,
+                   help="multiply requests to submit (default 64)")
+    p.add_argument("--submitters", type=int, default=4,
+                   help="concurrent submitter threads (default 4)")
+    p.add_argument("--window-us", type=int, default=None,
+                   help="coalescing window in microseconds "
+                        "(default: the serve_batch_window_us tunable)")
+    p.add_argument("--max-batch", type=int, default=None,
+                   help="coalesced batch cap (default: the serve_max_batch "
+                        "tunable)")
+    p.add_argument("--byte-budget-mb", type=float, default=None,
+                   help="admission byte budget in MiB (default: unlimited)")
+    p.add_argument("--policy", choices=("queue", "reject", "serial"),
+                   default=None,
+                   help="over-budget behavior (default reject)")
+    p.add_argument("--threads", type=int, default=None)
+    p.add_argument("--workers", choices=("threads", "processes"),
+                   default=None)
+    p.add_argument("--procs", type=int, default=None,
+                   help="shorthand for --workers processes --threads N")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the serve summary as machine-readable JSON")
+
+    p = sub.add_parser("jobs",
+                       help="submit mixed jobs; print the per-job table")
+    p.add_argument("--seed", type=int, default=0)
+
     p = sub.add_parser("codegen", help="emit generated Python source")
     _add_shape(p)
     p.add_argument("--algorithm", default="strassen")
@@ -661,6 +840,8 @@ def main(argv=None) -> int:
         "backends": cmd_backends,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "serve": cmd_serve,
+        "jobs": cmd_jobs,
         "codegen": cmd_codegen,
         "model": cmd_model,
         "discover": cmd_discover,

@@ -349,6 +349,27 @@ def _run_fringe(f, A, B, C) -> None:
 # ---------------------------------------------------------------------- #
 # Execution bindings
 # ---------------------------------------------------------------------- #
+def _coef_matmul(coef, X2, out, L) -> None:
+    """``out = coef @ X2`` with batch-invariant bits.
+
+    With a leading batch the slab columns concatenate ``L`` per-element
+    column blocks; a single wide GEMM can select a different BLAS kernel
+    than the unbatched call and change the k-summation order (~1 ulp,
+    observed on small-``m`` coefficient operators).  Slicing per batch
+    element keeps every GEMM's ``(m, k, n)`` identical to the 2-D run —
+    only ``lda``/``ldc`` differ, which BLAS accumulation order does not
+    depend on — so batched execution stays bitwise-equal to running each
+    element alone.
+    """
+    if L == 1:
+        np.matmul(coef, X2, out=out)
+        return
+    cols = X2.shape[1] // L
+    for b in range(L):
+        sl = slice(b * cols, (b + 1) * cols)
+        np.matmul(coef, X2[:, sl], out=out[:, sl])
+
+
 class _GatheredSlabs:
     """Shared operand-slab machinery of the slab-staging bindings.
 
@@ -416,15 +437,16 @@ class _StagedBinding(_GatheredSlabs):
             pass
         elif kind == "product":
             cp, L = self.cplan, self.L
-            np.matmul(cp.Ut[lo:hi], self.A2, out=self.S2[lo:hi])
-            np.matmul(cp.Vt[lo:hi], self.B2, out=self.T2[lo:hi])
+            _coef_matmul(cp.Ut[lo:hi], self.A2, self.S2[lo:hi], L)
+            _coef_matmul(cp.Vt[lo:hi], self.B2, self.T2[lo:hi], L)
             np.matmul(
                 self.S3[lo * L : hi * L],
                 self.T3[lo * L : hi * L],
                 out=self.M3[lo * L : hi * L],
             )
         elif kind == "scatter":
-            np.matmul(self.cplan.W[lo:hi], self.M2, out=self.upd2[lo:hi])
+            _coef_matmul(self.cplan.W[lo:hi], self.M2, self.upd2[lo:hi],
+                         self.L)
             for p in range(lo, hi):
                 self.Cv[p] += self.upd[p]
         else:  # pragma: no cover - lowering emits only the kinds above
@@ -550,8 +572,8 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
             for lo in range(task.lo, task.hi, g):
                 hi = min(lo + g, task.hi)
                 w = hi - lo
-                np.matmul(cp.Ut[lo:hi], self.A2, out=S2[:w])
-                np.matmul(cp.Vt[lo:hi], self.B2, out=T2[:w])
+                _coef_matmul(cp.Ut[lo:hi], self.A2, S2[:w], L)
+                _coef_matmul(cp.Vt[lo:hi], self.B2, T2[:w], L)
                 np.matmul(S3[: w * L], T3[: w * L], out=M3[: w * L])
                 for j in range(w):
                     _scatter_product(self.steps[lo + j], M[j], Ct, sc)
@@ -753,8 +775,15 @@ def last_report() -> ExecutionReport | None:
     """The :class:`ExecutionReport` of this thread's most recent
     ``execute_plan``.
 
-    Thread-local on purpose: concurrent executions (the serve-many
-    workload) each read back their own report, never a neighbor's.
+    Thread-local on purpose: concurrent executions each read back their
+    own report, never a neighbor's.  That same property makes it the
+    *wrong* API across threads — a service client that submitted a job
+    and reads ``last_report()`` from its own thread observes whatever
+    that thread last executed (usually nothing), not its job.  Per-job
+    reports are routed exclusively through the bounded history instead:
+    the serving layer records each job's report under its job id
+    (``repro.obs.reports.record_job``), and ``JobHandle.report()`` /
+    ``repro.obs.reports.report_for(job_id)`` look it up race-free.
     """
     return getattr(_report_tls, "report", None)
 

@@ -50,14 +50,20 @@ __all__ = [
     "DEFAULT_FUSED_GROUP",
     "FUSION_MODES",
     "FUSED_AUTO_THRESHOLD",
+    "OVERLOAD_POLICIES",
+    "SERVE_BATCH_WINDOW_US",
+    "SERVE_MAX_BATCH",
     "TUNE_MODES",
     "VARIANTS",
     "WORKER_MODES",
     "Schedule",
     "effective_fused_auto_threshold",
     "effective_fused_group",
+    "effective_serve_batch_window_us",
+    "effective_serve_max_batch",
     "normalize_backend",
     "normalize_fusion",
+    "normalize_overload_policy",
     "normalize_schedule",
     "normalize_spec",
     "normalize_threads",
@@ -88,6 +94,14 @@ FUSION_MODES = ("auto", "staged", "fused")
 #: staged through shared memory).
 WORKER_MODES = ("threads", "processes")
 
+#: Accepted values of the serving layer's over-budget admission policy
+#: (:class:`repro.serve.MultiplyService`): ``"queue"`` blocks the
+#: submitter until queued bytes drain below the budget, ``"reject"``
+#: raises a typed ``ServiceOverloadedError``, ``"serial"`` degrades the
+#: submission to a synchronous in-caller multiply that never enters the
+#: queue.
+OVERLOAD_POLICIES = ("queue", "reject", "serial")
+
 #: Stacked-intermediate size (elements across all R products' S/T/M slabs)
 #: above which ``fusion="auto"`` lowers ab/abc plans to the streaming fused
 #: pipeline.  Below it the staged pipeline's big batched matmuls win on
@@ -102,21 +116,40 @@ FUSED_AUTO_THRESHOLD = 1 << 23
 #: that a group's S/T/M buffers stay cache-resident.
 DEFAULT_FUSED_GROUP = 8
 
+#: Coalescing window of the serving layer's scheduler, in microseconds:
+#: after the first job of a plan key arrives, the scheduler holds the
+#: batch open this long for same-key requests before executing.  Long
+#: enough to catch a burst, short enough to stay invisible next to a
+#: small multiply's latency.
+SERVE_BATCH_WINDOW_US = 2000
+
+#: Most multiply jobs the serving scheduler folds into one coalesced
+#: batched execution.  Caps the stacked operand slab (and the latency of
+#: the jobs that ride at the back of the batch).
+SERVE_MAX_BATCH = 32
+
 #: The machine-tunable runtime constants and their shipped defaults.  The
 #: wisdom store may install per-machine-fingerprint overrides via
 #: :func:`set_runtime_tunables` (ROADMAP's group-size autotuning item);
-#: every consumer reads through :func:`effective_fused_group` /
-#: :func:`effective_fused_auto_threshold` so an override reaches the
-#: runtime, the workspace model and ``fusion="auto"`` resolution alike.
+#: every consumer reads through the ``effective_*`` accessors so an
+#: override reaches the runtime, the workspace model, ``fusion="auto"``
+#: resolution and the serving scheduler alike.
 TUNABLE_DEFAULTS = {
     "fused_group": DEFAULT_FUSED_GROUP,
     "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
+    "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
+    "serve_max_batch": SERVE_MAX_BATCH,
 }
 
 _tunables = dict(TUNABLE_DEFAULTS)
 
 
-def set_runtime_tunables(fused_group=None, fused_auto_threshold=None) -> dict:
+def set_runtime_tunables(
+    fused_group=None,
+    fused_auto_threshold=None,
+    serve_batch_window_us=None,
+    serve_max_batch=None,
+) -> dict:
     """Install machine-tuned overrides of the runtime lowering constants.
 
     Each call specifies the complete override state: a ``None`` argument
@@ -139,6 +172,20 @@ def set_runtime_tunables(fused_group=None, fused_auto_threshold=None) -> dict:
                 f"fused_auto_threshold must be >= 0, got {fused_auto_threshold!r}"
             )
         t["fused_auto_threshold"] = th
+    if serve_batch_window_us is not None:
+        win = int(serve_batch_window_us)
+        if win < 0:
+            raise ValueError(
+                f"serve_batch_window_us must be >= 0, got {serve_batch_window_us!r}"
+            )
+        t["serve_batch_window_us"] = win
+    if serve_max_batch is not None:
+        mb = int(serve_max_batch)
+        if mb < 1:
+            raise ValueError(
+                f"serve_max_batch must be >= 1, got {serve_max_batch!r}"
+            )
+        t["serve_max_batch"] = mb
     _tunables = t
     return dict(t)
 
@@ -156,6 +203,16 @@ def effective_fused_group() -> int:
 def effective_fused_auto_threshold() -> int:
     """The ``fusion="auto"`` staged-slab threshold, tunable overrides applied."""
     return _tunables["fused_auto_threshold"]
+
+
+def effective_serve_batch_window_us() -> int:
+    """The serving coalescing window (µs), tunable overrides applied."""
+    return _tunables["serve_batch_window_us"]
+
+
+def effective_serve_max_batch() -> int:
+    """The serving max coalesced batch size, tunable overrides applied."""
+    return _tunables["serve_max_batch"]
 
 
 #: Atom forms accepted inside a hybrid stack.
@@ -283,6 +340,23 @@ def normalize_workers(workers) -> str | None:
             f"{list(WORKER_MODES)}"
         )
     return workers.lower()
+
+
+def normalize_overload_policy(policy) -> str:
+    """Validate the serving layer's over-budget admission policy.
+
+    ``None`` means the default ``"reject"`` — the one policy that can
+    never block a submitter or grow the arena past its budget.  See
+    :data:`OVERLOAD_POLICIES` for the semantics of each value.
+    """
+    if policy is None:
+        return "reject"
+    if not isinstance(policy, str) or policy.lower() not in OVERLOAD_POLICIES:
+        raise ValueError(
+            f"unknown overload policy {policy!r}; expected one of "
+            f"{list(OVERLOAD_POLICIES)}"
+        )
+    return policy.lower()
 
 
 def normalize_variant(variant) -> str:

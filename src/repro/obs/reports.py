@@ -23,7 +23,7 @@ stays one-way.
 from __future__ import annotations
 
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import percentile
@@ -37,7 +37,9 @@ __all__ = [
     "history",
     "observed_measurements",
     "record",
+    "record_job",
     "recent",
+    "report_for",
     "stats_for",
 ]
 
@@ -73,11 +75,21 @@ def _plan_key(report) -> str:
 
 
 class ReportHistory:
-    """A thread-safe bounded ring of ExecutionReports."""
+    """A thread-safe bounded ring of ExecutionReports.
+
+    Besides the ring, the history keeps a bounded job-id index
+    (:meth:`record_job` / :meth:`report_for`): the serving layer
+    (:mod:`repro.serve`) attributes each job's ExecutionReport here,
+    keyed by job id, because ``runtime.last_report()`` is a *thread-local*
+    convenience — a job handle read from another thread would observe
+    that thread's last call, not its own execution.  The index shares the
+    ring's capacity and evicts oldest-first.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self._lock = threading.Lock()
         self._ring: deque = deque(maxlen=max(1, int(capacity)))
+        self._by_job: OrderedDict[str, object] = OrderedDict()
 
     @property
     def capacity(self) -> int:
@@ -86,6 +98,25 @@ class ReportHistory:
     def record(self, report) -> None:
         with self._lock:
             self._ring.append(report)
+
+    def record_job(self, job_id: str, report) -> None:
+        """Attribute ``report`` to ``job_id`` (service per-job lookup).
+
+        A coalesced batch shares one execution, so several job ids may
+        map to the same report object.  Does *not* append to the ring —
+        the runtime already published the execution there.
+        """
+        with self._lock:
+            self._by_job[str(job_id)] = report
+            self._by_job.move_to_end(str(job_id))
+            while len(self._by_job) > self._ring.maxlen:
+                self._by_job.popitem(last=False)
+
+    def report_for(self, job_id: str):
+        """The ExecutionReport recorded for ``job_id`` (None if evicted
+        or never recorded)."""
+        with self._lock:
+            return self._by_job.get(str(job_id))
 
     def recent(self, n: int | None = None) -> list:
         """The retained reports, oldest first (the last ``n`` if given)."""
@@ -96,6 +127,7 @@ class ReportHistory:
     def clear(self) -> None:
         with self._lock:
             self._ring.clear()
+            self._by_job.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -184,6 +216,14 @@ history = ReportHistory()
 
 def record(report) -> None:
     history.record(report)
+
+
+def record_job(job_id: str, report) -> None:
+    history.record_job(job_id, report)
+
+
+def report_for(job_id: str):
+    return history.report_for(job_id)
 
 
 def recent(n: int | None = None) -> list:

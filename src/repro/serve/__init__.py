@@ -1,0 +1,31 @@
+"""The serving layer: async multiply submission with coalescing.
+
+Public surface: :class:`MultiplyService` (``submit`` -> job handle,
+scheduler-side same-plan coalescing, byte-budget admission control),
+:class:`JobHandle`, and the typed service errors.  The deterministic
+test seams live in :mod:`repro.serve.testing`.
+"""
+
+from repro.serve.service import (
+    JOB_STATUSES,
+    JobCancelledError,
+    JobHandle,
+    MonotonicClock,
+    MultiplyService,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    execute_batch,
+)
+
+__all__ = [
+    "JOB_STATUSES",
+    "JobCancelledError",
+    "JobHandle",
+    "MonotonicClock",
+    "MultiplyService",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "execute_batch",
+]

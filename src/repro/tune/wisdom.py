@@ -70,7 +70,12 @@ _CONFIG_KEYS = ("algorithm", "levels", "variant", "engine", "threads")
 #: (:func:`repro.core.spec.set_runtime_tunables` knobs): measured-best
 #: overrides of the fused-pipeline group size and the staged->fused
 #: auto-fusion footprint threshold for *this* machine.
-TUNABLE_KEYS = ("fused_group", "fused_auto_threshold")
+TUNABLE_KEYS = (
+    "fused_group",
+    "fused_auto_threshold",
+    "serve_batch_window_us",
+    "serve_max_batch",
+)
 
 
 # ---------------------------------------------------------------------- #
@@ -198,10 +203,10 @@ def _validate_tunables(tun) -> dict:
             raise ValueError(f"unknown wisdom tunable {key!r}")
         if not isinstance(value, int) or isinstance(value, bool):
             raise ValueError(f"malformed wisdom tunable {key}={value!r}")
-        if key == "fused_group" and value < 1:
-            raise ValueError("wisdom fused_group must be >= 1")
-        if key == "fused_auto_threshold" and value < 0:
-            raise ValueError("wisdom fused_auto_threshold must be >= 0")
+        if key in ("fused_group", "serve_max_batch") and value < 1:
+            raise ValueError(f"wisdom {key} must be >= 1")
+        if key in ("fused_auto_threshold", "serve_batch_window_us") and value < 0:
+            raise ValueError(f"wisdom {key} must be >= 0")
     return tun
 
 
@@ -504,25 +509,32 @@ class WisdomStore:
         *,
         fused_group: int | None = None,
         fused_auto_threshold: int | None = None,
+        serve_batch_window_us: int | None = None,
+        serve_max_batch: int | None = None,
         save: bool = True,
     ) -> dict:
         """Persist measured-best runtime tunables for this machine.
 
         Only the knobs passed non-``None`` are overridden; a call with
-        both ``None`` clears the section (back to the package defaults
-        ``DEFAULT_FUSED_GROUP`` / ``FUSED_AUTO_THRESHOLD``).  Returns the
-        stored mapping.  The overrides take effect process-wide when the
-        store is (or becomes) the default store — see
+        every knob ``None`` clears the section (back to the package
+        defaults in :data:`repro.core.spec.TUNABLE_DEFAULTS`).  Returns
+        the stored mapping.  The overrides take effect process-wide when
+        the store is (or becomes) the default store — see
         :meth:`apply_tunables`.
         """
+        requested = {
+            "fused_group": fused_group,
+            "fused_auto_threshold": fused_auto_threshold,
+            "serve_batch_window_us": serve_batch_window_us,
+            "serve_max_batch": serve_max_batch,
+        }
         with self._lock:
             tun = dict(self._tunables)
-            if fused_group is None and fused_auto_threshold is None:
+            if all(v is None for v in requested.values()):
                 tun = {}
-            if fused_group is not None:
-                tun["fused_group"] = int(fused_group)
-            if fused_auto_threshold is not None:
-                tun["fused_auto_threshold"] = int(fused_auto_threshold)
+            for key, value in requested.items():
+                if value is not None:
+                    tun[key] = int(value)
             _validate_tunables(tun)
             self._tunables = tun
             if save:

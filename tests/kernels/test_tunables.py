@@ -8,6 +8,8 @@ import pytest
 from repro.core.spec import (
     DEFAULT_FUSED_GROUP,
     FUSED_AUTO_THRESHOLD,
+    SERVE_BATCH_WINDOW_US,
+    SERVE_MAX_BATCH,
     TUNABLE_DEFAULTS,
     effective_fused_auto_threshold,
     effective_fused_group,
@@ -28,13 +30,20 @@ class TestSpecKnobs:
         assert TUNABLE_DEFAULTS == {
             "fused_group": DEFAULT_FUSED_GROUP,
             "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
+            "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
+            "serve_max_batch": SERVE_MAX_BATCH,
         }
         assert effective_fused_group() == DEFAULT_FUSED_GROUP
         assert effective_fused_auto_threshold() == FUSED_AUTO_THRESHOLD
 
     def test_override_and_reset(self):
         out = set_runtime_tunables(fused_group=16, fused_auto_threshold=1024)
-        assert out == {"fused_group": 16, "fused_auto_threshold": 1024}
+        assert out == {
+            "fused_group": 16,
+            "fused_auto_threshold": 1024,
+            "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
+            "serve_max_batch": SERVE_MAX_BATCH,
+        }
         assert effective_fused_group() == 16
         # Each call fully respecifies: omitting a knob reverts it.
         set_runtime_tunables(fused_group=32)

@@ -1,0 +1,142 @@
+"""Budget-capped stress/soak: sustained load leaks nothing, drains clean.
+
+A two-thread service absorbs a sustained mixed-shape submit load for a
+wall-clock budget (``REPRO_SOAK_BUDGET_S``, default 2 s — CI keeps it
+small, a local run can raise it for a real soak).  The load mixes
+dtypes, schedules, a ragged shape, and a slice of ``workers="processes"``
+jobs so the shared-memory staging path is exercised too.  Afterwards the
+invariants the serving layer promises:
+
+* ``shutdown(drain=True)`` returns ``True`` and every accepted job
+  reaches a terminal state — the queue drains to empty, nothing wedges.
+* Zero leaked arena bytes: every workspace the batched executions
+  checked out went back (``arena_stats().bytes_in_use == 0``).
+* Zero leaked SHM segments: any ``/dev/shm`` entry with our prefix that
+  appeared during the soak is owned by the shared arena's pool (and a
+  pool clear removes it from the host).
+"""
+
+from __future__ import annotations
+
+import glob
+import itertools
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.executor import multiply
+from repro.core.procpool import shutdown_process_pools
+from repro.core.workspace import (
+    SHM_PREFIX,
+    arena_stats,
+    shared_arena,
+    shared_arena_clear,
+)
+from repro.serve import MultiplyService
+
+SOAK_BUDGET_S = float(os.environ.get("REPRO_SOAK_BUDGET_S", "2.0"))
+
+# Small shapes keep per-job latency tiny so the budget buys many jobs;
+# the mix covers both dtypes, two schedules, and a ragged (peeled) shape.
+SPECS = [
+    ((48, 48, 48), np.float64, "strassen", 1, "threads"),
+    ((48, 48, 48), np.float32, "strassen", 1, "threads"),
+    ((45, 51, 39), np.float64, "strassen", 1, "threads"),
+    ((54, 48, 54), np.float64, "<3,3,3>", 1, "threads"),
+    ((64, 64, 64), np.float64, "strassen", 2, "threads"),
+    ((64, 64, 64), np.float64, "strassen", 1, "processes"),
+]
+
+
+def _host_shm_names() -> set[str]:
+    return {
+        os.path.basename(p)
+        for p in glob.glob(f"/dev/shm/{SHM_PREFIX}_*")
+    }
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    yield
+    shutdown_process_pools()
+
+
+def test_sustained_load_leaks_nothing_and_drains(rng):
+    operands = [
+        (rng.standard_normal((m, k)).astype(dt),
+         rng.standard_normal((k, n)).astype(dt), alg, lv, wk)
+        for (m, k, n), dt, alg, lv, wk in SPECS
+    ]
+    shm_before = _host_shm_names()
+
+    handles = []
+    submitted = 0
+    deadline = time.monotonic() + SOAK_BUDGET_S
+    svc = MultiplyService(threads=2)
+    try:
+        for idx in itertools.count():
+            if time.monotonic() >= deadline:
+                break
+            A, B, alg, lv, wk = operands[idx % len(operands)]
+            handles.append(
+                (svc.submit(A, B, algorithm=alg, levels=lv, workers=wk),
+                 idx % len(operands))
+            )
+            submitted += 1
+            # Bound the outstanding window so the soak exercises steady
+            # state (queue fills and drains repeatedly), not one giant
+            # backlog.
+            if len(handles) >= 64:
+                for h, _ in handles[:32]:
+                    h.result(timeout=60.0)
+                del handles[:32]
+        drained = svc.shutdown(drain=True, timeout=120.0)
+    finally:
+        svc.shutdown(timeout=120.0)
+
+    assert submitted > 0
+    assert drained is True
+
+    # The queue drained: every accepted job reached a terminal state.
+    stats = svc.stats()
+    assert stats["queue_depth"] == 0
+    assert stats["pending_bytes"] == 0
+    assert stats["completed"] == submitted
+    assert stats["errors"] == 0
+    for h, _ in handles:
+        assert h.status == "complete"
+
+    # Spot-check correctness of the tail against the direct serial path.
+    for h, spec_idx in handles[-len(SPECS):]:
+        A, B, alg, lv, _ = operands[spec_idx]
+        assert np.array_equal(h.result(timeout=1.0),
+                              multiply(A, B, algorithm=alg, levels=lv))
+
+    # Zero leaked arena bytes: every checked-out workspace went back.
+    assert arena_stats().bytes_in_use == 0
+
+    # Zero leaked SHM segments: anything new on the host is pool-owned...
+    leaked = _host_shm_names() - shm_before - set(shared_arena.segment_names())
+    assert not leaked, f"orphaned SHM segments: {sorted(leaked)}"
+
+    # ...and clearing the pool returns the host to its baseline.
+    shutdown_process_pools()
+    shared_arena_clear()
+    assert _host_shm_names() - shm_before == set()
+
+
+def test_drain_false_discards_backlog_without_leaking(rng):
+    """The non-draining path must also leak nothing: pending jobs are
+    cancelled, in-flight work completes, arenas come back empty."""
+    A = rng.standard_normal((48, 48))
+    B = rng.standard_normal((48, 48))
+    svc = MultiplyService(threads=2)
+    handles = [svc.submit(A, B) for _ in range(16)]
+    svc.shutdown(drain=False, timeout=60.0)
+    for h in handles:
+        assert h.status in ("complete", "cancelled")
+    assert svc.stats()["queue_depth"] == 0
+    assert svc.stats()["pending_bytes"] == 0
+    assert arena_stats().bytes_in_use == 0

@@ -26,8 +26,10 @@ Public surface
   artifact (:mod:`repro.core.compile`; inspect the cache with
   :func:`plan_cache_info` / :func:`plan_cache_clear`).
 * :func:`execute_plan` / :func:`lower_plan` — the variant-aware parallel
-  runtime (:mod:`repro.core.runtime`): staged or streaming-fused task
-  DAGs (``fusion=`` knob) + reusable worker pools + workspace arena
+  runtime (:mod:`repro.core.runtime`): staged, streaming-fused or
+  out-of-core tiled task DAGs (``fusion=`` knob; tiled streams
+  mmap-spilled slabs through a bounded RAM window priced by
+  :func:`predict_tile_window_bytes`) + reusable worker pools + arena
   (:func:`arena_stats` / :func:`arena_clear`); every execution publishes
   an :class:`ExecutionReport` with measured peak workspace bytes
   (:func:`last_report`).
@@ -135,6 +137,7 @@ from repro.model.perfmodel import (
     predict_fmm,
     predict_fusion_savings,
     predict_gemm,
+    predict_tile_window_bytes,
     predict_workspace_bytes,
 )
 from repro.obs import trace
@@ -220,6 +223,7 @@ __all__ = [
     "generic_laptop",
     "predict_fmm",
     "predict_gemm",
+    "predict_tile_window_bytes",
     "predict_workspace_bytes",
     "predict_fusion_savings",
     "effective_gflops",

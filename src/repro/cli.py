@@ -105,6 +105,10 @@ def cmd_multiply(args) -> int:
                   f"ipc_bytes={rep.ipc_bytes} "
                   f"core_path={rep.core_path} n_tasks={rep.n_tasks} "
                   f"n_chunks={rep.n_chunks}")
+            if rep.fusion == "tiled":
+                print(f"tiled: n_tiles={rep.n_tiles} "
+                      f"io_bytes={rep.io_bytes} "
+                      f"window {rep.tile_window_bytes / 2**20:.2f} MiB")
             from repro.core.compile import plan_cache_info
             from repro.obs import reports as obs_reports
 
@@ -200,10 +204,12 @@ def cmd_stats(args) -> int:
     if agg:
         print(f"report history ({len(reports.recent())} retained):")
         for key, st in sorted(agg.items()):
+            tiled = (f" tiles={st.total_tiles} io={st.total_io_bytes}"
+                     if st.total_tiles else "")
             print(f"  {key}: n={st.count} p50={st.p50_s * 1e3:.2f}ms "
                   f"p95={st.p95_s * 1e3:.2f}ms best={st.best_s * 1e3:.2f}ms "
                   f"peak {st.peak_bytes_hw / 2**20:.2f} MiB "
-                  f"backends={st.backends} modes={st.worker_modes}")
+                  f"backends={st.backends} modes={st.worker_modes}{tiled}")
     else:
         print("report history: empty (nothing executed in this process)")
     return 0
@@ -549,15 +555,22 @@ def cmd_backends(args) -> int:
         rng = np.random.default_rng(0)
         A = rng.standard_normal((64, 64))
         B = rng.standard_normal((64, 64))
+        # Non-contiguous views (as mmap-backed operands routinely are):
+        # compiling backends delegate these to the interpreter.
+        An = rng.standard_normal((128, 128))[::2, ::2]
+        Bn = rng.standard_normal((128, 128))[::2, ::2]
         for b in kernels.available_backends():
             # Two calls: the second shows the cached-kernel steady state.
             multiply(A, B, algorithm="strassen", backend=b.name)
             multiply(A, B, algorithm="strassen", backend=b.name)
             rep = last_report()
+            multiply(An, Bn, algorithm="strassen", backend=b.name)
+            ncrep = last_report()
             probe_reports[b.name] = {
                 "backend_path": rep.backend_path,
                 "kernel_cached": rep.kernel_cached,
                 "fusion": rep.fusion,
+                "noncontiguous_path": ncrep.backend_path,
             }
 
     rows = []
@@ -587,7 +600,9 @@ def cmd_backends(args) -> int:
             cached = ("" if not probe["kernel_cached"]
                       else ", kernel cache hit")
             print(f"    probe 64^3 strassen: {probe['backend_path']} path, "
-                  f"{probe['fusion']} lowering{cached}")
+                  f"{probe['fusion']} lowering{cached}; "
+                  f"non-contiguous operands: "
+                  f"{probe['noncontiguous_path']} path")
     return 0
 
 
@@ -667,7 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="readonly",
                    help="autotuning-wisdom use under --engine auto "
                         "(default: readonly)")
-    p.add_argument("--fusion", choices=("auto", "staged", "fused"),
+    p.add_argument("--fusion", choices=("auto", "staged", "fused", "tiled"),
                    default="auto",
                    help="runtime lowering: staged slabs (O(R) product "
                         "buffers) or the streaming fused pipeline "
@@ -747,7 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", choices=("float32", "float64"),
                    default="float64")
     p.add_argument("--batch", type=int, default=1)
-    p.add_argument("--fusion", choices=("auto", "staged", "fused"),
+    p.add_argument("--fusion", choices=("auto", "staged", "fused", "tiled"),
                    default="auto")
     p.add_argument("--backend", choices=("reference", "specialized", "numba"),
                    default=None)

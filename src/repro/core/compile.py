@@ -38,6 +38,7 @@ from repro.core.spec import (
     Schedule,
     normalize_fusion,
     normalize_variant,
+    operand_slab_bytes,
     resolve_fusion,
     resolve_levels,
     spec_key,
@@ -109,9 +110,11 @@ class CompiledPlan:
     plan: ExecutionPlan
     dtype: np.dtype
     #: Resolved runtime lowering mode: ``"staged"`` (materialize every
-    #: gather/product/scatter slab) or ``"fused"`` (stream each product
-    #: through per-worker buffers).  ``fusion="auto"`` requests resolve at
-    #: compile time via :func:`repro.core.spec.resolve_fusion`.
+    #: gather/product/scatter slab), ``"fused"`` (stream each product
+    #: through per-worker buffers) or ``"tiled"`` (the fused pipeline
+    #: out-of-core: mmap-spilled slabs, strip-windowed product phase).
+    #: ``fusion="auto"`` requests resolve at compile time via
+    #: :func:`repro.core.spec.resolve_fusion`.
     fusion: str
     Ut: np.ndarray = field(repr=False)
     Vt: np.ndarray = field(repr=False)
@@ -221,10 +224,17 @@ class CompiledPlan:
 # ---------------------------------------------------------------------- #
 _lock = threading.Lock()
 _cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
-#: requested-key -> canonical-key links, so a ``fusion="auto"`` request
-#: and its resolved explicit twin share one cache entry (no duplicate
-#: coefficient operators, no halved LRU capacity).
-_aliases: dict[tuple, tuple] = {}
+#: requested-``"auto"``-key -> ``(staged_elements, slab_bytes)`` resolution
+#: inputs.  :func:`repro.core.spec.resolve_fusion` reads *live* tunables
+#: (the fused-auto threshold and the memory budget), so an auto request
+#: can never be linked to one canonical key permanently — a budget change
+#: must re-route the same request to a different lowering.  Instead the
+#: first compile remembers the key's resolution inputs and every later
+#: lookup re-resolves against them (cheap arithmetic), deriving the
+#: canonical resolved-fusion slot fresh; auto and its current explicit
+#: twin still share one cache entry (no duplicate coefficient operators,
+#: no halved LRU capacity).
+_auto_inputs: dict[tuple, tuple[int, int]] = {}
 _maxsize = 128
 _hits = 0
 _misses = 0
@@ -258,13 +268,16 @@ def compile(
     dtype : dtype-like, optional
         float32 or float64; the compiled coefficient operators are cast so
         execution preserves the dtype end-to-end.  Default float64.
-    fusion : {"auto", "staged", "fused"}, optional
+    fusion : {"auto", "staged", "fused", "tiled"}, optional
         Runtime lowering mode.  ``"staged"`` materializes the full
         gather/product/scatter slabs; ``"fused"`` streams each product
         through per-worker recycled buffers (O(workers) live product
-        buffers instead of O(R)).  The default ``"auto"`` resolves from
-        the variant and the staged-slab footprint
-        (:func:`repro.core.spec.resolve_fusion`).
+        buffers instead of O(R)); ``"tiled"`` runs the fused pipeline
+        out-of-core, spilling slab-scale buffers to mmap and streaming
+        the product phase through a budget-sized RAM strip window.  The
+        default ``"auto"`` resolves from the variant, the staged-slab
+        footprint, and — when a memory budget is configured — the
+        operand-slab bytes (:func:`repro.core.spec.resolve_fusion`).
 
     Returns
     -------
@@ -285,11 +298,20 @@ def compile(
     variant = normalize_variant(variant)
     fusion = normalize_fusion(fusion)
     key = (m, k, n, spec_key(algorithm, levels), variant, fusion, dt.str)
+    auto_key = key if fusion == "auto" else None
+    if auto_key is not None:
+        with _lock:
+            inputs = _auto_inputs.get(auto_key)
+        if inputs is not None:
+            # Re-resolve against the live tunables on *every* lookup: a
+            # changed budget/threshold must re-route the same auto request
+            # to a different lowering, so the canonical slot is derived
+            # fresh from the remembered inputs, never linked statically.
+            key = key[:5] + (resolve_fusion(fusion, variant, *inputs),) + key[6:]
     with _lock:
-        slot = _aliases.get(key, key)
-        hit = _cache.get(slot)
+        hit = _cache.get(key)
         if hit is not None:
-            _cache.move_to_end(slot)
+            _cache.move_to_end(key)
             _hits += 1
         else:
             _misses += 1
@@ -301,20 +323,22 @@ def compile(
     with _trace.span("plan.compile", "compile",
                      shape=f"{m}x{k}x{n}", variant=variant):
         # Resolve the lowering mode before the expensive lowering: the
-        # canonical cache slot carries the *resolved* fusion mode and an
-        # ``"auto"`` request links to it, so auto and its resolved explicit
-        # twin share one CompiledPlan — and an auto request whose explicit
-        # twin is already cached never rebuilds it.
+        # canonical cache slot carries the *resolved* fusion mode, so auto
+        # and its current explicit twin share one CompiledPlan — and an
+        # auto request whose explicit twin is already cached never
+        # rebuilds it.
         ml = resolve_levels(algorithm, levels)
+        staged_elements = staged_slab_elements(m, k, n, ml)
+        slab_bytes = operand_slab_bytes(m, k, n, ml, dt.itemsize)
         fusion_resolved = resolve_fusion(
-            fusion, variant, staged_slab_elements(m, k, n, ml)
+            fusion, variant, staged_elements, slab_bytes,
         )
         key_resolved = key[:5] + (fusion_resolved,) + key[6:]
         if key_resolved != key:
             with _lock:
+                _auto_inputs[auto_key] = (staged_elements, slab_bytes)
                 existing = _cache.get(key_resolved)
                 if existing is not None:
-                    _aliases[key] = key_resolved
                     _cache.move_to_end(key_resolved)
                     return existing
 
@@ -345,20 +369,23 @@ def compile(
         if existing is None:
             _cache[key_resolved] = compiled
             existing = compiled
-        if key != key_resolved:
-            _aliases[key] = key_resolved
+        if auto_key is not None:
+            _auto_inputs[auto_key] = (staged_elements, slab_bytes)
         _shrink_locked()
     return existing
 
 
 def _shrink_locked() -> None:
-    """Evict LRU entries past ``_maxsize`` and drop their alias links
-    (caller holds ``_lock``)."""
+    """Evict LRU entries past ``_maxsize`` (caller holds ``_lock``).
+
+    Remembered auto-resolution inputs stay valid across evictions (they
+    describe the problem, not a cache entry); they are only bounded so a
+    shape-churning workload cannot grow the dict without limit.
+    """
     while len(_cache) > _maxsize:
-        evicted, _ = _cache.popitem(last=False)
-        stale = [req for req, canon in _aliases.items() if canon == evicted]
-        for req in stale:
-            del _aliases[req]
+        _cache.popitem(last=False)
+    while len(_auto_inputs) > 4 * _maxsize:
+        _auto_inputs.pop(next(iter(_auto_inputs)))
 
 
 def plan_cache_info() -> CacheInfo:
@@ -372,7 +399,7 @@ def plan_cache_clear() -> None:
     global _hits, _misses
     with _lock:
         _cache.clear()
-        _aliases.clear()
+        _auto_inputs.clear()
         _hits = 0
         _misses = 0
 

@@ -51,6 +51,9 @@ from repro.core.spec import (
     resolve_levels,
 )
 from repro.core.variants import BlisProductLeaf
+from repro.obs.logcfg import get_logger
+
+_log = get_logger(__name__)
 
 __all__ = [
     "ENGINES",
@@ -78,6 +81,35 @@ def _compute_dtype(*arrays, dtype=None) -> np.dtype:
         return dt
     dt = np.result_type(*arrays)
     return dt if dt in SUPPORTED_DTYPES else np.dtype(np.float64)
+
+
+def _contig_operand(X: np.ndarray, dt: np.dtype, name: str) -> np.ndarray:
+    """C-contiguous, dtype-matched operand — logging silent RAM copies.
+
+    A contiguous operand of the right dtype passes through untouched
+    (``np.memmap``-backed arrays included: their pages stream through
+    the tiled lowering's window on demand).  Anything else must be
+    copied for the runtime's gather and kernels — and when the source
+    is mmap-backed or a non-owned view, that copy silently materializes
+    the full slab in RAM, which defeats an out-of-core input.  That
+    case used to be invisible; it now lands in this module's log.
+    """
+    out = np.ascontiguousarray(X, dtype=dt)
+    if out is X or np.may_share_memory(out, X):
+        return out
+    base, mmapped = X, False
+    while isinstance(base, np.ndarray) and not mmapped:
+        mmapped = isinstance(base, np.memmap)
+        base = base.base
+    if mmapped or (X.base is not None and not X.flags.owndata):
+        kind = "mmap-backed" if mmapped else "non-owned"
+        _log.info(
+            "operand %s (%s, shape %s, dtype %s) was copied into a "
+            "contiguous %s RAM slab; pass it C-contiguous in the "
+            "execution dtype to stream it through the out-of-core path",
+            name, kind, X.shape, X.dtype, dt,
+        )
+    return out
 
 
 def _compile_for(A: np.ndarray, B: np.ndarray, algorithm, variant: str) -> CompiledPlan:
@@ -381,13 +413,21 @@ def multiply(
         ``"readonly"`` (default) dispatches on the measured-best config
         when one is stored, ``"on"`` additionally tunes on a miss,
         ``"off"`` never touches the store.  Ignored for explicit engines.
-    fusion : {"auto", "staged", "fused"}, optional
+    fusion : {"auto", "staged", "fused", "tiled"}, optional
         Runtime lowering mode: ``"staged"`` materializes every
         gather/product/scatter slab (O(R) live product buffers);
         ``"fused"`` streams each product through per-worker recycled
-        buffers (O(threads) live buffers — the paper's fused pipeline).
-        ``"auto"`` (default) resolves from the variant and the staged
-        slab footprint (:func:`repro.core.spec.resolve_fusion`).
+        buffers (O(threads) live buffers — the paper's fused pipeline);
+        ``"tiled"`` runs the same task graph out-of-core — operands may
+        be ``np.memmap``-backed, slab-scale temporaries spill to
+        mmap-backed arena buffers, and the product/scatter phase
+        streams through a bounded RAM window sized by the ``tile_rows``
+        / ``mem_budget_bytes`` tunables (``REPRO_MEM_BUDGET``) —
+        bitwise-equal to ``"fused"`` at the same worker count.
+        ``"auto"`` (default) resolves from the variant, the staged slab
+        footprint, and the configured memory budget
+        (:func:`repro.core.spec.resolve_fusion`: past the budget the
+        multiply goes out-of-core by itself).
         The blocked engine's packed leaf kernel has no staged slab
         interpretation, so under ``engine="blocked"`` every plan —
         including an explicit ``"staged"`` request — executes on the
@@ -466,8 +506,8 @@ def multiply(
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
         raise ValueError(f"incompatible operand shapes {A.shape} x {B.shape}")
     dt = _compute_dtype(A, B, dtype=dtype)
-    A = np.ascontiguousarray(A, dtype=dt)
-    B = np.ascontiguousarray(B, dtype=dt)
+    A = _contig_operand(A, dt, "A")
+    B = _contig_operand(B, dt, "B")
     m, k = A.shape
     n = B.shape[1]
     if engine == "auto":

@@ -136,6 +136,14 @@ def _build_binding(cplan, desc, shm):
     bm, bk, bn = desc["bm"], desc["bk"], desc["bn"]
     if desc["mode"] == "staged":
         return rt._StagedBinding(cplan, Ac, Bc, Cc, bm, bk, bn, ws)
+    if desc["mode"] == "tiled":
+        # The tiled binding over shm-resident buffers: the strip schedule
+        # (and therefore the bits) matches the thread path exactly; only
+        # the spill backing differs (workers can only share RAM pages).
+        return rt._TiledBinding(
+            cplan, Ac, Bc, Cc, bm, bk, bn, ws,
+            desc["n_slots"], desc["group"], desc["tile_rows"],
+        )
     return rt._GroupedFusedBinding(
         cplan, Ac, Bc, Cc, bm, bk, bn, ws,
         desc["n_slots"], desc["group"],

@@ -20,6 +20,21 @@ dispatch overhead:
 * **scatter** tasks own disjoint destination blocks of ``C`` and apply
   ``upd = W M`` — all R products live simultaneously (O(R) slabs).
 
+**Tiled lowering** (``fusion="tiled"``) is the fused pipeline taken
+out-of-core: the same task graph, but the slab-scale buffers (operand
+slabs, group ``S``/``T`` strips, the multi-worker ``Cacc``
+accumulators) live in mmap-spilled arena storage
+(:mod:`repro.core.workspace`), and each **tile** task streams the
+batched product matmul and the scatter-accumulate through Morton-ordered
+row strips of a bounded RAM window (:mod:`repro.core.tiles`).  The
+group boundaries, coefficient GEMMs and accumulation order are the
+fused pipeline's exactly — relocating a buffer to mmap changes no bits,
+and the strip-split batched matmul is row-invariant — so tiled results
+are bitwise-equal to the in-core paths at every worker count while
+operands (which may themselves be ``np.memmap``-backed) and slabs far
+larger than RAM stream through a window the memory budget sizes
+(:func:`repro.core.spec.effective_mem_budget_bytes`).
+
 **Fused lowering** (``fusion="fused"``) is the paper's streaming
 pipeline: each **fproduct** task walks a range of products, forming the
 A-combos and B-combos of a small *group* in per-worker recycled buffers,
@@ -89,6 +104,7 @@ from repro.core.spec import (
     normalize_workers,
     validate_resolved_fusion,
 )
+from repro.core.tiles import resolve_tile_rows, strip_bounds
 from repro.core.workspace import pack_layout, shared_arena, workspace_arena
 from repro.kernels.reference import (
     NUMPY_LEAF,
@@ -125,6 +141,11 @@ _m_executions = obs_metrics.counter(
 )
 _m_latency = obs_metrics.histogram(
     "runtime.latency_s", "execute_plan wall-clock latency in seconds"
+)
+_m_io_bytes = obs_metrics.counter(
+    "runtime.io_bytes",
+    "logical bytes the tiled lowering moved between the RAM window "
+    "and mmap-spilled buffers",
 )
 
 
@@ -204,8 +225,10 @@ class Task:
     ``product`` (step ranges over ``r``), ``scatter`` (destination block
     ranges).  Fused kinds: ``fproduct`` (a step range streamed through the
     per-worker buffer set ``slot``), ``reduce`` (destination block ranges
-    folding the worker ``Cacc`` slabs into ``C``).  Both: ``fringe``
-    (peel-fringe indices).
+    folding the worker ``Cacc`` slabs into ``C``).  Tiled kind: ``tile``
+    (an fproduct range whose product/scatter phase streams row strips
+    through the slot's bounded RAM window).  All: ``fringe`` (peel-fringe
+    indices).
     """
 
     kind: str
@@ -235,8 +258,11 @@ class TaskGraph:
 
     @property
     def n_slots(self) -> int:
-        """Worker-buffer sets the fused pipeline needs (0 when staged)."""
-        return sum(1 for p in self.phases for t in p if t.kind == "fproduct")
+        """Worker-buffer sets the fused/tiled pipelines need (0 staged)."""
+        return sum(
+            1 for p in self.phases for t in p
+            if t.kind in ("fproduct", "tile")
+        )
 
 
 def _split(total: int, parts: int) -> list[tuple[int, int]]:
@@ -265,7 +291,8 @@ def lower_plan(
     """Lower a compiled plan to its task DAG for ``workers`` workers.
 
     ``fusion`` defaults to the mode resolved at compile time
-    (``cplan.fusion``); pass ``"staged"`` or ``"fused"`` to override.
+    (``cplan.fusion``); pass ``"staged"``, ``"fused"`` or ``"tiled"``
+    to override.
     ``gathered`` (fused mode only) controls whether the graph stages the
     operand blocks into contiguous slabs first — the NumPy group-streaming
     pipeline wants them (its combos are coefficient-GEMM strips over the
@@ -304,10 +331,11 @@ def lower_plan(
                 tuple(Task("scatter", lo, hi) for lo, hi in _split(Pc, workers))
             )
         else:
+            kind = "tile" if fusion == "tiled" else "fproduct"
             ranges = _split(R, workers)
             phases.append(
                 tuple(
-                    Task("fproduct", lo, hi, slot=i)
+                    Task(kind, lo, hi, slot=i)
                     for i, (lo, hi) in enumerate(ranges)
                 )
             )
@@ -583,6 +611,108 @@ class _GroupedFusedBinding(_FusedBindingBase, _GatheredSlabs):
             raise ValueError(f"unknown task kind {kind!r}")
 
 
+def _scatter_strip(step, Ms, Ct, scratch, rows) -> None:
+    """Row-strip twin of :func:`repro.kernels.reference.scatter_accumulate`.
+
+    Accumulates one product's ``rows`` strip into the matching rows of
+    its C tiles, with the same ±1 fast paths and dtype-matched scratch
+    scaling.  Elementwise adds split by rows are bitwise-identical to
+    the full-block accumulate, which is one half of the tiled pipeline's
+    exactness argument (the other is the row-invariant batched matmul).
+    """
+    for i, w in step.c_terms:
+        v = Ct[i][..., rows, :]
+        if w == 1.0:
+            v += Ms
+        elif w == -1.0:
+            v -= Ms
+        elif scratch is not None:
+            np.multiply(Ms, w, out=scratch)
+            v += scratch
+        else:
+            v += w * Ms
+
+
+class _TiledBinding(_FusedBindingBase, _GatheredSlabs):
+    """Binds a tiled graph: the grouped-fused pipeline, out-of-core.
+
+    Identical arithmetic to :class:`_GroupedFusedBinding` — same gather
+    into contiguous slabs, same group boundaries, same full-shape
+    coefficient GEMMs against the whole ``A~``/``B~`` slabs, same
+    slot-order accumulation — with two relocations that change no bits:
+
+    * the slab-scale buffers (``Ablk``/``Bblk``, the group ``S``/``T``
+      strips, and the multi-worker ``Cacc``) live in mmap-spilled arena
+      storage instead of RAM, and
+    * the batched product matmul + scatter-accumulate stream over the
+      Morton block's row strips (:func:`repro.core.tiles.strip_bounds`),
+      so only a ``tile_rows``-high ``M`` window (plus scratch) is ever
+      RAM-resident.
+
+    The strip split is applied only where it is bitwise-safe: batched
+    ``np.matmul`` row-splitting reproduces the full call's rows exactly
+    for every strip height >= 2 (pinned by the tiled property suite),
+    but a single-row strip takes a GEMV-style BLAS kernel with a
+    different k-accumulation order — so strips are **never one row
+    high** (:func:`repro.core.tiles.clamp_tile_rows` and the tail
+    rebalance in :func:`repro.core.tiles.strip_bounds` guarantee it).
+    The scatter is elementwise and splits trivially.  ``tile_rows ==
+    bm`` degenerates to the fused pipeline with spilled slabs.
+    """
+
+    __slots__ = ("L", "group", "tile_rows", "strips",
+                 "Ablk", "Bblk", "A2", "B2",
+                 "S", "T", "M", "S2", "T2", "S3", "T3", "M3", "scratch")
+
+    def __init__(self, cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, group,
+                 tile_rows):
+        super().__init__(cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots)
+        self.L = math.prod(Ac.shape[:-2])
+        self.group = group
+        self.tile_rows = tile_rows
+        self.strips = strip_bounds(bm, tile_rows)
+        self._init_slabs(ws)
+        S, T, M = ws["S"], ws["T"], ws["M"]
+        self.S, self.T, self.M = S, T, M
+        self.S2 = [s.reshape(group, -1) for s in S]
+        self.T2 = [t.reshape(group, -1) for t in T]
+        self.S3 = [s.reshape(-1, bm, bk) for s in S]
+        self.T3 = [t.reshape(-1, bk, bn) for t in T]
+        self.M3 = [m_.reshape(-1, tile_rows, bn) for m_ in M]
+        self.scratch = ws.buffers.get("scratch")
+
+    def run(self, task: Task) -> None:
+        kind = task.kind
+        if self._gather(task):
+            pass
+        elif kind == "tile":
+            slot = task.slot
+            Ct = self._slot_target(slot)
+            cp, L, g = self.cplan, self.L, self.group
+            M = self.M[slot]
+            sc_full = None if self.scratch is None else self.scratch[slot]
+            S2, T2 = self.S2[slot], self.T2[slot]
+            S3, T3, M3 = self.S3[slot], self.T3[slot], self.M3[slot]
+            for lo in range(task.lo, task.hi, g):
+                hi = min(lo + g, task.hi)
+                w = hi - lo
+                _coef_matmul(cp.Ut[lo:hi], self.A2, S2[:w], L)
+                _coef_matmul(cp.Vt[lo:hi], self.B2, T2[:w], L)
+                for r0, r1 in self.strips:
+                    h = r1 - r0
+                    np.matmul(S3[: w * L, r0:r1, :], T3[: w * L],
+                              out=M3[: w * L, :h, :])
+                    rows = slice(r0, r1)
+                    sc = None if sc_full is None else sc_full[..., :h, :]
+                    for j in range(w):
+                        _scatter_strip(self.steps[lo + j],
+                                       M[j][..., :h, :], Ct, sc, rows)
+        elif kind == "reduce":
+            self._reduce(task)
+        else:  # pragma: no cover - lowering emits only the kinds above
+            raise ValueError(f"unknown task kind {kind!r}")
+
+
 class _FringeBinding:
     """Binds fringe tasks to the full operands (no arena buffers needed)."""
 
@@ -671,6 +801,91 @@ def _grouped_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group):
     return spec
 
 
+def _tiled_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group,
+                          tile_rows):
+    """Spilled slabs + RAM strip window (the out-of-core tiled pipeline).
+
+    Same shapes as :func:`_grouped_workspace_spec` except the product
+    buffer ``M`` (and the scatter scratch) shrink from full blocks to
+    ``tile_rows``-high strips, and every slab-scale buffer carries the
+    ``"mmap"`` flag — the arena backs those with anonymous temp files
+    and excludes them from the RAM meters, so a tiled execution's
+    measured ``peak_workspace_bytes`` *is* the strip window
+    (``predict_tile_window_bytes`` is its byte-exact model twin).
+    """
+    dt = cplan.dtype
+    spec = {
+        "Ablk": ((len(cplan.a_table),) + lead + (bm, bk), dt, "mmap"),
+        "Bblk": ((len(cplan.b_table),) + lead + (bk, bn), dt, "mmap"),
+        "S": ((n_slots, group) + lead + (bm, bk), dt, "mmap"),
+        "T": ((n_slots, group) + lead + (bk, bn), dt, "mmap"),
+        "M": ((n_slots, group) + lead + (tile_rows, bn), dt),
+    }
+    if cplan.has_nonunit_c_coeffs:
+        spec["scratch"] = ((n_slots,) + lead + (tile_rows, bn), dt)
+    if n_slots > 1:
+        spec["Cacc"] = (
+            (n_slots, len(cplan.c_table)) + lead + (bm, bn), dt, "mmap"
+        )
+    return spec
+
+
+def _tile_window_bytes(cplan, lead_elems, bn, n_slots, group, tile_rows):
+    """RAM bytes of the tiled strip window for one core execution.
+
+    Byte-exact twin of the non-``"mmap"`` entries of
+    :func:`_tiled_workspace_spec` (and of the model's
+    ``predict_tile_window_bytes``): the ``M`` strip buffers plus, for
+    plans with non-±1 scatter coefficients, one scratch strip per slot.
+    """
+    elems = n_slots * group * lead_elems * tile_rows * bn
+    if cplan.has_nonunit_c_coeffs:
+        elems += n_slots * lead_elems * tile_rows * bn
+    return elems * cplan.dtype.itemsize
+
+
+def _tiled_io_stats(cplan, lead_elems, bm, bk, bn, n_slots, group,
+                    tile_rows, ranges):
+    """Analytic ``(io_bytes, n_tiles)`` of one tiled core execution.
+
+    ``io_bytes`` counts the logical bytes moved between the RAM window
+    and the mmap-spilled buffers: the gather's slab writes, each group's
+    coefficient-GEMM slab reads and ``S``/``T`` writes, the strip loop's
+    ``S``-row and per-strip ``T``-group reads, and (multi-worker) the
+    spilled ``Cacc``'s zero-fill, scatter read-modify-writes and reduce
+    read.  ``n_tiles`` is the number of streamed strips (one per group x
+    strip).  Both are deterministic functions of the task graph and the
+    shapes — computed identically for the thread and process drivers, so
+    the report's figures never depend on the worker mode.
+    """
+    item = cplan.dtype.itemsize
+    L = lead_elems
+    slab = (len(cplan.a_table) * bm * bk
+            + len(cplan.b_table) * bk * bn) * L * item
+    n_strips = len(strip_bounds(bm, tile_rows))
+    io = slab  # gather writes both operand slabs once
+    n_tiles = 0
+    steps = cplan.steps
+    for lo, hi in ranges:
+        for glo in range(lo, hi, group):
+            w = min(glo + group, hi) - glo
+            s_bytes = w * L * bm * bk * item
+            t_bytes = w * L * bk * bn * item
+            # Coefficient GEMMs read both slabs and write the group S/T;
+            # the strip loop then reads every S row once and the T group
+            # once per strip.
+            io += slab + 2 * s_bytes + (1 + n_strips) * t_bytes
+            n_tiles += n_strips
+        if n_slots > 1:
+            # Scatter read-modify-writes the slot's spilled Cacc tiles.
+            writes = sum(len(s.c_terms) for s in steps[lo:hi])
+            io += 2 * writes * L * bm * bn * item
+    if n_slots > 1:
+        cacc = n_slots * len(cplan.c_table) * L * bm * bn * item
+        io += 2 * cacc  # zero-fill + the reduce fold's read
+    return io, n_tiles
+
+
 # ---------------------------------------------------------------------- #
 # Execution reports
 # ---------------------------------------------------------------------- #
@@ -746,6 +961,19 @@ class ExecutionReport:
         the *whole* call — ``ipc_bytes`` summed and
         ``peak_workspace_bytes`` high-watered across chunks — so batched
         callers never see a single chunk's numbers.
+    io_bytes:
+        Logical bytes the tiled lowering moved between the RAM strip
+        window and the mmap-spilled buffers (analytic — see
+        ``_tiled_io_stats``; summed across chunks).  0 off the tiled
+        path.
+    n_tiles:
+        Row strips the tiled lowering streamed (one per product group x
+        Morton strip; summed across chunks).  0 off the tiled path.
+    tile_window_bytes:
+        RAM bytes of the tiled strip window — the byte-exact twin of
+        ``predict_tile_window_bytes`` and the bound the measured
+        ``peak_workspace_bytes`` satisfies on the tiled path
+        (high-watered across chunks).  0 off the tiled path.
     """
 
     shape: tuple[int, int, int]
@@ -766,6 +994,9 @@ class ExecutionReport:
     dtype: str = "float64"
     duration_s: float = 0.0
     n_chunks: int = 1
+    io_bytes: int = 0
+    n_tiles: int = 0
+    tile_window_bytes: int = 0
 
 
 _report_tls = threading.local()
@@ -796,6 +1027,8 @@ def _publish_report(report: ExecutionReport) -> None:
     _m_executions.inc()
     if report.duration_s > 0.0:
         _m_latency.observe(report.duration_s)
+    if report.io_bytes > 0:
+        _m_io_bytes.inc(report.io_bytes)
 
 
 # ---------------------------------------------------------------------- #
@@ -898,6 +1131,9 @@ def execute_plan(
     n_tasks = 0
     steps_bytes = 0
     ipc_bytes = 0
+    io_bytes = 0
+    n_tiles = 0
+    tile_window = 0
     n_chunks = 0
     core_pooled = False
     t_start = time.perf_counter()
@@ -913,9 +1149,12 @@ def execute_plan(
     meter = arena.start_meter()
     try:
         kernel_entry = None
-        if pp.has_core and backend_name != "reference" and not use_procs:
+        if (pp.has_core and backend_name != "reference" and not use_procs
+                and fusion_eff != "tiled"):
             # Compiled kernels execute in this process (their buffers are
-            # process-local), so the process mode always interprets.
+            # process-local), so the process mode always interprets — and
+            # so does the tiled lowering, whose spilled slabs and strip
+            # window only the interpreted pipeline knows how to drive.
             kernel_entry = backend_obj.kernel_for(
                 cplan, A, B, C, fusion_eff, threads, vector_cap
             )
@@ -966,20 +1205,23 @@ def execute_plan(
                 try:
                     if Ac.ndim == 3 and not leaf.supports_batch:
                         for b in range(Ac.shape[0]):
-                            ipc, shm = _run_core(
+                            ipc, shm, io, nt, win = _run_core(
                                 cplan, Ac[b], Bc[b], Cc[b], bm, bk, bn,
                                 core_phases, pool, arena, fusion_eff,
                                 gathered, n_slots, group, leaf, proc_pool,
                             )
                             ipc_bytes += ipc
                             steps_bytes = max(steps_bytes, shm)
+                            io_bytes += io
+                            n_tiles += nt
+                            tile_window = max(tile_window, win)
                             n_chunks += 1
                     elif Ac.ndim == 3:
                         # Chunk so the live intermediates stay near
                         # chunk_target elements: staged slabs scale with
-                        # R, fused group buffers with the group — the
-                        # fused pipeline's memory bound holds for batched
-                        # stacks too.
+                        # R, fused/tiled group buffers with the group —
+                        # the fused pipeline's memory bound holds for
+                        # batched stacks too.
                         if fusion_eff == "staged":
                             work = per_product * cplan.rank_total
                         else:
@@ -988,7 +1230,7 @@ def execute_plan(
                             1, min(Ac.shape[0], chunk_target // max(work, 1))
                         )
                         for i in range(0, Ac.shape[0], chunk):
-                            ipc, shm = _run_core(
+                            ipc, shm, io, nt, win = _run_core(
                                 cplan, Ac[i : i + chunk], Bc[i : i + chunk],
                                 Cc[i : i + chunk], bm, bk, bn,
                                 core_phases, pool, arena, fusion_eff,
@@ -996,10 +1238,14 @@ def execute_plan(
                             )
                             ipc_bytes += ipc
                             steps_bytes = max(steps_bytes, shm)
+                            io_bytes += io
+                            n_tiles += nt
+                            tile_window = max(tile_window, win)
                             n_chunks += 1
                     else:
                         n_chunks = 1
-                        ipc_bytes, steps_bytes = _run_core(
+                        (ipc_bytes, steps_bytes, io_bytes, n_tiles,
+                         tile_window) = _run_core(
                             cplan, Ac, Bc, Cc, bm, bk, bn,
                             core_phases, pool, arena, fusion_eff,
                             gathered, n_slots, group, leaf, proc_pool,
@@ -1065,6 +1311,9 @@ def execute_plan(
         dtype=cplan.dtype.name,
         duration_s=time.perf_counter() - t_start,
         n_chunks=max(n_chunks, 1),
+        io_bytes=io_bytes,
+        n_tiles=n_tiles,
+        tile_window_bytes=tile_window,
     ))
     return C
 
@@ -1073,19 +1322,46 @@ def _run_core(
     cplan, Ac, Bc, Cc, bm, bk, bn, phases, pool, arena, fusion,
     gathered, n_slots, group, leaf, proc_pool=None,
 ):
-    """Run one core (one batch chunk); returns ``(ipc_bytes, shm_bytes)``."""
+    """Run one core (one batch chunk).
+
+    Returns ``(ipc_bytes, shm_bytes, io_bytes, n_tiles,
+    tile_window_bytes)`` — the last three are 0 off the tiled path.
+    """
     if proc_pool is not None:
         return _run_core_processes(
             cplan, Ac, Bc, Cc, bm, bk, bn, phases, proc_pool, fusion,
             n_slots, group,
         )
     lead = Ac.shape[:-2]
+    io = n_tiles = window = 0
     if fusion == "staged":
         ws = arena.acquire(
             (cplan.key, lead, "staged"),
             lambda: _staged_workspace_spec(cplan, lead, bm, bk, bn),
         )
         binding = _StagedBinding(cplan, Ac, Bc, Cc, bm, bk, bn, ws)
+    elif fusion == "tiled":
+        L = math.prod(lead) if lead else 1
+        tile_rows = resolve_tile_rows(
+            bm, bk, bn, n_slots, group, lead_elems=L,
+            itemsize=cplan.dtype.itemsize,
+            has_scratch=cplan.has_nonunit_c_coeffs,
+        )
+        ws = arena.acquire(
+            (cplan.key, lead, "tiled", n_slots, group, tile_rows),
+            lambda: _tiled_workspace_spec(
+                cplan, lead, bm, bk, bn, n_slots, group, tile_rows
+            ),
+        )
+        binding = _TiledBinding(
+            cplan, Ac, Bc, Cc, bm, bk, bn, ws, n_slots, group, tile_rows
+        )
+        ranges = [(t.lo, t.hi) for p in phases for t in p
+                  if t.kind == "tile"]
+        io, n_tiles = _tiled_io_stats(
+            cplan, L, bm, bk, bn, n_slots, group, tile_rows, ranges
+        )
+        window = _tile_window_bytes(cplan, L, bn, n_slots, group, tile_rows)
     elif gathered:
         ws = arena.acquire(
             (cplan.key, lead, "grouped", n_slots, group),
@@ -1112,7 +1388,7 @@ def _run_core(
             _run_phase(binding, phase, pool)
     finally:
         arena.release(ws)
-    return 0, 0
+    return 0, 0, io, n_tiles, window
 
 
 def _run_core_processes(
@@ -1129,12 +1405,33 @@ def _run_core_processes(
     pipeline's slot-order ``Cacc`` reduce — matches the thread path task
     for task; the copy-in/copy-out round trip is exact, so the result is
     bitwise-equal to the thread execution at the same worker count.
-    Returns ``(ipc_bytes, segment_bytes)`` for the execution report.
+    Returns ``(ipc_bytes, segment_bytes, io_bytes, n_tiles,
+    tile_window_bytes)`` for the execution report.
+
+    Tiled cores run here too — same strip schedule, same bits — but
+    every workspace buffer (including the ``"mmap"``-flagged slabs) is
+    staged in the shared segment, because workers can only share RAM
+    pages: process-mode tiling bounds the *strip window* like the thread
+    path while the slabs stay memory-resident, so it is not an
+    out-of-core escape hatch (a documented limitation; use
+    ``workers="threads"`` for larger-than-RAM operands).
     """
     lead = Ac.shape[:-2]
+    tile_rows = 0
     if fusion == "staged":
         spec = _staged_workspace_spec(cplan, lead, bm, bk, bn)
         mode = "staged"
+    elif fusion == "tiled":
+        L = math.prod(lead) if lead else 1
+        tile_rows = resolve_tile_rows(
+            bm, bk, bn, n_slots, group, lead_elems=L,
+            itemsize=cplan.dtype.itemsize,
+            has_scratch=cplan.has_nonunit_c_coeffs,
+        )
+        spec = _tiled_workspace_spec(
+            cplan, lead, bm, bk, bn, n_slots, group, tile_rows
+        )
+        mode = "tiled"
     else:
         spec = _grouped_workspace_spec(cplan, lead, bm, bk, bn, n_slots, group)
         mode = "grouped"
@@ -1142,9 +1439,9 @@ def _run_core_processes(
         ("Ac", Ac.shape, Ac.dtype),
         ("Bc", Bc.shape, Bc.dtype),
         ("Cc", Cc.shape, Cc.dtype),
-    ] + [(name, shape, dt) for name, (shape, dt) in spec.items()]
+    ] + [(name, entry[0], entry[1]) for name, entry in spec.items()]
     layout, total = pack_layout(entries)
-    seg_key = (cplan.key, lead, mode, n_slots, group,
+    seg_key = (cplan.key, lead, mode, n_slots, group, tile_rows,
                Ac.dtype.str, Bc.dtype.str, Cc.dtype.str)
     n_workers = proc_pool.max_workers
     tracing = obs_trace.is_enabled()
@@ -1165,6 +1462,7 @@ def _run_core_processes(
                 "mode": mode,
                 "bm": bm, "bk": bk, "bn": bn,
                 "n_slots": n_slots, "group": group,
+                "tile_rows": tile_rows,
                 "trace": tracing,
             })
             for phase in phases:
@@ -1188,7 +1486,16 @@ def _run_core_processes(
                 Cc[...] = views["Cc"]
         finally:
             shared_arena.release(seg)
-    return Ac.nbytes + Bc.nbytes + 2 * Cc.nbytes, total
+    io = n_tiles = window = 0
+    if fusion == "tiled":
+        L = math.prod(lead) if lead else 1
+        ranges = [(t.lo, t.hi) for p in phases for t in p
+                  if t.kind == "tile"]
+        io, n_tiles = _tiled_io_stats(
+            cplan, L, bm, bk, bn, n_slots, group, tile_rows, ranges
+        )
+        window = _tile_window_bytes(cplan, L, bn, n_slots, group, tile_rows)
+    return Ac.nbytes + Bc.nbytes + 2 * Cc.nbytes, total, io, n_tiles, window
 
 
 # ---------------------------------------------------------------------- #

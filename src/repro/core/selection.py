@@ -106,19 +106,44 @@ class Candidate:
         The §4.1 variants *are* the lowering modes of the streaming
         runtime: ``naive`` executes staged (every temporary
         materialized), ``ab``/``abc`` execute the fused per-worker
-        pipeline once the staged slabs outgrow the cache — so ranking
-        variants is how ``engine="auto"`` and the wisdom store pick
-        fused vs staged.  Resolved with the same rule the plan compiler
-        applies (:func:`repro.core.spec.resolve_fusion` over this
-        candidate's problem size and schedule), so the label always
-        matches what ``compile()`` will actually run.
+        pipeline once the staged slabs outgrow the cache — and, past
+        the configured memory budget, the out-of-core **tiled**
+        pipeline whose RAM window
+        :func:`repro.model.perfmodel.predict_tile_window_bytes`
+        prices.  Resolved with the same rule the plan compiler applies
+        (:func:`repro.core.spec.resolve_fusion` over this candidate's
+        problem size, schedule and float64 operand-slab footprint), so
+        the label always matches what ``compile()`` will actually run.
         """
-        from repro.core.spec import resolve_fusion, staged_slab_elements
+        from repro.core.spec import (
+            operand_slab_bytes,
+            resolve_fusion,
+            staged_slab_elements,
+        )
 
         p = self.prediction
+        ml = self.multilevel()
         return resolve_fusion(
             "auto", self.variant,
-            staged_slab_elements(p.m, p.k, p.n, self.multilevel()),
+            staged_slab_elements(p.m, p.k, p.n, ml),
+            operand_slab_bytes(p.m, p.k, p.n, ml),
+        )
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Priced peak RAM workspace of this candidate's lowering.
+
+        Staged/fused candidates price the full in-core arena footprint;
+        a candidate that resolves to the ``tiled`` lowering prices only
+        its bounded RAM window (everything slab-scale spills to mmap) —
+        the same number the serve admission controller charges, so
+        ranking by memory and admitting jobs use one model.
+        """
+        from repro.model.perfmodel import predict_workspace_bytes
+
+        p = self.prediction
+        return predict_workspace_bytes(
+            p.m, p.k, p.n, self.multilevel(), fusion=self.fusion
         )
 
     @property

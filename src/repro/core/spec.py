@@ -41,6 +41,7 @@ than deep inside the runtime.
 from __future__ import annotations
 
 import numbers
+import os
 from dataclasses import dataclass
 
 from repro.core.fmm import FMMAlgorithm
@@ -48,8 +49,11 @@ from repro.core.kronecker import MultiLevelFMM
 
 __all__ = [
     "DEFAULT_FUSED_GROUP",
+    "DEFAULT_MEM_BUDGET_BYTES",
+    "DEFAULT_TILE_ROWS",
     "FUSION_MODES",
     "FUSED_AUTO_THRESHOLD",
+    "MEM_BUDGET_ENV",
     "OVERLOAD_POLICIES",
     "SERVE_BATCH_WINDOW_US",
     "SERVE_MAX_BATCH",
@@ -59,8 +63,10 @@ __all__ = [
     "Schedule",
     "effective_fused_auto_threshold",
     "effective_fused_group",
+    "effective_mem_budget_bytes",
     "effective_serve_batch_window_us",
     "effective_serve_max_batch",
+    "effective_tile_rows",
     "normalize_backend",
     "normalize_fusion",
     "normalize_overload_policy",
@@ -70,6 +76,7 @@ __all__ = [
     "normalize_tune",
     "normalize_variant",
     "normalize_workers",
+    "operand_slab_bytes",
     "resolve_fusion",
     "resolve_levels",
     "runtime_tunables",
@@ -87,7 +94,7 @@ TUNE_MODES = ("off", "readonly", "on")
 VARIANTS = ("naive", "ab", "abc")
 
 #: Accepted values of the ``fusion`` lowering knob.
-FUSION_MODES = ("auto", "staged", "fused")
+FUSION_MODES = ("auto", "staged", "fused", "tiled")
 
 #: Accepted values of the ``workers`` execution-mode knob: thread pools
 #: (GIL-shared, zero-copy) vs worker-process pools (GIL-free, operands
@@ -128,6 +135,23 @@ SERVE_BATCH_WINDOW_US = 2000
 #: the jobs that ride at the back of the batch).
 SERVE_MAX_BATCH = 32
 
+#: Tile-strip height (rows of stacked products per streamed strip) of the
+#: out-of-core tiled lowering.  ``0`` means "auto": the runtime solves the
+#: largest strip whose RAM window fits the memory budget (see
+#: :func:`repro.core.tiles.pick_tile_rows`).
+DEFAULT_TILE_ROWS = 0
+
+#: Memory budget in bytes for the tiled lowering's in-RAM working set.
+#: ``0`` means "unlimited" — ``fusion="auto"`` then never picks the tiled
+#: path.  The :envvar:`REPRO_MEM_BUDGET` environment variable provides a
+#: process-wide fallback when no tunable override is installed.
+DEFAULT_MEM_BUDGET_BYTES = 0
+
+#: Environment variable consulted by :func:`effective_mem_budget_bytes`
+#: when no ``mem_budget_bytes`` tunable override is installed.  Accepts a
+#: plain byte count or a ``K``/``M``/``G`` suffixed size (``"256M"``).
+MEM_BUDGET_ENV = "REPRO_MEM_BUDGET"
+
 #: The machine-tunable runtime constants and their shipped defaults.  The
 #: wisdom store may install per-machine-fingerprint overrides via
 #: :func:`set_runtime_tunables` (ROADMAP's group-size autotuning item);
@@ -139,6 +163,8 @@ TUNABLE_DEFAULTS = {
     "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
     "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
     "serve_max_batch": SERVE_MAX_BATCH,
+    "tile_rows": DEFAULT_TILE_ROWS,
+    "mem_budget_bytes": DEFAULT_MEM_BUDGET_BYTES,
 }
 
 _tunables = dict(TUNABLE_DEFAULTS)
@@ -149,6 +175,8 @@ def set_runtime_tunables(
     fused_auto_threshold=None,
     serve_batch_window_us=None,
     serve_max_batch=None,
+    tile_rows=None,
+    mem_budget_bytes=None,
 ) -> dict:
     """Install machine-tuned overrides of the runtime lowering constants.
 
@@ -186,6 +214,18 @@ def set_runtime_tunables(
                 f"serve_max_batch must be >= 1, got {serve_max_batch!r}"
             )
         t["serve_max_batch"] = mb
+    if tile_rows is not None:
+        tr = int(tile_rows)
+        if tr < 0:
+            raise ValueError(f"tile_rows must be >= 0, got {tile_rows!r}")
+        t["tile_rows"] = tr
+    if mem_budget_bytes is not None:
+        budget = int(mem_budget_bytes)
+        if budget < 0:
+            raise ValueError(
+                f"mem_budget_bytes must be >= 0, got {mem_budget_bytes!r}"
+            )
+        t["mem_budget_bytes"] = budget
     _tunables = t
     return dict(t)
 
@@ -213,6 +253,50 @@ def effective_serve_batch_window_us() -> int:
 def effective_serve_max_batch() -> int:
     """The serving max coalesced batch size, tunable overrides applied."""
     return _tunables["serve_max_batch"]
+
+
+def effective_tile_rows() -> int:
+    """The tiled lowering's strip height, tunable overrides applied.
+
+    ``0`` means "auto": solve from the memory budget at lowering time.
+    """
+    return _tunables["tile_rows"]
+
+
+def _parse_mem_budget(text: str) -> int:
+    """Parse a byte count with an optional ``K``/``M``/``G`` suffix."""
+    text = text.strip()
+    scale = 1
+    suffixes = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    low = text.lower().rstrip("b")
+    if low and low[-1] in suffixes:
+        scale = suffixes[low[-1]]
+        low = low[:-1]
+    try:
+        value = int(low) * scale
+    except ValueError:
+        raise ValueError(
+            f"malformed {MEM_BUDGET_ENV} value {text!r}: expected bytes "
+            "or a K/M/G suffixed size (e.g. '256M')"
+        ) from None
+    if value < 0:
+        raise ValueError(f"{MEM_BUDGET_ENV} must be >= 0, got {text!r}")
+    return value
+
+
+def effective_mem_budget_bytes() -> int:
+    """The out-of-core memory budget in bytes (0 = unlimited).
+
+    A ``mem_budget_bytes`` tunable override (wisdom or
+    :func:`set_runtime_tunables`) wins; otherwise the
+    :envvar:`REPRO_MEM_BUDGET` environment variable supplies a
+    process-wide budget.
+    """
+    budget = _tunables["mem_budget_bytes"]
+    if budget:
+        return budget
+    env = os.environ.get(MEM_BUDGET_ENV, "").strip()
+    return _parse_mem_budget(env) if env else 0
 
 
 #: Atom forms accepted inside a hybrid stack.
@@ -374,11 +458,14 @@ def normalize_variant(variant) -> str:
 
 
 def normalize_fusion(fusion) -> str:
-    """Validate the ``fusion`` lowering knob (``auto``/``staged``/``fused``).
+    """Validate the ``fusion`` lowering knob.
 
     ``staged`` materializes every gather/product/scatter slab (the memory
     behavior of the reference frameworks); ``fused`` streams each product
-    through per-worker recycled buffers; ``auto`` resolves per plan — see
+    through per-worker recycled buffers; ``tiled`` runs the fused
+    pipeline out-of-core — slab-scale buffers spill to mmap-backed arena
+    storage and the product/scatter phase streams Morton-ordered row
+    strips through a bounded RAM window; ``auto`` resolves per plan — see
     :func:`resolve_fusion`.
     """
     if not isinstance(fusion, str) or fusion.lower() not in FUSION_MODES:
@@ -402,22 +489,41 @@ def staged_slab_elements(m: int, k: int, n: int, ml) -> int:
     return ml.rank_total * (bm * bk + bk * bn + bm * bn)
 
 
+def operand_slab_bytes(m: int, k: int, n: int, ml, itemsize: int = 8) -> int:
+    """Bytes of the gathered operand slabs of one execution.
+
+    The A-block slab holds every Morton-ordered ``bm x bk`` block of A
+    (``M~_L x K~_L`` of them) and the B-block slab every ``bk x bn``
+    block of B — the slab-scale working set the memory budget prices
+    ``fusion="auto"`` against (see :func:`resolve_fusion`).  Returns 0
+    when the partition is coarser than the problem (no core).
+    """
+    Mt, Kt, Nt = ml.dims_total
+    bm, bk, bn = m // Mt, k // Kt, n // Nt
+    if min(bm, bk, bn) < 1:
+        return 0
+    return (Mt * Kt * bm * bk + Kt * Nt * bk * bn) * int(itemsize)
+
+
 def validate_resolved_fusion(fusion) -> str:
     """Validate an already-*resolved* lowering mode (``"auto"`` excluded).
 
     The runtime and the workspace model operate after compile-time
-    resolution, where only ``"staged"``/``"fused"`` are meaningful; this
-    is their shared membership check, so the accepted set cannot drift
-    between layers.
+    resolution, where only ``"staged"``/``"fused"``/``"tiled"`` are
+    meaningful; this is their shared membership check, so the accepted
+    set cannot drift between layers.
     """
-    if fusion not in ("staged", "fused"):
+    if fusion not in ("staged", "fused", "tiled"):
         raise ValueError(
-            f"unknown fusion mode {fusion!r}; expected one of ['staged', 'fused']"
+            f"unknown fusion mode {fusion!r}; expected one of "
+            "['staged', 'fused', 'tiled']"
         )
     return fusion
 
 
-def resolve_fusion(fusion, variant: str, staged_elements: int) -> str:
+def resolve_fusion(
+    fusion, variant: str, staged_elements: int, slab_bytes: int = 0
+) -> str:
     """Resolve ``fusion="auto"`` for one compiled plan.
 
     The write-back variant is the lowering mode family: ``naive`` *means*
@@ -427,13 +533,23 @@ def resolve_fusion(fusion, variant: str, staged_elements: int) -> str:
     the stacked S/T/M intermediates) outgrow
     :data:`FUSED_AUTO_THRESHOLD` — below that the staged pipeline's
     batched matmuls are cheaper than per-product kernel dispatch.
-    Explicit ``"staged"``/``"fused"`` requests pass through unchanged.
+
+    When a memory budget is configured (:func:`effective_mem_budget_bytes`
+    > 0) and the plan's slab-scale working set (``slab_bytes`` — the
+    gathered operand slabs of one execution) exceeds it, ab/abc plans
+    lower ``tiled`` instead: the fused pipeline with its slab-scale
+    buffers spilled to mmap and the product phase streamed through a
+    budget-sized RAM window.  Explicit ``"staged"``/``"fused"``/
+    ``"tiled"`` requests pass through unchanged.
     """
     fusion = normalize_fusion(fusion)
     if fusion != "auto":
         return fusion
     if normalize_variant(variant) == "naive":
         return "staged"
+    budget = effective_mem_budget_bytes()
+    if budget and slab_bytes > budget:
+        return "tiled"
     return "fused" if staged_elements > effective_fused_auto_threshold() else "staged"
 
 

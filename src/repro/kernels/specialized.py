@@ -18,13 +18,18 @@ preallocated buffers, driven through the shared thread pool
 (``backend_path="compiled-parallel"``; see
 :func:`repro.core.codegen.generate_parallel_kernel_source`).  Everything
 else returns ``None`` and runs on the reference interpreter — the report
-then shows ``backend_path="interpreted"``, never a silent behavior change.
+then shows ``backend_path="interpreted"``, never a silent behavior
+change, and the decline reason (batched / non-contiguous or
+mmap-backed operands / dtype mismatch / vector-cap) is logged at debug
+level via :mod:`repro.obs.logcfg`.
 """
 
 from __future__ import annotations
 
 import threading
 import weakref
+
+import numpy as np
 
 from repro.core.codegen import compile_parallel_plan_kernel, compile_plan_kernel
 from repro.kernels.base import (
@@ -78,14 +83,39 @@ class SpecializedBackend(LeafBackend):
             workspace_bytes=kern.workspace_bytes,
         )
 
+    def _decline(self, cplan, A, B, C, reason: str) -> None:
+        """Log why this call delegates to the interpreter.
+
+        Delegation is correct-by-construction (the reference pipeline
+        runs instead) but used to be silent — in particular for
+        ``np.memmap``-backed or otherwise non-owned operands, whose
+        views are routinely non-contiguous.  The reason lands in the
+        ``repro.kernels.specialized`` debug log; the executed path is
+        always visible as ``last_report().backend_path`` and in
+        ``repro backends --probe``.
+        """
+        mmapped = [
+            name
+            for name, X in (("A", A), ("B", B), ("C", C))
+            if isinstance(X, np.memmap)
+        ]
+        note = f"; mmap-backed: {','.join(mmapped)}" if mmapped else ""
+        _log.debug(
+            "%s backend delegates %s to the interpreter: %s%s",
+            self.name, cplan.shape, reason, note,
+        )
+
     def kernel_for(self, cplan, A, B, C, fusion, threads, vector_cap):
         if A.ndim != 2:
+            self._decline(cplan, A, B, C, "batched operands")
             return None
         if not (A.flags.c_contiguous and B.flags.c_contiguous
                 and C.flags.c_contiguous):
+            self._decline(cplan, A, B, C, "non-contiguous operands")
             return None
         dt = cplan.dtype
         if A.dtype != dt or B.dtype != dt or C.dtype != dt:
+            self._decline(cplan, A, B, C, "operand dtype != plan dtype")
             return None
         pp = cplan.peel_plan
         if not pp.has_core:
@@ -98,6 +128,8 @@ class SpecializedBackend(LeafBackend):
             # path: past it the interpreter falls back to the per-step
             # loop, and the kernel's O(R) slabs would be just as oversized.
             if cplan.rank_total * (bm * bk + bk * bn + bm * bn) > vector_cap:
+                self._decline(cplan, A, B, C,
+                              "staged slabs exceed vector_cap")
                 return None
         key = kernel_key(cplan, fusion, threads)
         with self._lock:

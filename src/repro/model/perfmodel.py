@@ -31,6 +31,7 @@ __all__ = [
     "predict_fmm",
     "predict_gemm",
     "predict_ipc_bytes",
+    "predict_tile_window_bytes",
     "predict_worker_times",
     "predict_workspace_bytes",
     "predict_fusion_savings",
@@ -229,6 +230,12 @@ def predict_workspace_bytes(
     from repro.core.spec import validate_resolved_fusion
 
     fusion = validate_resolved_fusion(fusion)
+    if fusion == "tiled":
+        # The tiled lowering's RAM working set is the strip window —
+        # everything slab-scale is mmap-spilled and uncharged.
+        return predict_tile_window_bytes(
+            m, k, n, ml, threads=threads, dtype=dtype
+        )
     bm, bk, bn, Pa, Pb, Pc = _core_blocks(m, k, n, ml)
     if min(bm, bk, bn) < 1:
         return 0  # partition coarser than the problem: no core, no slabs
@@ -251,6 +258,58 @@ def predict_workspace_bytes(
         if slots > 1:
             elements += slots * Pc * bm * bn
     return int(elements) * np.dtype(dtype).itemsize
+
+
+def predict_tile_window_bytes(
+    m: int,
+    k: int,
+    n: int,
+    ml: MultiLevelFMM,
+    threads: int = 1,
+    dtype=np.float64,
+    tile_rows: int = 0,
+    batch: int = 1,
+) -> int:
+    """RAM bytes of the tiled lowering's strip window.
+
+    The byte-exact model twin of the runtime's tiled arena spec
+    (``repro.core.runtime._tiled_workspace_spec``'s non-``"mmap"``
+    entries, like :func:`predict_workspace_bytes` is of the in-core
+    specs): the per-slot group of ``M`` strip buffers — ``slots x group
+    x batch x tile_rows x bn`` elements — plus one scratch strip per
+    slot for plans with non-±1 scatter coefficients.  ``tile_rows=0``
+    (the default) resolves the strip height exactly as the runtime does
+    — explicit tunable, else the effective memory budget, else the full
+    block (:func:`repro.core.tiles.resolve_tile_rows`) — so the priced
+    window and the allocated window agree by construction; the measured
+    ``peak_workspace_bytes`` of a tiled execution equals this figure.
+    This is the quantity ``selection.auto_config`` and the serve
+    admission controller price tiled jobs off (the window, not the
+    slab).
+    """
+    from repro.core.spec import effective_fused_group
+    from repro.core.tiles import clamp_tile_rows, resolve_tile_rows
+
+    bm, bk, bn, Pa, Pb, Pc = _core_blocks(m, k, n, ml)
+    if min(bm, bk, bn) < 1:
+        return 0  # partition coarser than the problem: no core, no window
+    R = ml.rank_total
+    slots = max(1, min(int(threads), R))
+    group = min(effective_fused_group(), R)
+    item = np.dtype(dtype).itemsize
+    L = max(int(batch), 1)
+    W = ml.W
+    has_scratch = bool(((W != 0) & (W != 1) & (W != -1)).any())
+    if not tile_rows:
+        tile_rows = resolve_tile_rows(
+            bm, bk, bn, slots, group, lead_elems=L, itemsize=item,
+            has_scratch=has_scratch,
+        )
+    tile_rows = clamp_tile_rows(bm, tile_rows)
+    elements = slots * group * L * tile_rows * bn
+    if has_scratch:
+        elements += slots * L * tile_rows * bn
+    return int(elements) * item
 
 
 def predict_fusion_savings(

@@ -60,6 +60,8 @@ class PlanStats:
     peak_bytes_hw: int          # high-water across the window
     total_ipc_bytes: int
     total_batch: int
+    total_io_bytes: int = 0     # tiled-lowering spill traffic (logical)
+    total_tiles: int = 0
     backends: dict = field(default_factory=dict)
     worker_modes: dict = field(default_factory=dict)
     core_paths: dict = field(default_factory=dict)
@@ -161,6 +163,8 @@ class ReportHistory:
                 peak_bytes_hw=max(r.peak_workspace_bytes for r in reps),
                 total_ipc_bytes=sum(r.ipc_bytes for r in reps),
                 total_batch=sum(r.batch for r in reps),
+                total_io_bytes=sum(getattr(r, "io_bytes", 0) for r in reps),
+                total_tiles=sum(getattr(r, "n_tiles", 0) for r in reps),
                 backends=backends,
                 worker_modes=modes,
                 core_paths=paths,

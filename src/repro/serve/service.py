@@ -26,7 +26,9 @@ them.
 **Admission control** prices each job off the arena's byte accounting:
 :func:`repro.model.perfmodel.predict_workspace_bytes` (the model twin of
 the runtime's arena specs) plus the operand/result bytes, summed over the
-queue, against ``byte_budget``.  Over budget, the ``policy`` knob decides:
+queue, against ``byte_budget``.  Jobs whose plan resolved to the
+out-of-core ``tiled`` lowering are charged their bounded RAM window only
+— slabs spill to mmap, operands stream through the window.  Over budget, the ``policy`` knob decides:
 ``"queue"`` blocks the submitter until the queue drains, ``"reject"``
 raises :class:`ServiceOverloadedError`, ``"serial"`` degrades the call to
 a synchronous in-caller multiply that never enters the queue.
@@ -454,11 +456,23 @@ class MultiplyService:
     def _price(self, cplan, threads, dt, m, k, n) -> int:
         """Bytes one queued job is charged for: the model's predicted
         peak workspace for its plan (the arena's byte-accounting twin)
-        plus its operand and result slabs."""
-        operands = (m * k + k * n + m * n) * dt.itemsize
-        return predict_workspace_bytes(
+        plus its operand and result slabs.
+
+        A plan that resolved to the ``tiled`` lowering is charged its
+        bounded RAM window only (``predict_workspace_bytes`` prices
+        tiled as :func:`repro.model.perfmodel.predict_tile_window_bytes`
+        and the operand term is dropped): its slab-scale temporaries
+        spill to mmap and its operands stream through the window, so
+        charging the full slabs would starve the queue of exactly the
+        jobs the out-of-core path exists to admit.
+        """
+        workspace = predict_workspace_bytes(
             m, k, n, cplan.ml, fusion=cplan.fusion, threads=threads, dtype=dt
-        ) + operands
+        )
+        if cplan.fusion == "tiled":
+            return workspace
+        operands = (m * k + k * n + m * n) * dt.itemsize
+        return workspace + operands
 
     def submit(
         self,

@@ -68,13 +68,17 @@ _CONFIG_KEYS = ("algorithm", "levels", "variant", "engine", "threads")
 
 #: Optional per-fingerprint runtime tunables a wisdom file may carry
 #: (:func:`repro.core.spec.set_runtime_tunables` knobs): measured-best
-#: overrides of the fused-pipeline group size and the staged->fused
-#: auto-fusion footprint threshold for *this* machine.
+#: overrides of the fused-pipeline group size, the staged->fused
+#: auto-fusion footprint threshold, the serve coalescing window, and the
+#: out-of-core tiled lowering's strip height / memory budget for *this*
+#: machine.
 TUNABLE_KEYS = (
     "fused_group",
     "fused_auto_threshold",
     "serve_batch_window_us",
     "serve_max_batch",
+    "tile_rows",
+    "mem_budget_bytes",
 )
 
 
@@ -205,7 +209,12 @@ def _validate_tunables(tun) -> dict:
             raise ValueError(f"malformed wisdom tunable {key}={value!r}")
         if key in ("fused_group", "serve_max_batch") and value < 1:
             raise ValueError(f"wisdom {key} must be >= 1")
-        if key in ("fused_auto_threshold", "serve_batch_window_us") and value < 0:
+        if key in (
+            "fused_auto_threshold",
+            "serve_batch_window_us",
+            "tile_rows",
+            "mem_budget_bytes",
+        ) and value < 0:
             raise ValueError(f"wisdom {key} must be >= 0")
     return tun
 
@@ -511,6 +520,8 @@ class WisdomStore:
         fused_auto_threshold: int | None = None,
         serve_batch_window_us: int | None = None,
         serve_max_batch: int | None = None,
+        tile_rows: int | None = None,
+        mem_budget_bytes: int | None = None,
         save: bool = True,
     ) -> dict:
         """Persist measured-best runtime tunables for this machine.
@@ -527,6 +538,8 @@ class WisdomStore:
             "fused_auto_threshold": fused_auto_threshold,
             "serve_batch_window_us": serve_batch_window_us,
             "serve_max_batch": serve_max_batch,
+            "tile_rows": tile_rows,
+            "mem_budget_bytes": mem_budget_bytes,
         }
         with self._lock:
             tun = dict(self._tunables)

@@ -314,7 +314,7 @@ class TestValidationListings:
     def test_normalizers_accept_case_insensitive(self):
         assert normalize_variant("ABC") == "abc"
         assert normalize_fusion("Fused") == "fused"
-        assert set(FUSION_MODES) == {"auto", "staged", "fused"}
+        assert set(FUSION_MODES) == {"auto", "staged", "fused", "tiled"}
 
     @pytest.mark.parametrize("bad", [None, 3, b"abc"])
     def test_non_string_variant_rejected(self, bad):

@@ -7,6 +7,8 @@ import pytest
 
 from repro.core.spec import (
     DEFAULT_FUSED_GROUP,
+    DEFAULT_MEM_BUDGET_BYTES,
+    DEFAULT_TILE_ROWS,
     FUSED_AUTO_THRESHOLD,
     SERVE_BATCH_WINDOW_US,
     SERVE_MAX_BATCH,
@@ -32,6 +34,8 @@ class TestSpecKnobs:
             "fused_auto_threshold": FUSED_AUTO_THRESHOLD,
             "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
             "serve_max_batch": SERVE_MAX_BATCH,
+            "tile_rows": DEFAULT_TILE_ROWS,
+            "mem_budget_bytes": DEFAULT_MEM_BUDGET_BYTES,
         }
         assert effective_fused_group() == DEFAULT_FUSED_GROUP
         assert effective_fused_auto_threshold() == FUSED_AUTO_THRESHOLD
@@ -43,6 +47,8 @@ class TestSpecKnobs:
             "fused_auto_threshold": 1024,
             "serve_batch_window_us": SERVE_BATCH_WINDOW_US,
             "serve_max_batch": SERVE_MAX_BATCH,
+            "tile_rows": DEFAULT_TILE_ROWS,
+            "mem_budget_bytes": DEFAULT_MEM_BUDGET_BYTES,
         }
         assert effective_fused_group() == 16
         # Each call fully respecifies: omitting a knob reverts it.
